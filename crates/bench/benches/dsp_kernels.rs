@@ -1,0 +1,48 @@
+//! Throughput of the five biomedical applications on clean storage — the
+//! workload side of the paper's platform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dream_dsp::{AppKind, VecStorage};
+use dream_ecg::Database;
+use std::hint::black_box;
+
+fn bench_apps(c: &mut Criterion) {
+    let n = 1024;
+    let record = Database::record(100, n);
+    let mut group = c.benchmark_group("apps");
+    group.throughput(Throughput::Elements(n as u64));
+    for kind in AppKind::all() {
+        let app = kind.instantiate(n);
+        group.bench_function(BenchmarkId::from_parameter(kind), |b| {
+            let mut mem = VecStorage::new(app.memory_words());
+            b.iter(|| black_box(app.run(black_box(&record.samples), &mut mem)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_references(c: &mut Criterion) {
+    let n = 1024;
+    let record = Database::record(100, n);
+    let mut group = c.benchmark_group("golden_references");
+    for kind in AppKind::all() {
+        let app = kind.instantiate(n);
+        group.bench_function(BenchmarkId::from_parameter(kind), |b| {
+            b.iter(|| black_box(app.run_reference(black_box(&record.samples))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ecg_synthesis(c: &mut Criterion) {
+    c.bench_function("ecg_record_1024", |b| {
+        let mut id = 100u16;
+        b.iter(|| {
+            id = 100 + (id - 99) % 10;
+            black_box(Database::record(black_box(id), 1024))
+        })
+    });
+}
+
+criterion_group!(benches, bench_apps, bench_references, bench_ecg_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Microbenchmarks of the EMT codec kernels: the per-access logic the
+//! paper's Design Compiler reports price in silicon, here priced in
+//! simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dream_core::{EmtCodec, EmtKind};
+use std::hint::black_box;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for kind in EmtKind::all() {
+        let codec = kind.codec();
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &codec, |b, codec| {
+            let mut word: i16 = -12345;
+            b.iter(|| {
+                word = word.wrapping_add(257);
+                black_box(codec.encode(black_box(word)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_clean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_clean");
+    for kind in EmtKind::all() {
+        let codec = kind.codec();
+        let encoded: Vec<_> = (0..1024).map(|i| codec.encode((i * 37) as i16)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &codec, |b, codec| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                let e = encoded[i];
+                black_box(codec.decode(black_box(e.code), black_box(e.side)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_corrupted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_corrupted");
+    for kind in [EmtKind::Dream, EmtKind::EccSecDed] {
+        let codec = kind.codec();
+        let encoded: Vec<_> = (0..1024)
+            .map(|i| {
+                let e = codec.encode((i * 37) as i16);
+                (e.code ^ (1 << (i % 16)), e.side)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &codec, |b, codec| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                let (code, side) = encoded[i];
+                black_box(codec.decode(black_box(code), black_box(side)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode_clean, bench_decode_corrupted);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! The real content lives in `dream-sim`; this crate only parses the tiny
+//! command-line vocabulary the binaries share and decides where CSV output
+//! lands (`results/` at the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+/// Minimal flag parser: `--key value` pairs and bare `--switch`es.
+///
+/// ```
+/// let args = dream_bench::Args::parse(["--runs", "8", "--smoke"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.value("runs"), Some("8"));
+/// assert!(args.switch("smoke"));
+/// assert!(!args.switch("area"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    pub fn parse(raw: impl Iterator<Item = String>) -> Self {
+        let mut pairs = Vec::new();
+        let mut iter = raw.peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next(),
+                    _ => None,
+                };
+                pairs.push((key.to_string(), value));
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The value of `--key value`, if present.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// True when `--key` was given (with or without a value).
+    pub fn switch(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    /// Parses `--key` as a number, falling back to `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message when the value does not parse.
+    pub fn number(&self, key: &str, default: usize) -> usize {
+        match self.value(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")),
+        }
+    }
+}
+
+/// Directory where the binaries drop their CSV artifacts (`results/`,
+/// created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("can create results directory");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_flags() {
+        let a = Args::parse(
+            ["--runs", "16", "--area", "--emt", "dream"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.number("runs", 1), 16);
+        assert!(a.switch("area"));
+        assert_eq!(a.value("emt"), Some("dream"));
+        assert_eq!(a.number("missing", 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn bad_number_panics() {
+        let a = Args::parse(["--runs", "many"].iter().map(|s| s.to_string()));
+        let _ = a.number("runs", 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! The DREAM technique (paper §IV, Fig. 3).
+
+use dream_energy::{Gate, Netlist};
+
+use crate::emt::{DecodeOutcome, Decoded, EmtCodec, Encoded};
+
+/// Dynamic eRror compEnsation And Masking.
+///
+/// Biosignal samples rarely use the full 16-bit range: the MSBs of a small
+/// two's-complement value are a run of copies of the sign bit. DREAM
+/// measures that run on every write and stores two things in a small,
+/// always-reliable side memory:
+///
+/// * the **sign bit** `s`,
+/// * the **mask ID**: `run − 1`, where `run ∈ 1..=16` is the length of the
+///   run of MSBs equal to `s` (4 bits for 16-bit words).
+///
+/// The data word itself goes to the faulty array *unmodified*. On read the
+/// mask ID selects a full bit mask from a lookup table and the word's top
+/// `run` bits are rebuilt from `s` via an AND (positive words) or OR
+/// (negative words) with the mask, chosen by a sign-controlled multiplexer;
+/// a dedicated *set-one-bit* block rebuilds the bit just below the run,
+/// which by construction always equals `!s` (Fig. 3). DREAM therefore
+/// corrects **any number of stuck bits in the top `run + 1` positions** —
+/// including the multi-error words that defeat ECC SEC/DED below 0.55 V —
+/// while faults in the remaining LSBs pass through uncorrected, which §III
+/// shows the applications tolerate.
+///
+/// ```
+/// use dream_core::{Dream, EmtCodec};
+/// let dream = Dream::new();
+/// let enc = dream.encode(100); // 0000_0000_0110_0100: run of 9 zeros
+/// assert_eq!(enc.side, 9 - 1); // sign 0, mask id 8
+/// // Clobber all 10 protected bits (the 9-run and the guaranteed '1' below it):
+/// let smashed = enc.code ^ 0xFFC0;
+/// assert_eq!(dream.decode(smashed, enc.side).word, 100);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Dream {
+    _private: (),
+}
+
+/// Width of the protected data words.
+const DATA_BITS: u32 = 16;
+/// Bits in the mask identifier: log2(16).
+const MASK_ID_BITS: u32 = 4;
+
+impl Dream {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        Dream { _private: () }
+    }
+
+    /// Splits side bits into `(sign, run)` where `run ∈ 1..=16`.
+    #[inline]
+    fn unpack_side(side: u16) -> (bool, u32) {
+        let sign = side & (1 << MASK_ID_BITS) != 0;
+        let run = u32::from(side & ((1 << MASK_ID_BITS) - 1)) + 1;
+        (sign, run)
+    }
+
+    /// The full mask for a given run length: ones in the top `run` bits.
+    /// In hardware this is the mask-ID → mask lookup table of Fig. 3.
+    #[inline]
+    fn mask_for_run(run: u32) -> u32 {
+        debug_assert!((1..=16).contains(&run));
+        (0xFFFF_u32 << (DATA_BITS - run)) & 0xFFFF
+    }
+
+    /// Number of MSBs (including the extra inverted-sign bit) DREAM will
+    /// restore for `word`. Exposed for the analyses of §III/§IV.
+    ///
+    /// ```
+    /// use dream_core::Dream;
+    /// assert_eq!(Dream::protected_bits(0), 16);   // whole word
+    /// assert_eq!(Dream::protected_bits(-1), 16);  // whole word
+    /// assert_eq!(Dream::protected_bits(100), 10); // 9-run + 1
+    /// ```
+    pub fn protected_bits(word: i16) -> u32 {
+        let run = sign_run(word);
+        (run + 1).min(DATA_BITS)
+    }
+}
+
+/// Length of the run of MSBs equal to the sign bit (1..=16).
+fn sign_run(word: i16) -> u32 {
+    let bits = word as u16;
+    if word < 0 {
+        (!bits).leading_zeros().max(1).min(16)
+    } else {
+        bits.leading_zeros().max(1).min(16)
+    }
+}
+
+impl EmtCodec for Dream {
+    fn name(&self) -> &'static str {
+        "DREAM"
+    }
+
+    fn code_width(&self) -> u32 {
+        DATA_BITS
+    }
+
+    fn side_bits(&self) -> u32 {
+        // Formula 2: 1 sign bit + log2(16) mask-ID bits.
+        1 + MASK_ID_BITS
+    }
+
+    fn encode(&self, word: i16) -> Encoded {
+        let run = sign_run(word);
+        let sign = word < 0;
+        let side = ((sign as u16) << MASK_ID_BITS) | (run - 1) as u16;
+        Encoded {
+            code: u32::from(word as u16),
+            side,
+        }
+    }
+
+    fn decode(&self, code: u32, side: u16) -> Decoded {
+        let (sign, run) = Self::unpack_side(side);
+        let mask = Self::mask_for_run(run);
+        let corrupted = code & 0xFFFF;
+        // The two parallel branches of Fig. 3 …
+        let and_branch = corrupted & !mask; // clears the run (positive case)
+        let or_branch = corrupted | mask; // sets the run (negative case)
+        // … the sign-controlled 2:1 multiplexer …
+        let mut out = if sign { or_branch } else { and_branch };
+        // … and the "Set one bit" block: the first bit after the run always
+        // holds the inverted sign, so its position (known from the mask ID)
+        // is rebuilt with a NOT of the sign.
+        if run < DATA_BITS {
+            let guard = 1u32 << (DATA_BITS - 1 - run);
+            if sign {
+                out &= !guard;
+            } else {
+                out |= guard;
+            }
+        }
+        let word = out as u16 as i16;
+        let outcome = if out == corrupted {
+            DecodeOutcome::Clean
+        } else {
+            DecodeOutcome::Corrected
+        };
+        Decoded { word, outcome }
+    }
+
+    fn encoder_netlist(&self) -> Netlist {
+        // Write path of §IV-A: compare each bit against the sign and
+        // priority-encode the first mismatch into the 4-bit mask ID.
+        let mut n = Netlist::new("DREAM encoder");
+        // b[i] == b[15] comparators for i = 0..15.
+        n.add(Gate::Xnor2, 15);
+        // 16-entry priority encoder -> 4-bit run length.
+        n.add(Gate::Not, 4);
+        n.add(Gate::And2, 15);
+        n.add(Gate::Or2, 11);
+        n
+    }
+
+    fn decoder_netlist(&self) -> Netlist {
+        // Read path of Fig. 3.
+        let mut n = Netlist::new("DREAM decoder");
+        // Mask LUT as a thermometer decode of the 4-bit ID: each mask bit is
+        // a small comparator against a constant; adjacent comparators share
+        // heavily, amortizing to roughly one 2-input cell pair per output.
+        n.add(Gate::And2, 12);
+        n.add(Gate::Or2, 12);
+        // One-hot of the set-one-bit position: therm[i] & !therm[i+1].
+        n.add(Gate::Not, 1);
+        n.add(Gate::And2, 16);
+        // AND branch, OR branch, output multiplexer row.
+        n.add(Gate::And2, 16);
+        n.add(Gate::Or2, 16);
+        n.add(Gate::Mux2, 16);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(word: i16) -> i16 {
+        let d = Dream::new();
+        let e = d.encode(word);
+        d.decode(e.code, e.side).word
+    }
+
+    #[test]
+    fn identity_without_faults() {
+        for w in [-32768i16, -30000, -256, -2, -1, 0, 1, 2, 255, 30000, 32767] {
+            assert_eq!(round_trip(w), w);
+        }
+    }
+
+    #[test]
+    fn side_packing_matches_paper_layout() {
+        let d = Dream::new();
+        // +100 = 0000_0000_0110_0100: sign 0, run 9 -> id 8.
+        assert_eq!(d.encode(100).side, 0b0_1000);
+        // -100 = 1111_1111_1001_1100: sign 1, run 9 -> id 8.
+        assert_eq!(d.encode(-100).side, 0b1_1000);
+        // 0: sign 0, run 16 -> id 15.
+        assert_eq!(d.encode(0).side, 0b0_1111);
+        // i16::MIN = 1000...0: sign 1, run 1 -> id 0.
+        assert_eq!(d.encode(i16::MIN).side, 0b1_0000);
+    }
+
+    #[test]
+    fn corrects_every_fault_pattern_in_protected_region() {
+        let d = Dream::new();
+        for &word in &[0i16, -1, 5, -5, 1000, -1000, 12345, -12345] {
+            let e = d.encode(word);
+            let protected = Dream::protected_bits(word);
+            let top_mask = if protected >= 16 {
+                0xFFFF
+            } else {
+                (0xFFFF_u32 << (16 - protected)) & 0xFFFF
+            };
+            // Exhaust all patterns when small, else a spread of patterns.
+            let patterns: Vec<u32> = if protected <= 10 {
+                (0..(1u32 << protected)).map(|p| p << (16 - protected)).collect()
+            } else {
+                (0..1024u32)
+                    .map(|p| (p.wrapping_mul(2_654_435_761) % (1 << protected)) << (16 - protected))
+                    .collect()
+            };
+            for flip in patterns {
+                assert_eq!(flip & !top_mask, 0);
+                let dec = d.decode(e.code ^ flip, e.side);
+                assert_eq!(dec.word, word, "word {word} flip {flip:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn lsb_faults_pass_through() {
+        let d = Dream::new();
+        let word = 1000i16; // run 6, protected = 7 top bits, LSB region = 9 bits
+        let e = d.encode(word);
+        let flip = 0b1; // LSB fault
+        let dec = d.decode(e.code ^ flip, e.side);
+        assert_eq!(dec.word, word ^ 1);
+    }
+
+    #[test]
+    fn decode_reports_correction() {
+        let d = Dream::new();
+        let e = d.encode(100);
+        assert_eq!(d.decode(e.code, e.side).outcome, DecodeOutcome::Clean);
+        let dec = d.decode(e.code ^ 0x8000, e.side);
+        assert_eq!(dec.outcome, DecodeOutcome::Corrected);
+        assert_eq!(dec.word, 100);
+    }
+
+    #[test]
+    fn all_sign_words_fully_protected() {
+        let d = Dream::new();
+        for word in [0i16, -1] {
+            let e = d.encode(word);
+            // Every bit stuck wrong: still recovered.
+            let dec = d.decode(e.code ^ 0xFFFF, e.side);
+            assert_eq!(dec.word, word);
+        }
+    }
+
+    #[test]
+    fn exhaustive_round_trip_all_words() {
+        let d = Dream::new();
+        for w in i16::MIN..=i16::MAX {
+            let e = d.encode(w);
+            assert_eq!(d.decode(e.code, e.side).word, w);
+        }
+    }
+
+    #[test]
+    fn decoder_is_smaller_than_ecc_class_logic() {
+        // Sanity floor: the netlists exist and are non-trivial.
+        let d = Dream::new();
+        assert!(d.encoder_netlist().area_ge() > 30.0);
+        assert!(d.decoder_netlist().area_ge() > 60.0);
+    }
+}

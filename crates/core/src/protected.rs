@@ -1,0 +1,372 @@
+//! Protected-memory composition: codec + faulty data array + reliable side
+//! array + statistics + energy accounting.
+
+use dream_energy::{EnergyBreakdown, SramEnergyModel, calib};
+use dream_mem::{FaultMap, FaultySram, MemGeometry};
+
+use crate::emt::{AnyCodec, DecodeOutcome, Decoded, EmtCodec, EmtKind};
+
+/// Running access/outcome counters of a [`ProtectedMemory`].
+///
+/// These are the observables the §VI analyses need: access counts price the
+/// dynamic energy, outcome counts explain *why* an EMT's SNR curve bends
+/// (how often ECC hit an uncorrectable word, how often DREAM actually had
+/// to repair something).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Word reads served.
+    pub reads: u64,
+    /// Word writes served.
+    pub writes: u64,
+    /// Reads where the decoder changed at least one bit.
+    pub corrected_reads: u64,
+    /// Reads flagged uncorrectable (ECC double errors, parity hits).
+    pub uncorrectable_reads: u64,
+}
+
+impl AccessStats {
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// The energy models priced against a run's [`AccessStats`].
+///
+/// Bundles the CACTI-substitute models for the main (voltage-scaled) data
+/// array and the small always-at-nominal side array holding DREAM's mask
+/// bits, per the calibration in `dream_energy::calib`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModelBundle {
+    /// Model of the main data array.
+    pub main: SramEnergyModel,
+    /// Model of the side (mask) array.
+    pub side: SramEnergyModel,
+    /// Supply of the side array (pinned high so it stays error-free, §IV-A).
+    pub side_supply_v: f64,
+}
+
+impl EnergyModelBundle {
+    /// The calibrated 32 nm / 343 K models used throughout the reproduction.
+    pub fn date16() -> Self {
+        EnergyModelBundle {
+            main: SramEnergyModel::date16_main(),
+            side: SramEnergyModel::date16_side(),
+            side_supply_v: calib::MASK_SUPPLY_VOLTAGE,
+        }
+    }
+
+    /// Energy of a run described by `stats` on a memory of `words` words
+    /// protected by `codec`, with the data array at `data_v` volts for
+    /// `seconds` of wall-clock time.
+    ///
+    /// Codec logic is priced in the data-array voltage domain: standard
+    /// cells retain far more margin than SRAM bit cells at near-threshold
+    /// voltages, so the paper's codecs can ride the scaled rail while the
+    /// bit cells are the reliability limiter.
+    pub fn run_energy(
+        &self,
+        codec: &AnyCodec,
+        stats: &AccessStats,
+        words: usize,
+        data_v: f64,
+        seconds: f64,
+    ) -> EnergyBreakdown {
+        let accesses = stats.accesses() as f64;
+        let mut e = EnergyBreakdown::new();
+        e.data_dynamic_pj = accesses * self.main.access_energy_pj(codec.code_width(), data_v);
+        if codec.side_bits() > 0 {
+            e.side_dynamic_pj =
+                accesses * self.side.access_energy_pj(codec.side_bits(), self.side_supply_v);
+        }
+        let enc = codec.encoder_netlist().op_energy_pj(data_v);
+        let dec = codec.decoder_netlist().op_energy_pj(data_v);
+        e.codec_pj = stats.writes as f64 * enc + stats.reads as f64 * dec;
+        let data_cells = words * codec.code_width() as usize;
+        e.leakage_pj = self.main.leakage_energy_pj(data_cells, data_v, seconds);
+        if codec.side_bits() > 0 {
+            let side_cells = words * codec.side_bits() as usize;
+            e.leakage_pj += self
+                .side
+                .leakage_energy_pj(side_cells, self.side_supply_v, seconds);
+        }
+        e
+    }
+}
+
+impl Default for EnergyModelBundle {
+    fn default() -> Self {
+        Self::date16()
+    }
+}
+
+/// A word-addressable data memory protected by an EMT.
+///
+/// Composition mirrors the paper's platform (§V): the data array is a
+/// [`FaultySram`] running at a scaled (fault-inducing) supply; the side
+/// array holding DREAM's sign + mask-ID bits is modelled as always
+/// error-free because it runs at nominal voltage. Every write runs the
+/// encoder, every read runs the decoder, and [`AccessStats`] accumulates
+/// what happened.
+///
+/// ```
+/// use dream_core::{EmtKind, ProtectedMemory};
+/// use dream_mem::{FaultMap, MemGeometry};
+///
+/// let geometry = MemGeometry::new(256, 16, 1);
+/// // A memory at 0.55 V: draw stuck-at faults at the BER for that voltage.
+/// let map = FaultMap::generate(256, 22, 1e-3, 7);
+/// let mut mem = ProtectedMemory::with_fault_map(EmtKind::Dream, geometry, &map);
+/// mem.write(3, -42);
+/// let _ = mem.read(3); // corrected if the faults hit the sign-run
+/// assert_eq!(mem.stats().reads, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProtectedMemory {
+    kind: EmtKind,
+    codec: AnyCodec,
+    data: FaultySram,
+    side: Vec<u16>,
+    stats: AccessStats,
+}
+
+impl ProtectedMemory {
+    /// Creates a fault-free protected memory over `geometry` (given for the
+    /// *16-bit* base layout; the data array widens automatically for codecs
+    /// with in-array redundancy).
+    pub fn new(kind: EmtKind, geometry: MemGeometry) -> Self {
+        let codec = kind.codec();
+        let width = codec.code_width();
+        Self::build(kind, codec, geometry, FaultMap::empty(geometry.words(), width))
+    }
+
+    /// Creates a protected memory whose data array carries the stuck-at
+    /// faults of `map`.
+    ///
+    /// `map` must be at least as wide as the codec's codeword so that **the
+    /// same fault locations** can be shared across EMTs, as the paper's
+    /// methodology requires; the map is narrowed to the codec's width
+    /// (ECC's check-bit cells see the extra fault lanes — they are real
+    /// cells in the same array).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map covers a different word count or is narrower than
+    /// the codeword.
+    pub fn with_fault_map(kind: EmtKind, geometry: MemGeometry, map: &FaultMap) -> Self {
+        let codec = kind.codec();
+        let width = codec.code_width();
+        assert_eq!(map.words(), geometry.words(), "fault map word count");
+        assert!(
+            map.width() >= width,
+            "shared fault map must cover the widest codeword"
+        );
+        Self::build(kind, codec, geometry, map.with_width(width))
+    }
+
+    fn build(kind: EmtKind, codec: AnyCodec, geometry: MemGeometry, map: FaultMap) -> Self {
+        let data_geometry = geometry.with_width(codec.code_width());
+        let data = FaultySram::with_faults(data_geometry, map);
+        let side = vec![0u16; geometry.words()];
+        ProtectedMemory {
+            kind,
+            codec,
+            data,
+            side,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The technique protecting this memory.
+    pub fn kind(&self) -> EmtKind {
+        self.kind
+    }
+
+    /// The codec instance (for netlists and widths).
+    pub fn codec(&self) -> &AnyCodec {
+        &self.codec
+    }
+
+    /// Number of addressable words.
+    pub fn words(&self) -> usize {
+        self.data.geometry().words()
+    }
+
+    /// Access statistics accumulated since construction or the last
+    /// [`ProtectedMemory::reset_stats`].
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Clears the access statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+
+    /// The underlying faulty array (for fault census in reports).
+    pub fn data_array(&self) -> &FaultySram {
+        &self.data
+    }
+
+    /// Installs a logical→physical address scrambler on the data array
+    /// (the paper's §V re-randomization logic). The side array is indexed
+    /// logically — its cells are fault-free, so scrambling it would change
+    /// nothing observable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scrambler does not cover the whole array.
+    pub fn set_scrambler(&mut self, scrambler: dream_mem::AddressScrambler) {
+        self.data.set_scrambler(scrambler);
+    }
+
+    /// Writes a data word: encoder → faulty array (+ side array).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn write(&mut self, addr: usize, word: i16) {
+        let enc = self.codec.encode(word);
+        self.data.write(addr, enc.code);
+        self.side[addr] = enc.side;
+        self.stats.writes += 1;
+    }
+
+    /// Reads a data word: faulty array (+ side array) → decoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn read(&mut self, addr: usize) -> i16 {
+        self.read_decoded(addr).word
+    }
+
+    /// Reads a word together with the decoder's outcome classification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn read_decoded(&mut self, addr: usize) -> Decoded {
+        let code = self.data.read(addr);
+        let decoded = self.codec.decode(code, self.side[addr]);
+        self.stats.reads += 1;
+        match decoded.outcome {
+            DecodeOutcome::Corrected => self.stats.corrected_reads += 1,
+            DecodeOutcome::DetectedUncorrectable => self.stats.uncorrectable_reads += 1,
+            DecodeOutcome::Clean => {}
+        }
+        decoded
+    }
+
+    /// Prices the accumulated statistics with `bundle` at supply `data_v`
+    /// over `seconds` of run time.
+    pub fn energy(&self, bundle: &EnergyModelBundle, data_v: f64, seconds: f64) -> EnergyBreakdown {
+        bundle.run_energy(&self.codec, &self.stats, self.words(), data_v, seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_mem::StuckAt;
+
+    fn geometry() -> MemGeometry {
+        MemGeometry::new(64, 16, 1)
+    }
+
+    #[test]
+    fn clean_memory_round_trips_all_emts() {
+        for kind in EmtKind::all() {
+            let mut mem = ProtectedMemory::new(kind, geometry());
+            for (i, w) in [-32768i16, -100, 0, 100, 32767].iter().enumerate() {
+                mem.write(i, *w);
+            }
+            for (i, w) in [-32768i16, -100, 0, 100, 32767].iter().enumerate() {
+                assert_eq!(mem.read(i), *w, "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn dream_corrects_msb_fault_none_does_not() {
+        let mut map = FaultMap::empty(64, 22);
+        map.inject(0, 15, StuckAt::One); // sign-region fault
+        let mut raw = ProtectedMemory::with_fault_map(EmtKind::None, geometry(), &map);
+        raw.write(0, 100);
+        assert_ne!(raw.read(0), 100);
+
+        let mut dream = ProtectedMemory::with_fault_map(EmtKind::Dream, geometry(), &map);
+        dream.write(0, 100);
+        assert_eq!(dream.read(0), 100);
+        assert_eq!(dream.stats().corrected_reads, 1);
+    }
+
+    #[test]
+    fn ecc_corrects_single_fails_double() {
+        let mut map = FaultMap::empty(64, 22);
+        map.inject(0, 4, StuckAt::One);
+        map.inject(1, 4, StuckAt::One);
+        map.inject(1, 9, StuckAt::One);
+        let mut ecc = ProtectedMemory::with_fault_map(EmtKind::EccSecDed, geometry(), &map);
+        ecc.write(0, 0);
+        ecc.write(1, 0);
+        let single = ecc.read_decoded(0);
+        assert_eq!(single.word, 0);
+        // Word 1 has two stuck-at-1 cells on a zero word: double error.
+        let double = ecc.read_decoded(1);
+        assert_eq!(double.outcome, DecodeOutcome::DetectedUncorrectable);
+        assert_eq!(ecc.stats().uncorrectable_reads, 1);
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let mut mem = ProtectedMemory::new(EmtKind::Dream, geometry());
+        for i in 0..10 {
+            mem.write(i, i as i16);
+        }
+        for i in 0..5 {
+            let _ = mem.read(i);
+        }
+        let s = mem.stats();
+        assert_eq!(s.writes, 10);
+        assert_eq!(s.reads, 5);
+        assert_eq!(s.accesses(), 15);
+        let mut mem = mem;
+        mem.reset_stats();
+        assert_eq!(mem.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn energy_ordering_matches_paper_vi_b() {
+        // Same workload on each EMT at 0.7 V: DREAM must cost less than
+        // ECC, and both more than no protection.
+        let bundle = EnergyModelBundle::date16();
+        let mut totals = Vec::new();
+        for kind in EmtKind::paper_set() {
+            let mut mem = ProtectedMemory::new(kind, geometry());
+            for i in 0..64 {
+                mem.write(i, (i * 17) as i16);
+            }
+            for _ in 0..2 {
+                for i in 0..64 {
+                    let _ = mem.read(i);
+                }
+            }
+            totals.push((kind, mem.energy(&bundle, 0.7, 1e-4).total_pj()));
+        }
+        let none = totals[0].1;
+        let dream = totals[1].1;
+        let ecc = totals[2].1;
+        assert!(none < dream, "protection must cost something");
+        assert!(dream < ecc, "DREAM must undercut ECC (paper §VI-B)");
+    }
+
+    #[test]
+    #[should_panic(expected = "widest codeword")]
+    fn narrow_shared_map_rejected() {
+        let map = FaultMap::empty(64, 16);
+        let _ = ProtectedMemory::with_fault_map(EmtKind::EccSecDed, geometry(), &map);
+    }
+}

@@ -1,0 +1,176 @@
+//! Trivial baselines: raw storage and detect-only parity.
+
+use dream_energy::{Gate, Netlist};
+
+use crate::emt::{DecodeOutcome, Decoded, EmtCodec, Encoded};
+
+/// Raw, unprotected storage — the paper's Fig. 4a and the energy baseline
+/// every overhead in §VI-B is quoted against.
+///
+/// ```
+/// use dream_core::{NoProtection, EmtCodec};
+/// let c = NoProtection::new();
+/// let e = c.encode(-7);
+/// assert_eq!(c.decode(e.code, e.side).word, -7);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoProtection {
+    _private: (),
+}
+
+impl NoProtection {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        NoProtection { _private: () }
+    }
+}
+
+impl EmtCodec for NoProtection {
+    fn name(&self) -> &'static str {
+        "no protection"
+    }
+
+    fn code_width(&self) -> u32 {
+        16
+    }
+
+    fn side_bits(&self) -> u32 {
+        0
+    }
+
+    fn encode(&self, word: i16) -> Encoded {
+        Encoded {
+            code: u32::from(word as u16),
+            side: 0,
+        }
+    }
+
+    fn decode(&self, code: u32, _side: u16) -> Decoded {
+        Decoded {
+            word: (code & 0xFFFF) as u16 as i16,
+            outcome: DecodeOutcome::Clean,
+        }
+    }
+
+    fn encoder_netlist(&self) -> Netlist {
+        Netlist::new("passthrough encoder")
+    }
+
+    fn decoder_netlist(&self) -> Netlist {
+        Netlist::new("passthrough decoder")
+    }
+}
+
+/// Detect-only even parity over the 16 data bits (17-bit codeword).
+///
+/// Not part of the paper's comparison; included as an extension point on
+/// the EMT axis: it shows what pure detection (no correction, no side
+/// memory) buys, which is useful in the ablation benches.
+///
+/// ```
+/// use dream_core::{EvenParity, EmtCodec, DecodeOutcome};
+/// let c = EvenParity::new();
+/// let e = c.encode(3);
+/// assert_eq!(c.decode(e.code ^ 1, e.side).outcome, DecodeOutcome::DetectedUncorrectable);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvenParity {
+    _private: (),
+}
+
+impl EvenParity {
+    /// Creates the codec.
+    pub fn new() -> Self {
+        EvenParity { _private: () }
+    }
+}
+
+impl EmtCodec for EvenParity {
+    fn name(&self) -> &'static str {
+        "parity"
+    }
+
+    fn code_width(&self) -> u32 {
+        17
+    }
+
+    fn side_bits(&self) -> u32 {
+        0
+    }
+
+    fn encode(&self, word: i16) -> Encoded {
+        let data = u32::from(word as u16);
+        let parity = data.count_ones() & 1;
+        Encoded {
+            code: data | (parity << 16),
+            side: 0,
+        }
+    }
+
+    fn decode(&self, code: u32, _side: u16) -> Decoded {
+        let code = code & 0x1_FFFF;
+        let word = (code & 0xFFFF) as u16 as i16;
+        let outcome = if code.count_ones() & 1 == 0 {
+            DecodeOutcome::Clean
+        } else {
+            DecodeOutcome::DetectedUncorrectable
+        };
+        Decoded { word, outcome }
+    }
+
+    fn encoder_netlist(&self) -> Netlist {
+        let mut n = Netlist::new("parity encoder");
+        n.add(Gate::Xor2, 15);
+        n
+    }
+
+    fn decoder_netlist(&self) -> Netlist {
+        let mut n = Netlist::new("parity decoder");
+        n.add(Gate::Xor2, 16);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_protection_is_transparent() {
+        let c = NoProtection::new();
+        for w in [-32768i16, -1, 0, 1, 32767] {
+            let e = c.encode(w);
+            assert_eq!(e.code, u32::from(w as u16));
+            assert_eq!(c.decode(e.code, 0).word, w);
+        }
+    }
+
+    #[test]
+    fn no_protection_cannot_see_faults() {
+        let c = NoProtection::new();
+        let e = c.encode(0);
+        let d = c.decode(e.code ^ 0x8000, 0);
+        assert_eq!(d.word, i16::MIN);
+        assert_eq!(d.outcome, DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn parity_flags_odd_flip_counts() {
+        let c = EvenParity::new();
+        let e = c.encode(0x1234);
+        assert_eq!(c.decode(e.code, 0).outcome, DecodeOutcome::Clean);
+        assert_eq!(
+            c.decode(e.code ^ 0b1, 0).outcome,
+            DecodeOutcome::DetectedUncorrectable
+        );
+        // Two flips cancel in a single parity bit: undetected (by design).
+        assert_eq!(c.decode(e.code ^ 0b11, 0).outcome, DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn parity_bit_position_is_bit_16() {
+        let c = EvenParity::new();
+        assert_eq!(c.encode(1).code >> 16, 1);
+        assert_eq!(c.encode(3).code >> 16, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the EMT codecs — the invariants the paper's
+//! §IV correctness argument rests on.
+
+use dream_core::{
+    DecodeOutcome, Dream, EccSecDed, EmtCodec, EmtKind, EvenParity, NoProtection,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every codec is the identity on fault-free storage.
+    #[test]
+    fn all_codecs_round_trip(word in any::<i16>()) {
+        for kind in EmtKind::all() {
+            let c = kind.codec();
+            let e = c.encode(word);
+            let d = c.decode(e.code, e.side);
+            prop_assert_eq!(d.word, word);
+        }
+    }
+
+    /// DREAM corrects *any* error pattern confined to the protected MSB
+    /// region (the sign run plus the guaranteed inverted-sign bit).
+    #[test]
+    fn dream_corrects_protected_region(word in any::<i16>(), pattern in any::<u16>()) {
+        let c = Dream::new();
+        let protected = Dream::protected_bits(word);
+        let region: u32 = if protected >= 16 {
+            0xFFFF
+        } else {
+            (0xFFFF_u32 << (16 - protected)) & 0xFFFF
+        };
+        let flips = u32::from(pattern) & region;
+        let e = c.encode(word);
+        let d = c.decode(e.code ^ flips, e.side);
+        prop_assert_eq!(d.word, word);
+    }
+
+    /// DREAM never *introduces* errors: bits outside the protected region
+    /// pass through exactly as stored (faulty or not).
+    #[test]
+    fn dream_is_transparent_below_the_mask(word in any::<i16>(), pattern in any::<u16>()) {
+        let c = Dream::new();
+        let protected = Dream::protected_bits(word);
+        let region: u32 = if protected >= 16 {
+            0xFFFF
+        } else {
+            (0xFFFF_u32 << (16 - protected)) & 0xFFFF
+        };
+        let flips = u32::from(pattern) & !region & 0xFFFF;
+        let e = c.encode(word);
+        let d = c.decode(e.code ^ flips, e.side);
+        prop_assert_eq!(d.word as u16, (word as u16) ^ (flips as u16));
+    }
+
+    /// ECC SEC/DED corrects every single-bit error in the 22-bit codeword.
+    #[test]
+    fn ecc_corrects_any_single_error(word in any::<i16>(), bit in 0u32..22) {
+        let c = EccSecDed::new();
+        let e = c.encode(word);
+        let d = c.decode(e.code ^ (1 << bit), e.side);
+        prop_assert_eq!(d.word, word);
+        prop_assert_eq!(d.outcome, DecodeOutcome::Corrected);
+    }
+
+    /// ECC SEC/DED flags every double-bit error instead of miscorrecting.
+    #[test]
+    fn ecc_detects_any_double_error(word in any::<i16>(), b1 in 0u32..22, b2 in 0u32..22) {
+        prop_assume!(b1 != b2);
+        let c = EccSecDed::new();
+        let e = c.encode(word);
+        let d = c.decode(e.code ^ (1 << b1) ^ (1 << b2), e.side);
+        prop_assert_eq!(d.outcome, DecodeOutcome::DetectedUncorrectable);
+    }
+
+    /// Distinct data words map to codewords at Hamming distance >= 4
+    /// (the defining property of a SEC/DED code).
+    #[test]
+    fn ecc_minimum_distance_four(a in any::<i16>(), b in any::<i16>()) {
+        prop_assume!(a != b);
+        let c = EccSecDed::new();
+        let dist = (c.encode(a).code ^ c.encode(b).code).count_ones();
+        prop_assert!(dist >= 4, "distance {} for {} vs {}", dist, a, b);
+    }
+
+    /// Parity flags all odd-weight corruptions and misses all even-weight
+    /// ones — exactly the contract of a single parity bit.
+    #[test]
+    fn parity_detects_odd_weight(word in any::<i16>(), pattern in 1u32..(1 << 17)) {
+        let c = EvenParity::new();
+        let e = c.encode(word);
+        let d = c.decode(e.code ^ pattern, e.side);
+        if pattern.count_ones() % 2 == 1 {
+            prop_assert_eq!(d.outcome, DecodeOutcome::DetectedUncorrectable);
+        } else {
+            prop_assert_eq!(d.outcome, DecodeOutcome::Clean);
+        }
+    }
+
+    /// No-protection reads back exactly the stored (possibly corrupt) bits.
+    #[test]
+    fn none_reads_raw_bits(word in any::<i16>(), pattern in any::<u16>()) {
+        let c = NoProtection::new();
+        let e = c.encode(word);
+        let d = c.decode(e.code ^ u32::from(pattern), e.side);
+        prop_assert_eq!(d.word as u16, (word as u16) ^ pattern);
+    }
+
+    /// DREAM's protected-bit count is monotone in magnitude: smaller
+    /// |value| -> at least as many protected bits (the §IV observation that
+    /// small samples get the most protection).
+    #[test]
+    fn dream_protection_grows_as_magnitude_shrinks(v in any::<i16>()) {
+        prop_assume!(v != i16::MIN);
+        let big = Dream::protected_bits(v);
+        let small = Dream::protected_bits(v / 2);
+        prop_assert!(small >= big);
+    }
+}

@@ -1,0 +1,266 @@
+//! Discrete wavelet transform (paper §II-1).
+
+use dream_fixed::{Q15, Rounding};
+
+use crate::app::{AppKind, BiomedicalApp};
+use crate::WordStorage;
+
+/// Multi-scale à-trous DWT with the quadratic-spline filter pair used by
+/// embedded multi-lead ECG delineators ([8] in the paper).
+///
+/// Per scale `j` (filter taps spread by `2^(j-1)`, symmetric clamped
+/// boundaries):
+///
+/// * low-pass: `(x[i-2s] + 3·x[i-s] + 3·x[i] + x[i+s]) / 8` — the binomial
+///   spline smoother, computed in a 32-bit MAC and rounded back to 16 bits
+///   on store (every store goes to the data memory, which is where the
+///   paper's faults live),
+/// * high-pass: `x[i] - x[i-s]` — the spline derivative detail.
+///
+/// The output concatenates the detail signals of all scales followed by the
+/// final approximation, which is what the downstream delineator consumes.
+///
+/// ```
+/// use dream_dsp::{BiomedicalApp, Dwt, VecStorage};
+/// let app = Dwt::new(128, 3);
+/// let input: Vec<i16> = (0..128).map(|i| (i * 13 % 251) as i16).collect();
+/// let mut mem = VecStorage::new(app.memory_words());
+/// let out = app.run(&input, &mut mem);
+/// assert_eq!(out.len(), 4 * 128); // 3 details + 1 approximation
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dwt {
+    n: usize,
+    scales: u32,
+}
+
+impl Dwt {
+    /// Creates a DWT over `n`-sample windows with `scales` decomposition
+    /// levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `scales` is zero or large enough that the
+    /// tap spread (`2^(scales-1) · 2`) exceeds the window.
+    pub fn new(n: usize, scales: u32) -> Self {
+        assert!(n > 0, "window must be non-empty");
+        assert!(scales > 0, "need at least one scale");
+        assert!(
+            (1usize << (scales - 1)) * 2 < n,
+            "tap spread exceeds the window"
+        );
+        Dwt { n, scales }
+    }
+
+    /// Number of decomposition levels.
+    pub fn scales(&self) -> u32 {
+        self.scales
+    }
+
+    // Buffer layout inside the data memory.
+    fn input_base(&self) -> usize {
+        0
+    }
+    fn approx_a(&self) -> usize {
+        self.n
+    }
+    fn approx_b(&self) -> usize {
+        2 * self.n
+    }
+    fn output_base(&self) -> usize {
+        3 * self.n
+    }
+}
+
+/// Clamped (symmetric-edge) index.
+#[inline]
+pub(crate) fn clamp_idx(i: isize, n: usize) -> usize {
+    i.clamp(0, n as isize - 1) as usize
+}
+
+/// One à-trous low-pass pass in fixed point: `src` region → `dst` region.
+pub(crate) fn lowpass_fixed(
+    mem: &mut dyn WordStorage,
+    src: usize,
+    dst: usize,
+    n: usize,
+    spacing: usize,
+) {
+    let s = spacing as isize;
+    for i in 0..n as isize {
+        let x0 = i32::from(mem.read(src + clamp_idx(i - 2 * s, n)));
+        let x1 = i32::from(mem.read(src + clamp_idx(i - s, n)));
+        let x2 = i32::from(mem.read(src + clamp_idx(i, n)));
+        let x3 = i32::from(mem.read(src + clamp_idx(i + s, n)));
+        // Integer accumulation: the un-normalized spline sum needs three
+        // bits of headroom beyond the sample width, so it runs in the MAC
+        // register (i32) and is renormalized by the /8 on the way out.
+        let sum = x0 + 3 * x1 + 3 * x2 + x3;
+        let v = Rounding::Nearest
+            .shift_right(i64::from(sum), 3)
+            .clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16;
+        mem.write(dst + i as usize, v);
+    }
+}
+
+/// One à-trous high-pass pass in fixed point.
+pub(crate) fn highpass_fixed(
+    mem: &mut dyn WordStorage,
+    src: usize,
+    dst: usize,
+    n: usize,
+    spacing: usize,
+) {
+    let s = spacing as isize;
+    for i in 0..n as isize {
+        let a = Q15::from_raw(mem.read(src + clamp_idx(i, n)));
+        let b = Q15::from_raw(mem.read(src + clamp_idx(i - s, n)));
+        mem.write(dst + i as usize, a.saturating_sub(b).raw());
+    }
+}
+
+/// Float reference of [`lowpass_fixed`].
+pub(crate) fn lowpass_f64(x: &[f64], spacing: usize) -> Vec<f64> {
+    let n = x.len();
+    let s = spacing as isize;
+    (0..n as isize)
+        .map(|i| {
+            (x[clamp_idx(i - 2 * s, n)]
+                + 3.0 * x[clamp_idx(i - s, n)]
+                + 3.0 * x[clamp_idx(i, n)]
+                + x[clamp_idx(i + s, n)])
+                / 8.0
+        })
+        .collect()
+}
+
+/// Float reference of [`highpass_fixed`].
+pub(crate) fn highpass_f64(x: &[f64], spacing: usize) -> Vec<f64> {
+    let n = x.len();
+    let s = spacing as isize;
+    (0..n as isize)
+        .map(|i| x[clamp_idx(i, n)] - x[clamp_idx(i - s, n)])
+        .collect()
+}
+
+impl BiomedicalApp for Dwt {
+    fn name(&self) -> &'static str {
+        "DWT"
+    }
+
+    fn kind(&self) -> AppKind {
+        AppKind::Dwt
+    }
+
+    fn input_len(&self) -> usize {
+        self.n
+    }
+
+    fn output_len(&self) -> usize {
+        (self.scales as usize + 1) * self.n
+    }
+
+    fn memory_words(&self) -> usize {
+        3 * self.n + self.output_len()
+    }
+
+    fn run(&self, input: &[i16], mem: &mut dyn WordStorage) -> Vec<i16> {
+        assert_eq!(input.len(), self.n, "input length mismatch");
+        assert!(mem.len() >= self.memory_words(), "memory too small");
+        let n = self.n;
+        mem.store_slice(self.input_base(), input);
+        let mut cur = self.input_base();
+        let mut next = self.approx_a();
+        for j in 0..self.scales {
+            let spacing = 1usize << j;
+            // Detail of this scale goes straight to its output slot.
+            highpass_fixed(mem, cur, self.output_base() + j as usize * n, n, spacing);
+            lowpass_fixed(mem, cur, next, n, spacing);
+            cur = next;
+            next = if cur == self.approx_a() {
+                self.approx_b()
+            } else {
+                self.approx_a()
+            };
+        }
+        // Final approximation: copied into the output region through the
+        // memory, like any other buffer-to-buffer move on the device.
+        for i in 0..n {
+            let v = mem.read(cur + i);
+            mem.write(self.output_base() + self.scales as usize * n + i, v);
+        }
+        mem.load_slice(self.output_base(), self.output_len())
+    }
+
+    fn run_reference(&self, input: &[i16]) -> Vec<f64> {
+        assert_eq!(input.len(), self.n, "input length mismatch");
+        let mut cur: Vec<f64> = input.iter().map(|&v| f64::from(v)).collect();
+        let mut out = Vec::with_capacity(self.output_len());
+        for j in 0..self.scales {
+            let spacing = 1usize << j;
+            out.extend(highpass_f64(&cur, spacing));
+            cur = lowpass_f64(&cur, spacing);
+        }
+        out.extend(cur);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{samples_to_f64, snr_db, VecStorage};
+
+    fn ramp(n: usize) -> Vec<i16> {
+        (0..n).map(|i| ((i as i32 * 37) % 2000 - 1000) as i16).collect()
+    }
+
+    #[test]
+    fn constant_signal_has_zero_details() {
+        let app = Dwt::new(64, 2);
+        let input = vec![500i16; 64];
+        let mut mem = VecStorage::new(app.memory_words());
+        let out = app.run(&input, &mut mem);
+        // Details (first 2*64 words) vanish; approximation equals input.
+        assert!(out[..128].iter().all(|&d| d == 0));
+        assert!(out[128..].iter().all(|&a| a == 500));
+    }
+
+    #[test]
+    fn fixed_point_tracks_float_reference() {
+        let app = Dwt::new(256, 4);
+        let input = ramp(256);
+        let mut mem = VecStorage::new(app.memory_words());
+        let out = app.run(&input, &mut mem);
+        let reference = app.run_reference(&input);
+        let snr = snr_db(&reference, &samples_to_f64(&out));
+        assert!(snr > 50.0, "quantization-limited SNR too low: {snr}");
+    }
+
+    #[test]
+    fn detail_catches_a_step() {
+        let app = Dwt::new(64, 1);
+        let mut input = vec![0i16; 64];
+        for v in input.iter_mut().skip(32) {
+            *v = 1000;
+        }
+        let mut mem = VecStorage::new(app.memory_words());
+        let out = app.run(&input, &mut mem);
+        // Scale-1 detail spikes exactly at the step.
+        assert_eq!(out[32], 1000);
+        assert_eq!(out[31], 0);
+    }
+
+    #[test]
+    fn output_layout_is_details_then_approx() {
+        let app = Dwt::new(64, 3);
+        assert_eq!(app.output_len(), 4 * 64);
+        assert_eq!(app.memory_words(), 3 * 64 + 4 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "tap spread")]
+    fn too_many_scales_rejected() {
+        let _ = Dwt::new(16, 5);
+    }
+}

@@ -1,0 +1,327 @@
+//! Morphological filtering (paper §II-4).
+
+use std::collections::VecDeque;
+
+use crate::app::{AppKind, BiomedicalApp};
+use crate::WordStorage;
+
+/// Morphological ECG conditioning: EMG denoising plus baseline-wander
+/// removal built from erosion/dilation with flat structuring elements, the
+/// scheme used to clean raw ECG degraded by "patients muscles activity or
+/// the system AC supply interferences" (§II-4).
+///
+/// Stages:
+///
+/// 1. **Denoise** — average of opening and closing with a short (5-sample)
+///    element: suppresses impulsive/EMG noise while preserving QRS edges.
+/// 2. **Baseline estimate** — opening (removes peaks) then closing (fills
+///    pits) with long elements sized to 0.2 s / 0.3 s: anything slower
+///    than a heartbeat survives and is, by construction, wander.
+/// 3. **Correction** — subtract the baseline from the denoised signal.
+///
+/// Erosion and dilation are O(1)-per-sample sliding minima/maxima
+/// (monotonic wedge), so the whole app reads each buffer word once per
+/// stage — matching the streaming implementations used on sensor nodes.
+///
+/// ```
+/// use dream_dsp::{BiomedicalApp, MorphologicalFilter, VecStorage};
+/// let app = MorphologicalFilter::new(256, 360.0);
+/// let drift: Vec<i16> = (0..256).map(|i| (i * 8) as i16).collect(); // pure ramp wander
+/// let mut mem = VecStorage::new(app.memory_words());
+/// let out = app.run(&drift, &mut mem);
+/// let residual = out.iter().map(|&v| i32::from(v).abs()).max().unwrap();
+/// // Edge windows keep a little residue; the bulk of the ramp is gone.
+/// assert!(residual < 600, "baseline should be mostly removed: {residual}");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MorphologicalFilter {
+    n: usize,
+    denoise_len: usize,
+    open_len: usize,
+    close_len: usize,
+}
+
+impl MorphologicalFilter {
+    /// Creates a filter for `n`-sample windows sampled at `fs` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is too small for the baseline structuring elements.
+    pub fn new(n: usize, fs: f64) -> Self {
+        let open_len = make_odd((0.2 * fs) as usize);
+        let close_len = make_odd((0.3 * fs) as usize);
+        assert!(
+            n > 2 * close_len,
+            "window of {n} too small for SE of {close_len}"
+        );
+        MorphologicalFilter {
+            n,
+            denoise_len: 5,
+            open_len,
+            close_len,
+        }
+    }
+
+    // Memory layout: input, three temporaries, baseline, output.
+    fn input_base(&self) -> usize {
+        0
+    }
+    fn t1(&self) -> usize {
+        self.n
+    }
+    fn t2(&self) -> usize {
+        2 * self.n
+    }
+    fn denoised(&self) -> usize {
+        3 * self.n
+    }
+    fn baseline(&self) -> usize {
+        4 * self.n
+    }
+    fn output_base(&self) -> usize {
+        5 * self.n
+    }
+}
+
+fn make_odd(v: usize) -> usize {
+    if v % 2 == 0 {
+        v + 1
+    } else {
+        v
+    }
+}
+
+/// Sliding-window extreme over a memory region (centered window of length
+/// `window`, clamped at the edges), using a monotonic wedge so every source
+/// word is read exactly once.
+fn sliding_extreme(
+    mem: &mut dyn WordStorage,
+    src: usize,
+    dst: usize,
+    n: usize,
+    window: usize,
+    take_max: bool,
+) {
+    let half = window / 2;
+    // Wedge of (index, value) with values monotonically worsening.
+    let mut wedge: VecDeque<(usize, i16)> = VecDeque::new();
+    let better = |a: i16, b: i16| if take_max { a >= b } else { a <= b };
+    let mut next_in = 0usize;
+    for i in 0..n {
+        // Admit every sample whose window includes position i.
+        let last_needed = (i + half).min(n - 1);
+        while next_in <= last_needed {
+            let v = mem.read(src + next_in);
+            while let Some(&(_, back)) = wedge.back() {
+                if better(v, back) {
+                    wedge.pop_back();
+                } else {
+                    break;
+                }
+            }
+            wedge.push_back((next_in, v));
+            next_in += 1;
+        }
+        // Expire samples that slid out of the window.
+        while let Some(&(front_i, _)) = wedge.front() {
+            if front_i + half < i {
+                wedge.pop_front();
+            } else {
+                break;
+            }
+        }
+        let (_, v) = *wedge.front().expect("window is never empty");
+        mem.write(dst + i, v);
+    }
+}
+
+/// Float reference of [`sliding_extreme`].
+fn sliding_extreme_f64(x: &[f64], window: usize, take_max: bool) -> Vec<f64> {
+    let n = x.len();
+    let half = window / 2;
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half).min(n - 1);
+            let slice = &x[lo..=hi];
+            if take_max {
+                slice.iter().cloned().fold(f64::MIN, f64::max)
+            } else {
+                slice.iter().cloned().fold(f64::MAX, f64::min)
+            }
+        })
+        .collect()
+}
+
+impl BiomedicalApp for MorphologicalFilter {
+    fn name(&self) -> &'static str {
+        "Morphological Filtering"
+    }
+
+    fn kind(&self) -> AppKind {
+        AppKind::MorphologicalFilter
+    }
+
+    fn input_len(&self) -> usize {
+        self.n
+    }
+
+    fn output_len(&self) -> usize {
+        self.n
+    }
+
+    fn memory_words(&self) -> usize {
+        6 * self.n
+    }
+
+    fn run(&self, input: &[i16], mem: &mut dyn WordStorage) -> Vec<i16> {
+        assert_eq!(input.len(), self.n, "input length mismatch");
+        assert!(mem.len() >= self.memory_words(), "memory too small");
+        let n = self.n;
+        mem.store_slice(self.input_base(), input);
+        let (input_b, t1, t2, den, base, out) = (
+            self.input_base(),
+            self.t1(),
+            self.t2(),
+            self.denoised(),
+            self.baseline(),
+            self.output_base(),
+        );
+        let w = self.denoise_len;
+        // Opening(x) -> t2 : erode then dilate.
+        sliding_extreme(mem, input_b, t1, n, w, false);
+        sliding_extreme(mem, t1, t2, n, w, true);
+        // Closing(x) -> t1 (via den as scratch): dilate then erode.
+        sliding_extreme(mem, input_b, den, n, w, true);
+        sliding_extreme(mem, den, t1, n, w, false);
+        // Denoised = (opening + closing) / 2, rounded to nearest.
+        for i in 0..n {
+            let a = i32::from(mem.read(t2 + i));
+            let b = i32::from(mem.read(t1 + i));
+            mem.write(den + i, ((a + b + 1) >> 1) as i16);
+        }
+        // Baseline: opening with the short-beat SE, closing with the long
+        // one — classic peak-then-pit suppression.
+        sliding_extreme(mem, den, t1, n, self.open_len, false);
+        sliding_extreme(mem, t1, t2, n, self.open_len, true);
+        sliding_extreme(mem, t2, t1, n, self.close_len, true);
+        sliding_extreme(mem, t1, base, n, self.close_len, false);
+        // Correction.
+        for i in 0..n {
+            let s = i32::from(mem.read(den + i)) - i32::from(mem.read(base + i));
+            mem.write(out + i, s.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16);
+        }
+        mem.load_slice(out, n)
+    }
+
+    fn run_reference(&self, input: &[i16]) -> Vec<f64> {
+        assert_eq!(input.len(), self.n, "input length mismatch");
+        let x: Vec<f64> = input.iter().map(|&v| f64::from(v)).collect();
+        let w = self.denoise_len;
+        let opening = sliding_extreme_f64(&sliding_extreme_f64(&x, w, false), w, true);
+        let closing = sliding_extreme_f64(&sliding_extreme_f64(&x, w, true), w, false);
+        let denoised: Vec<f64> = opening
+            .iter()
+            .zip(&closing)
+            .map(|(a, b)| (a + b) / 2.0)
+            .collect();
+        let opened = sliding_extreme_f64(
+            &sliding_extreme_f64(&denoised, self.open_len, false),
+            self.open_len,
+            true,
+        );
+        let baseline = sliding_extreme_f64(
+            &sliding_extreme_f64(&opened, self.close_len, true),
+            self.close_len,
+            false,
+        );
+        denoised.iter().zip(&baseline).map(|(d, b)| d - b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{samples_to_f64, snr_db, VecStorage};
+
+    #[test]
+    fn sliding_extremes_match_naive() {
+        let data: Vec<i16> = vec![3, -1, 4, 1, -5, 9, 2, -6, 5, 3, 5, -9, 0, 7];
+        let n = data.len();
+        let mut mem = VecStorage::new(2 * n);
+        mem.store_slice(0, &data);
+        for window in [1usize, 3, 5, 7] {
+            for take_max in [false, true] {
+                sliding_extreme(&mut mem, 0, n, n, window, take_max);
+                let got = mem.load_slice(n, n);
+                let reference: Vec<i16> = (0..n)
+                    .map(|i| {
+                        let lo = i.saturating_sub(window / 2);
+                        let hi = (i + window / 2).min(n - 1);
+                        let s = &data[lo..=hi];
+                        if take_max {
+                            *s.iter().max().unwrap()
+                        } else {
+                            *s.iter().min().unwrap()
+                        }
+                    })
+                    .collect();
+                assert_eq!(got, reference, "window {window} max {take_max}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_signal_passes_through_unchanged() {
+        let app = MorphologicalFilter::new(300, 360.0);
+        let input = vec![-1000i16; 300];
+        let mut mem = VecStorage::new(app.memory_words());
+        let out = app.run(&input, &mut mem);
+        // Constant minus its own baseline is zero.
+        assert!(out.iter().all(|&v| v == 0), "{:?}", &out[..8]);
+    }
+
+    #[test]
+    fn removes_slow_ramp_keeps_qrs_width_spike() {
+        let app = MorphologicalFilter::new(400, 360.0);
+        let mut input: Vec<i16> = (0..400).map(|i| (i * 4) as i16).collect();
+        // An R-like triangular deflection ~30 ms wide (11 samples at
+        // 360 Hz) — wider than the 5-sample denoising element, so the
+        // opening preserves it while single-sample impulses would go.
+        for (k, d) in (-5i32..=5).enumerate() {
+            let boost = 8000 - d.abs() * 1500;
+            input[(195 + k) as usize] = input[(195 + k) as usize].saturating_add(boost as i16);
+        }
+        let mut mem = VecStorage::new(app.memory_words());
+        let out = app.run(&input, &mut mem);
+        let spike = out[200];
+        let rest_max = out
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (*i as i32 - 200).abs() > 40)
+            .map(|(_, &v)| i32::from(v).abs())
+            .max()
+            .unwrap();
+        assert!(i32::from(spike) > 5000, "spike flattened: {spike}");
+        assert!(rest_max < 1500, "baseline residue {rest_max}");
+    }
+
+    #[test]
+    fn fixed_point_tracks_float_reference() {
+        let app = MorphologicalFilter::new(512, 360.0);
+        let input: Vec<i16> = (0..512)
+            .map(|i| (((i as f64) * 0.1).sin() * 4000.0) as i16)
+            .collect();
+        let mut mem = VecStorage::new(app.memory_words());
+        let out = app.run(&input, &mut mem);
+        let snr = snr_db(&app.run_reference(&input), &samples_to_f64(&out));
+        // Min/max are exact in both domains; only the /2 rounding differs.
+        assert!(snr > 60.0, "SNR {snr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn short_window_rejected() {
+        let _ = MorphologicalFilter::new(64, 360.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The word-storage abstraction the applications compute through.
+
+/// A word-addressable 16-bit data memory.
+///
+/// The applications allocate *all* their buffers — input, intermediate and
+/// output — inside one `WordStorage` and perform every load and store
+/// through it. Implementations decide what a "memory" is:
+///
+/// * [`VecStorage`] — plain process memory: fault-free, used for golden
+///   runs and tests,
+/// * `dream-core`'s protected memory and `dream-soc`'s memory ports wrap a
+///   faulty, EMT-protected array, which is how the paper's fault-injection
+///   campaigns corrupt exactly the data that would live in the device's
+///   voltage-scaled SRAM while register-resident intermediates stay clean.
+///
+/// Reads take `&mut self` because reading a protected memory updates its
+/// access statistics (and, on real degraded silicon, is where faults bite).
+pub trait WordStorage {
+    /// Number of addressable words.
+    fn len(&self) -> usize;
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= len()`.
+    fn read(&mut self, addr: usize) -> i16;
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= len()`.
+    fn write(&mut self, addr: usize, value: i16);
+
+    /// True when the storage has no words.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bulk-stores `data` starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overruns the storage.
+    fn store_slice(&mut self, base: usize, data: &[i16]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(base + i, v);
+        }
+    }
+
+    /// Bulk-loads `len` words starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overruns the storage.
+    fn load_slice(&mut self, base: usize, len: usize) -> Vec<i16> {
+        (0..len).map(|i| self.read(base + i)).collect()
+    }
+}
+
+/// Fault-free storage backed by a `Vec<i16>` — the golden-run memory.
+///
+/// ```
+/// use dream_dsp::{VecStorage, WordStorage};
+/// let mut mem = VecStorage::new(8);
+/// mem.write(3, -7);
+/// assert_eq!(mem.read(3), -7);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VecStorage {
+    words: Vec<i16>,
+}
+
+impl VecStorage {
+    /// Creates a zero-initialized storage of `words` words.
+    pub fn new(words: usize) -> Self {
+        VecStorage {
+            words: vec![0; words],
+        }
+    }
+
+    /// Creates a storage holding `data`.
+    pub fn from_words(data: Vec<i16>) -> Self {
+        VecStorage { words: data }
+    }
+
+    /// Borrows the underlying words.
+    pub fn as_slice(&self) -> &[i16] {
+        &self.words
+    }
+
+    /// Consumes the storage, returning the words.
+    pub fn into_words(self) -> Vec<i16> {
+        self.words
+    }
+}
+
+impl WordStorage for VecStorage {
+    fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    #[inline]
+    fn read(&mut self, addr: usize) -> i16 {
+        self.words[addr]
+    }
+
+    #[inline]
+    fn write(&mut self, addr: usize, value: i16) {
+        self.words[addr] = value;
+    }
+}
+
+impl WordStorage for &mut dyn WordStorage {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn read(&mut self, addr: usize) -> i16 {
+        (**self).read(addr)
+    }
+
+    fn write(&mut self, addr: usize, value: i16) {
+        (**self).write(addr, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut s = VecStorage::new(4);
+        s.write(0, 1);
+        s.write(3, -1);
+        assert_eq!(s.read(0), 1);
+        assert_eq!(s.read(3), -1);
+        assert_eq!(s.read(1), 0);
+    }
+
+    #[test]
+    fn bulk_helpers() {
+        let mut s = VecStorage::new(10);
+        s.store_slice(2, &[5, 6, 7]);
+        assert_eq!(s.load_slice(1, 5), vec![0, 5, 6, 7, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        let mut s = VecStorage::new(2);
+        let _ = s.read(2);
+    }
+
+    #[test]
+    fn dyn_adapter_works() {
+        let mut s = VecStorage::new(4);
+        let mut d: &mut dyn WordStorage = &mut s;
+        d.write(1, 9);
+        assert_eq!(d.read(1), 9);
+        assert_eq!(d.len(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! The 16-bit acquisition front-end.
+
+/// Models the analog-to-digital converter that turns millivolt waveforms
+/// into the 16-bit samples the applications store in data memory.
+///
+/// Two properties of the default transfer function matter to the paper's
+/// analysis:
+///
+/// * **headroom** — the gain leaves the R peaks well inside the 16-bit
+///   range, so "most of the samples … contain series of bits with the same
+///   value on the MSB positions" (§IV): long sign-extension runs are what
+///   DREAM protects;
+/// * **negative baseline** — a small negative offset parks the isoelectric
+///   line below zero, making most samples negative. That reproduces the
+///   §III observation that stuck-at-**1** faults on MSBs are often hidden
+///   (the bits are already 1 in two's complement).
+///
+/// ```
+/// use dream_ecg::Adc;
+/// let adc = Adc::date16();
+/// assert!(adc.quantize(0.0) < 0);          // baseline below zero
+/// assert!(adc.quantize(1.0) > 0);          // R peaks go positive
+/// assert_eq!(adc.quantize(100.0), i16::MAX); // saturates, never wraps
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Adc {
+    /// Conversion gain (counts per millivolt).
+    pub counts_per_mv: f64,
+    /// Input-referred offset (millivolts) added before conversion.
+    pub offset_mv: f64,
+}
+
+impl Adc {
+    /// The front-end used throughout the reproduction: 8192 counts/mV with
+    /// a −0.12 mV offset.
+    pub fn date16() -> Self {
+        Adc {
+            counts_per_mv: 8192.0,
+            offset_mv: -0.12,
+        }
+    }
+
+    /// Quantizes one millivolt value to a 16-bit sample (round to nearest,
+    /// saturating).
+    pub fn quantize(&self, mv: f64) -> i16 {
+        let counts = ((mv + self.offset_mv) * self.counts_per_mv).round();
+        counts.clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+    }
+
+    /// Quantizes a whole waveform.
+    pub fn quantize_all(&self, mv: &[f64]) -> Vec<i16> {
+        mv.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// The inverse transfer function (for plotting/debugging; lossy by one
+    /// quantization step).
+    pub fn to_mv(&self, sample: i16) -> f64 {
+        f64::from(sample) / self.counts_per_mv - self.offset_mv
+    }
+}
+
+impl Default for Adc {
+    fn default() -> Self {
+        Self::date16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_error_is_half_lsb() {
+        let adc = Adc::date16();
+        for i in -50..50 {
+            let mv = f64::from(i) * 0.0137;
+            let q = adc.quantize(mv);
+            let back = adc.to_mv(q);
+            assert!((back - mv).abs() <= 0.5 / adc.counts_per_mv + 1e-12);
+        }
+    }
+
+    #[test]
+    fn saturates_at_rails() {
+        let adc = Adc::date16();
+        assert_eq!(adc.quantize(10.0), i16::MAX);
+        assert_eq!(adc.quantize(-10.0), i16::MIN);
+    }
+
+    #[test]
+    fn baseline_maps_negative() {
+        let adc = Adc::date16();
+        assert!(adc.quantize(0.0) < 0);
+        assert!(adc.quantize(0.05) < 0);
+    }
+
+    #[test]
+    fn typical_samples_leave_msb_headroom() {
+        let adc = Adc::date16();
+        // A 1.2 mV R peak uses ~2^13 counts: at least two sign bits spare.
+        let peak = adc.quantize(1.2);
+        assert!(peak.abs() < i16::MAX / 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic ECG substrate.
+//!
+//! The paper drives its five applications with traces from the MIT-BIH
+//! Arrhythmia database, "different ECG signals with different pathologies"
+//! (§III). That data cannot ship with this reproduction, so this crate
+//! synthesizes equivalent inputs:
+//!
+//! * [`EcgSynth`] — a dynamical-model generator (McSharry et al.'s ECGSYN
+//!   limit-cycle model integrated with RK4) producing millivolt-scale
+//!   waveforms with P-QRS-T morphology and beat-to-beat variability,
+//! * [`Pathology`] — morphology/rhythm presets (normal sinus, bradycardia,
+//!   tachycardia, premature ventricular contractions, atrial
+//!   fibrillation), standing in for the database's pathology diversity,
+//! * [`NoiseModel`] — baseline wander, mains interference and EMG noise,
+//!   the "noisy analog sources" of §III,
+//! * [`Adc`] — the 16-bit acquisition front-end. Its default transfer
+//!   function leaves the isoelectric baseline slightly **below zero**, so
+//!   most samples are negative — the signal statistic behind the paper's
+//!   observation that MSB stuck-at-1 faults are often hidden (§III),
+//! * [`Record`] / [`Database`] — a deterministic, seeded record suite with
+//!   MIT-BIH-style numbering for the experiment campaigns.
+//!
+//! # Example
+//!
+//! ```
+//! use dream_ecg::{Database, Pathology};
+//!
+//! let record = Database::record(100, 1024); // 1024 samples, normal sinus
+//! assert_eq!(record.pathology, Pathology::NormalSinus);
+//! // Mostly-negative samples (the asymmetry Fig. 2 exploits):
+//! let neg = record.samples.iter().filter(|&&s| s < 0).count();
+//! assert!(neg * 2 > record.samples.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adc;
+mod database;
+mod noise;
+mod pathology;
+mod synth;
+
+pub use adc::Adc;
+pub use database::{Database, Record};
+pub use noise::NoiseModel;
+pub use pathology::{MorphologyParams, Pathology};
+pub use synth::EcgSynth;
+
+/// Default sampling rate of the synthetic records (Hz). MIT-BIH records
+/// are sampled at 360 Hz.
+pub const DEFAULT_FS: f64 = 360.0;

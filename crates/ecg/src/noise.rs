@@ -1,0 +1,143 @@
+//! Acquisition noise: the "noisy analog sources" of §III.
+
+use rand::Rng;
+
+/// Additive noise applied to the clean dynamical-model waveform before
+/// quantization.
+///
+/// Three components cover the disturbances the paper's §II-4 lists as the
+/// motivation for morphological filtering: slow **baseline wander**
+/// (electrode/respiration drift), **mains interference** (AC supply pickup)
+/// and broadband **EMG noise** (muscle activity).
+///
+/// ```
+/// use dream_ecg::NoiseModel;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let clean = vec![0.0f64; 720];
+/// let noisy = NoiseModel::date16().apply(&clean, 360.0, &mut rng);
+/// assert!(noisy.iter().any(|v| v.abs() > 1e-3));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Peak amplitude of the baseline wander (mV).
+    pub baseline_mv: f64,
+    /// Baseline wander frequency (Hz).
+    pub baseline_hz: f64,
+    /// Peak amplitude of the mains pickup (mV).
+    pub mains_mv: f64,
+    /// Mains frequency (Hz) — 50 Hz in the paper's European setting.
+    pub mains_hz: f64,
+    /// RMS amplitude of the white EMG noise (mV).
+    pub emg_rms_mv: f64,
+}
+
+impl NoiseModel {
+    /// A noise-free model (for golden references and unit tests).
+    pub fn clean() -> Self {
+        NoiseModel {
+            baseline_mv: 0.0,
+            baseline_hz: 0.33,
+            mains_mv: 0.0,
+            mains_hz: 50.0,
+            emg_rms_mv: 0.0,
+        }
+    }
+
+    /// Ambulatory-grade noise: visible wander and hum, mild EMG — the
+    /// conditions wearable WBSN front-ends face.
+    pub fn date16() -> Self {
+        NoiseModel {
+            baseline_mv: 0.12,
+            baseline_hz: 0.33,
+            mains_mv: 0.04,
+            mains_hz: 50.0,
+            emg_rms_mv: 0.02,
+        }
+    }
+
+    /// Returns `signal` plus noise, sampled at `fs` Hz.
+    pub fn apply<R: Rng>(&self, signal: &[f64], fs: f64, rng: &mut R) -> Vec<f64> {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        // Random phases decorrelate records drawn with different RNG states.
+        let phase_b: f64 = rng.gen_range(0.0..two_pi);
+        let phase_m: f64 = rng.gen_range(0.0..two_pi);
+        signal
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let t = i as f64 / fs;
+                let wander = self.baseline_mv * (two_pi * self.baseline_hz * t + phase_b).sin();
+                let mains = self.mains_mv * (two_pi * self.mains_hz * t + phase_m).sin();
+                // Uniform noise scaled to the requested RMS (var of U(-a,a)
+                // is a²/3, so a = rms * sqrt(3)).
+                let a = self.emg_rms_mv * 3f64.sqrt();
+                let emg = if a > 0.0 { rng.gen_range(-a..a) } else { 0.0 };
+                s + wander + mains + emg
+            })
+            .collect()
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::date16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_model_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let signal: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.01).collect();
+        assert_eq!(NoiseModel::clean().apply(&signal, 360.0, &mut rng), signal);
+    }
+
+    #[test]
+    fn noise_amplitude_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let zeros = vec![0.0; 7200];
+        let m = NoiseModel::date16();
+        let noisy = m.apply(&zeros, 360.0, &mut rng);
+        let bound = m.baseline_mv + m.mains_mv + m.emg_rms_mv * 3f64.sqrt() + 1e-9;
+        for v in noisy {
+            assert!(v.abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn wander_dominates_low_frequencies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let zeros = vec![0.0; 3600];
+        let m = NoiseModel {
+            emg_rms_mv: 0.0,
+            mains_mv: 0.0,
+            ..NoiseModel::date16()
+        };
+        let noisy = m.apply(&zeros, 360.0, &mut rng);
+        // Pure slow sinusoid: adjacent samples differ very little.
+        for pair in noisy.windows(2) {
+            assert!((pair[1] - pair[0]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn emg_noise_rms_close_to_spec() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let zeros = vec![0.0; 50_000];
+        let m = NoiseModel {
+            baseline_mv: 0.0,
+            mains_mv: 0.0,
+            emg_rms_mv: 0.05,
+            ..NoiseModel::date16()
+        };
+        let noisy = m.apply(&zeros, 360.0, &mut rng);
+        let rms = (noisy.iter().map(|v| v * v).sum::<f64>() / noisy.len() as f64).sqrt();
+        assert!((rms - 0.05).abs() < 0.005, "rms {rms}");
+    }
+}

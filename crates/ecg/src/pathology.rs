@@ -1,0 +1,188 @@
+//! Pathology presets: morphology and rhythm parameters.
+
+use rand::Rng;
+
+/// Parameters of one beat's morphology in the ECGSYN dynamical model:
+/// five Gaussian event attractors (P, Q, R, S, T) on the unit limit cycle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MorphologyParams {
+    /// Angular positions of the P, Q, R, S, T events (radians).
+    pub thetas: [f64; 5],
+    /// Event amplitudes (model units ≈ millivolts).
+    pub amplitudes: [f64; 5],
+    /// Event angular widths (radians).
+    pub widths: [f64; 5],
+}
+
+impl MorphologyParams {
+    /// The canonical normal-beat parameters from McSharry et al. (2003).
+    pub fn normal() -> Self {
+        use std::f64::consts::PI;
+        MorphologyParams {
+            thetas: [-PI / 3.0, -PI / 12.0, 0.0, PI / 12.0, PI / 2.0],
+            amplitudes: [1.2, -5.0, 30.0, -7.5, 0.75],
+            widths: [0.25, 0.1, 0.1, 0.1, 0.4],
+        }
+    }
+
+    /// A ventricular ectopic beat: no P wave, broad high-energy QRS,
+    /// discordant (inverted) T.
+    pub fn ventricular_ectopic() -> Self {
+        use std::f64::consts::PI;
+        MorphologyParams {
+            thetas: [-PI / 3.0, -PI / 9.0, 0.0, PI / 9.0, PI / 2.0],
+            amplitudes: [0.0, -8.0, 22.0, -9.0, -1.2],
+            widths: [0.25, 0.18, 0.22, 0.18, 0.5],
+        }
+    }
+
+    /// A beat with the P wave suppressed (atrial fibrillation conducts
+    /// without organized atrial activity).
+    pub fn without_p_wave(self) -> Self {
+        let mut m = self;
+        m.amplitudes[0] = 0.0;
+        m
+    }
+}
+
+/// The rhythm/morphology classes the record suite covers.
+///
+/// The paper averages its characterization over "different ECG signals with
+/// different pathologies" (§III); these presets provide that diversity with
+/// clinically plausible heart rates and beat statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pathology {
+    /// Normal sinus rhythm, ~70 bpm, mild respiratory variability.
+    NormalSinus,
+    /// Sinus bradycardia, ~45 bpm.
+    Bradycardia,
+    /// Sinus tachycardia, ~150 bpm.
+    Tachycardia,
+    /// Normal rhythm with interspersed premature ventricular contractions.
+    PrematureVentricular,
+    /// Atrial fibrillation: irregularly irregular RR, absent P waves.
+    AtrialFibrillation,
+}
+
+impl Pathology {
+    /// All presets (the record suite iterates these).
+    pub fn all() -> [Pathology; 5] {
+        [
+            Pathology::NormalSinus,
+            Pathology::Bradycardia,
+            Pathology::Tachycardia,
+            Pathology::PrematureVentricular,
+            Pathology::AtrialFibrillation,
+        ]
+    }
+
+    /// Mean RR interval in seconds.
+    pub fn mean_rr(self) -> f64 {
+        match self {
+            Pathology::NormalSinus => 60.0 / 70.0,
+            Pathology::Bradycardia => 60.0 / 45.0,
+            Pathology::Tachycardia => 60.0 / 150.0,
+            Pathology::PrematureVentricular => 60.0 / 75.0,
+            Pathology::AtrialFibrillation => 60.0 / 110.0,
+        }
+    }
+
+    /// Coefficient of variation of the RR interval.
+    pub fn rr_cv(self) -> f64 {
+        match self {
+            Pathology::NormalSinus => 0.05,
+            Pathology::Bradycardia => 0.04,
+            Pathology::Tachycardia => 0.03,
+            Pathology::PrematureVentricular => 0.06,
+            Pathology::AtrialFibrillation => 0.24,
+        }
+    }
+
+    /// Draws the next beat's RR interval (seconds) and morphology.
+    pub fn next_beat<R: Rng>(self, rng: &mut R) -> (f64, MorphologyParams) {
+        let base = self.mean_rr();
+        let cv = self.rr_cv();
+        // Gaussian via Box-Muller on two uniforms; clamped to a plausible
+        // physiological band.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let rr = (base * (1.0 + cv * gauss)).clamp(0.25, 2.5);
+        let morphology = match self {
+            Pathology::PrematureVentricular => {
+                // ~1 in 6 beats is an early, wide ectopic.
+                if rng.gen_range(0.0..1.0) < 1.0 / 6.0 {
+                    return (0.7 * base, MorphologyParams::ventricular_ectopic());
+                }
+                MorphologyParams::normal()
+            }
+            Pathology::AtrialFibrillation => MorphologyParams::normal().without_p_wave(),
+            _ => MorphologyParams::normal(),
+        };
+        (rr, morphology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_morphology_has_dominant_r() {
+        let m = MorphologyParams::normal();
+        let r = m.amplitudes[2];
+        assert!(m.amplitudes.iter().all(|a| a.abs() <= r.abs()));
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn rates_are_clinically_ordered() {
+        assert!(Pathology::Bradycardia.mean_rr() > Pathology::NormalSinus.mean_rr());
+        assert!(Pathology::Tachycardia.mean_rr() < Pathology::NormalSinus.mean_rr());
+    }
+
+    #[test]
+    fn af_is_most_irregular() {
+        for p in Pathology::all() {
+            if p != Pathology::AtrialFibrillation {
+                assert!(p.rr_cv() < Pathology::AtrialFibrillation.rr_cv());
+            }
+        }
+    }
+
+    #[test]
+    fn af_beats_lack_p_waves() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let (_, m) = Pathology::AtrialFibrillation.next_beat(&mut rng);
+            assert_eq!(m.amplitudes[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn pvc_mixes_ectopics_in() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ectopics = 0;
+        for _ in 0..600 {
+            let (_, m) = Pathology::PrematureVentricular.next_beat(&mut rng);
+            if m.amplitudes[0] == 0.0 {
+                ectopics += 1;
+            }
+        }
+        // Expect roughly 100 of 600; allow a broad band.
+        assert!((40..200).contains(&ectopics), "{ectopics}");
+    }
+
+    #[test]
+    fn rr_draws_stay_physiological() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in Pathology::all() {
+            for _ in 0..200 {
+                let (rr, _) = p.next_beat(&mut rng);
+                assert!((0.25..=2.5).contains(&rr));
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the ECG substrate.
+
+use dream_ecg::{Adc, Database, EcgSynth, NoiseModel, Pathology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_pathology() -> impl Strategy<Value = Pathology> {
+    prop::sample::select(Pathology::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The generator is a pure function of (pathology, fs, seed).
+    #[test]
+    fn synthesis_is_deterministic(p in any_pathology(), seed in any::<u64>()) {
+        let mut a = EcgSynth::new(p, 360.0, seed);
+        let mut b = EcgSynth::new(p, 360.0, seed);
+        prop_assert_eq!(a.generate_mv(200), b.generate_mv(200));
+    }
+
+    /// Waveforms stay within physiological millivolt bounds for any seed.
+    #[test]
+    fn amplitudes_bounded(p in any_pathology(), seed in any::<u64>()) {
+        let mut synth = EcgSynth::new(p, 250.0, seed);
+        for v in synth.generate_mv(1000) {
+            prop_assert!(v.is_finite());
+            prop_assert!(v.abs() < 10.0, "{v} mV is not an ECG");
+        }
+    }
+
+    /// Generating in chunks equals generating in one call (the synthesizer
+    /// carries its state correctly).
+    #[test]
+    fn chunked_generation_is_seamless(seed in any::<u64>(), split in 1usize..399) {
+        let mut whole = EcgSynth::new(Pathology::NormalSinus, 360.0, seed);
+        let expected = whole.generate_mv(400);
+        let mut parts = EcgSynth::new(Pathology::NormalSinus, 360.0, seed);
+        let mut got = parts.generate_mv(split);
+        got.extend(parts.generate_mv(400 - split));
+        for (a, b) in expected.iter().zip(&got) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// The ADC transfer function is monotone and saturating.
+    #[test]
+    fn adc_monotone(a in -4.0f64..4.0, b in -4.0f64..4.0) {
+        let adc = Adc::date16();
+        if a <= b {
+            prop_assert!(adc.quantize(a) <= adc.quantize(b));
+        } else {
+            prop_assert!(adc.quantize(a) >= adc.quantize(b));
+        }
+    }
+
+    /// Noise is additive: applying it to a signal equals signal plus the
+    /// noise applied to zeros (same RNG stream).
+    #[test]
+    fn noise_is_additive(seed in any::<u64>()) {
+        let signal: Vec<f64> = (0..256).map(|i| f64::from(i) * 0.001).collect();
+        let zeros = vec![0.0; 256];
+        let model = NoiseModel::date16();
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let noisy = model.apply(&signal, 360.0, &mut rng1);
+        let noise = model.apply(&zeros, 360.0, &mut rng2);
+        for i in 0..256 {
+            prop_assert!((noisy[i] - signal[i] - noise[i]).abs() < 1e-12);
+        }
+    }
+
+    /// Every record id in the suite range produces a valid record of the
+    /// requested length with finite statistics.
+    #[test]
+    fn records_well_formed(id in 100u16..140, len in 64usize..512) {
+        let r = Database::record(id, len);
+        prop_assert_eq!(r.samples.len(), len);
+        prop_assert!(r.fs > 0.0);
+        let frac = r.negative_fraction();
+        prop_assert!((0.0..=1.0).contains(&frac));
+    }
+}

@@ -1,0 +1,47 @@
+//! Energy and area substrate: the reproduction's stand-in for CACTI 6.5 and
+//! the Synopsys Design Compiler synthesis reports used by the paper (SS V).
+//!
+//! Three models live here:
+//!
+//! * [`SramEnergyModel`] — an analytical CACTI-like model of a voltage-scaled
+//!   SRAM macro: per-access dynamic energy (periphery + bitline terms, both
+//!   scaling with `V²`) and leakage power (per-cell, with a DIBL factor, at
+//!   the paper's 343 K operating point).
+//! * [`Gate`] / [`Netlist`] — a gate-equivalent cost model for the EMT
+//!   encoders and decoders. `dream-core` builds the actual logic structure
+//!   of each codec as a [`Netlist`]; area (GE) and per-operation switching
+//!   energy fall out of the gate counts, which is how we re-derive the
+//!   paper's "ECC needs 28 % more encoder area and 120 % more decoder area
+//!   than DREAM" comparison instead of copying it.
+//! * [`EnergyBreakdown`] — the accounting unit the experiment harness sums:
+//!   data-array dynamic energy, side(mask)-array dynamic energy, codec
+//!   switching energy, and leakage.
+//!
+//! All calibration constants are centralized in [`calib`] and discussed in
+//! `DESIGN.md` §6; `EXPERIMENTS.md` records what the calibrated model
+//! actually produces next to the paper's numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use dream_energy::{SramEnergyModel, calib};
+//!
+//! let main = SramEnergyModel::date16_main();
+//! // Scaling 0.9 V -> 0.5 V cuts dynamic energy by (0.5/0.9)^2 ~ 3.2x.
+//! let nominal = main.access_energy_pj(16, 0.9);
+//! let scaled = main.access_energy_pj(16, 0.5);
+//! assert!(nominal / scaled > 3.0 && nominal / scaled < 3.5);
+//! assert_eq!(calib::NOMINAL_VOLTAGE, 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calib;
+mod logic;
+mod report;
+mod sram_model;
+
+pub use logic::{Gate, Netlist};
+pub use report::EnergyBreakdown;
+pub use sram_model::SramEnergyModel;

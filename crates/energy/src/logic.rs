@@ -1,0 +1,171 @@
+//! Gate-equivalent cost model for synthesized logic blocks.
+
+use std::fmt;
+
+use crate::calib;
+
+/// Primitive gates the codec netlists are counted in.
+///
+/// Areas are expressed in gate equivalents (GE, 1 GE = one NAND2), the unit
+/// synthesis reports use, with typical standard-cell-library ratios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Inverter.
+    Not,
+    /// 2-input NAND (the unit cell).
+    Nand2,
+    /// 2-input AND/OR class cell.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR — the workhorse of parity logic.
+    Xor2,
+    /// 2-input XNOR (bit-equality comparators).
+    Xnor2,
+    /// 2-to-1 multiplexer.
+    Mux2,
+    /// N-input AND (decoder product terms), N >= 2.
+    AndN(u32),
+    /// N-input OR, N >= 2.
+    OrN(u32),
+    /// D flip-flop (pipeline/output registers).
+    Dff,
+}
+
+impl Gate {
+    /// Area of the gate in gate equivalents.
+    pub fn area_ge(self) -> f64 {
+        match self {
+            Gate::Not => 0.5,
+            Gate::Nand2 => 1.0,
+            Gate::And2 | Gate::Or2 => 1.25,
+            Gate::Xor2 | Gate::Xnor2 => 2.5,
+            Gate::Mux2 => 2.25,
+            // Wide gates decompose into trees of 2-input cells.
+            Gate::AndN(n) | Gate::OrN(n) => 1.25 * f64::from(n.max(2) - 1),
+            Gate::Dff => 4.5,
+        }
+    }
+}
+
+/// A counted bag of gates describing one synthesized block.
+///
+/// `dream-core` builds one netlist per codec (DREAM encoder, DREAM decoder,
+/// ECC encoder, ECC decoder) from the block's actual logic structure; area
+/// and per-operation energy derive from the counts. This replaces the
+/// paper's Design Compiler area/power reports.
+///
+/// ```
+/// use dream_energy::{Gate, Netlist};
+/// let mut n = Netlist::new("parity-tree");
+/// n.add(Gate::Xor2, 15); // 16-input parity
+/// assert_eq!(n.area_ge(), 15.0 * 2.5);
+/// assert!(n.op_energy_pj(0.9) > 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Netlist {
+    name: String,
+    counts: Vec<(Gate, usize)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with a descriptive block name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Adds `count` instances of `gate`.
+    pub fn add(&mut self, gate: Gate, count: usize) -> &mut Self {
+        self.counts.push((gate, count));
+        self
+    }
+
+    /// The block name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total gate instances.
+    pub fn gate_count(&self) -> usize {
+        self.counts.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Total area in gate equivalents.
+    pub fn area_ge(&self) -> f64 {
+        self.counts
+            .iter()
+            .map(|(g, c)| g.area_ge() * *c as f64)
+            .sum()
+    }
+
+    /// Switching energy of one operation of the block at supply `v`, in
+    /// picojoules: `area × energy-per-GE × activity × (V/V0)²`.
+    pub fn op_energy_pj(&self, v: f64) -> f64 {
+        self.area_ge() * calib::LOGIC_PJ_PER_GE * calib::LOGIC_ACTIVITY * calib::dynamic_scale(v)
+    }
+
+    /// Relative area overhead of `self` with respect to `other`, as a
+    /// fraction (`0.28` = 28 % bigger). This is the statistic the paper
+    /// quotes when comparing the ECC and DREAM codecs.
+    pub fn area_overhead_vs(&self, other: &Netlist) -> f64 {
+        self.area_ge() / other.area_ge() - 1.0
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} gates, {:.1} GE",
+            self.name,
+            self.gate_count(),
+            self.area_ge()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand2_is_the_unit() {
+        assert_eq!(Gate::Nand2.area_ge(), 1.0);
+    }
+
+    #[test]
+    fn wide_gates_decompose_into_trees() {
+        // An 8-input AND needs 7 two-input cells.
+        assert_eq!(Gate::AndN(8).area_ge(), 1.25 * 7.0);
+        // Degenerate widths clamp to a single cell.
+        assert_eq!(Gate::AndN(1).area_ge(), 1.25);
+    }
+
+    #[test]
+    fn area_accumulates() {
+        let mut n = Netlist::new("t");
+        n.add(Gate::Xor2, 4).add(Gate::Not, 2);
+        assert_eq!(n.area_ge(), 4.0 * 2.5 + 2.0 * 0.5);
+        assert_eq!(n.gate_count(), 6);
+    }
+
+    #[test]
+    fn op_energy_scales_with_voltage() {
+        let mut n = Netlist::new("t");
+        n.add(Gate::Xor2, 100);
+        assert!((n.op_energy_pj(0.9) / n.op_energy_pj(0.45) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_comparison() {
+        let mut a = Netlist::new("a");
+        a.add(Gate::Nand2, 128);
+        let mut b = Netlist::new("b");
+        b.add(Gate::Nand2, 100);
+        assert!((b.area_overhead_vs(&a) - (-0.21875)).abs() < 1e-9);
+        assert!((a.area_overhead_vs(&b) - 0.28).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Energy accounting.
+
+use core::iter::Sum;
+use core::ops::{Add, AddAssign};
+use std::fmt;
+
+/// Energy consumed by one (portion of an) application run, split the way
+/// the paper's §VI-B analysis needs it.
+///
+/// All fields are picojoules. The experiment harness accumulates one
+/// breakdown per run and compares totals across EMTs; the split makes the
+/// *source* of each EMT's overhead visible (ECC pays in the widened data
+/// array and its decoder, DREAM pays in the side mask memory).
+///
+/// ```
+/// use dream_energy::EnergyBreakdown;
+/// let mut e = EnergyBreakdown::default();
+/// e.data_dynamic_pj = 100.0;
+/// e.codec_pj = 10.0;
+/// let double = e + e;
+/// assert_eq!(double.total_pj(), 220.0);
+/// assert!((double.overhead_vs(&(e + e)).abs()) < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Dynamic energy of the (voltage-scaled) data array.
+    pub data_dynamic_pj: f64,
+    /// Dynamic energy of the side/mask array (DREAM only; zero otherwise).
+    pub side_dynamic_pj: f64,
+    /// Switching energy of the EMT encoder/decoder logic.
+    pub codec_pj: f64,
+    /// Leakage energy of all arrays over the run's duration.
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.data_dynamic_pj + self.side_dynamic_pj + self.codec_pj + self.leakage_pj
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.total_pj() * 1e-3
+    }
+
+    /// Fractional overhead of `self` relative to `baseline` (`0.55` = 55 %
+    /// more energy than the baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline total is zero.
+    pub fn overhead_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        let base = baseline.total_pj();
+        assert!(base > 0.0, "baseline energy must be positive");
+        self.total_pj() / base - 1.0
+    }
+
+    /// Fractional savings of `self` relative to `baseline` (`0.30` = 30 %
+    /// less energy). Positive when `self` is cheaper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline total is zero.
+    pub fn savings_vs(&self, baseline: &EnergyBreakdown) -> f64 {
+        -self.overhead_vs(baseline)
+    }
+
+    /// Scales every component (e.g. to average across campaign runs).
+    pub fn scaled(&self, k: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            data_dynamic_pj: self.data_dynamic_pj * k,
+            side_dynamic_pj: self.side_dynamic_pj * k,
+            codec_pj: self.codec_pj * k,
+            leakage_pj: self.leakage_pj * k,
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            data_dynamic_pj: self.data_dynamic_pj + rhs.data_dynamic_pj,
+            side_dynamic_pj: self.side_dynamic_pj + rhs.side_dynamic_pj,
+            codec_pj: self.codec_pj + rhs.codec_pj,
+            leakage_pj: self.leakage_pj + rhs.leakage_pj,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> Self {
+        iter.fold(EnergyBreakdown::default(), |a, b| a + b)
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} pJ (data {:.1}, side {:.1}, codec {:.1}, leak {:.1})",
+            self.total_pj(),
+            self.data_dynamic_pj,
+            self.side_dynamic_pj,
+            self.codec_pj,
+            self.leakage_pj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(d: f64, s: f64, c: f64, l: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            data_dynamic_pj: d,
+            side_dynamic_pj: s,
+            codec_pj: c,
+            leakage_pj: l,
+        }
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        assert_eq!(sample(1.0, 2.0, 3.0, 4.0).total_pj(), 10.0);
+    }
+
+    #[test]
+    fn overhead_and_savings_are_inverse() {
+        let base = sample(100.0, 0.0, 0.0, 0.0);
+        let more = sample(100.0, 30.0, 25.0, 0.0);
+        assert!((more.overhead_vs(&base) - 0.55).abs() < 1e-12);
+        assert!((more.savings_vs(&base) + 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![sample(1.0, 0.0, 0.0, 0.0); 5];
+        let total: EnergyBreakdown = parts.into_iter().sum();
+        assert_eq!(total.total_pj(), 5.0);
+    }
+
+    #[test]
+    fn scaling_divides_for_averages() {
+        let t = sample(10.0, 20.0, 30.0, 40.0).scaled(0.1);
+        assert!((t.total_pj() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Analytical SRAM macro energy model (CACTI substitute).
+
+use crate::calib;
+
+/// Per-access and leakage energy model of one SRAM macro.
+///
+/// Dynamic energy per access decomposes into a periphery term (address
+/// decoder, wordline, sense amplifiers — independent of word width) and a
+/// bitline term proportional to the number of bits accessed; both scale
+/// quadratically with the supply voltage. Leakage is per-cell with the
+/// DIBL-style exponential voltage dependence of [`calib::leakage_scale`],
+/// evaluated at the paper's 343 K corner.
+///
+/// Two presets cover the paper's platform:
+///
+/// * [`SramEnergyModel::date16_main`] — the 32 kB shared data memory (which
+///   grows to 44 kB of cells when ECC widens the words to 22 bits),
+/// * [`SramEnergyModel::date16_side`] — the small, always-on-nominal mask
+///   memory used by DREAM (16 K × 5 bits = 10 kB).
+///
+/// ```
+/// use dream_energy::SramEnergyModel;
+/// let m = SramEnergyModel::date16_main();
+/// // Widening a word from 16 to 22 bits (ECC) costs bitline energy.
+/// assert!(m.access_energy_pj(22, 0.9) > m.access_energy_pj(16, 0.9));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SramEnergyModel {
+    periphery_pj: f64,
+    bitline_pj_per_bit: f64,
+    leakage_pw_per_cell: f64,
+}
+
+impl SramEnergyModel {
+    /// Builds a model from raw coefficients (all at nominal voltage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is negative.
+    pub fn new(periphery_pj: f64, bitline_pj_per_bit: f64, leakage_pw_per_cell: f64) -> Self {
+        assert!(periphery_pj >= 0.0 && bitline_pj_per_bit >= 0.0 && leakage_pw_per_cell >= 0.0);
+        SramEnergyModel {
+            periphery_pj,
+            bitline_pj_per_bit,
+            leakage_pw_per_cell,
+        }
+    }
+
+    /// The main 32 kB data array of the INYU platform.
+    pub fn date16_main() -> Self {
+        SramEnergyModel::new(
+            calib::MAIN_PERIPHERY_PJ,
+            calib::MAIN_BITLINE_PJ_PER_BIT,
+            calib::LEAKAGE_PW_PER_CELL,
+        )
+    }
+
+    /// The small DREAM mask array (narrow macro, short bitlines).
+    pub fn date16_side() -> Self {
+        SramEnergyModel::new(
+            calib::SIDE_PERIPHERY_PJ,
+            calib::SIDE_BITLINE_PJ_PER_BIT,
+            calib::LEAKAGE_PW_PER_CELL,
+        )
+    }
+
+    /// Dynamic energy of one access of `width_bits` bits at supply `v`, in
+    /// picojoules.
+    pub fn access_energy_pj(&self, width_bits: u32, v: f64) -> f64 {
+        (self.periphery_pj + self.bitline_pj_per_bit * f64::from(width_bits))
+            * calib::dynamic_scale(v)
+    }
+
+    /// Leakage power of an array of `cells` bit cells at supply `v`, in
+    /// microwatts (343 K corner baked into the per-cell coefficient).
+    pub fn leakage_power_uw(&self, cells: usize, v: f64) -> f64 {
+        self.leakage_pw_per_cell * cells as f64 * calib::leakage_scale(v) * 1e-6
+    }
+
+    /// Leakage energy of `cells` bit cells held at supply `v` for
+    /// `seconds`, in picojoules.
+    pub fn leakage_energy_pj(&self, cells: usize, v: f64, seconds: f64) -> f64 {
+        // uW * s = uJ; 1 uJ = 1e6 pJ.
+        self.leakage_power_uw(cells, v) * seconds * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_energy_scales_quadratically() {
+        let m = SramEnergyModel::date16_main();
+        let e_nom = m.access_energy_pj(16, 0.9);
+        let e_half = m.access_energy_pj(16, 0.45);
+        assert!((e_nom / e_half - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn width_increases_energy_linearly() {
+        let m = SramEnergyModel::date16_main();
+        let e16 = m.access_energy_pj(16, 0.9);
+        let e22 = m.access_energy_pj(22, 0.9);
+        let per_bit = (e22 - e16) / 6.0;
+        assert!((per_bit - crate::calib::MAIN_BITLINE_PJ_PER_BIT).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_energy_integrates_power() {
+        let m = SramEnergyModel::date16_main();
+        let p_uw = m.leakage_power_uw(262_144, 0.9);
+        let e_pj = m.leakage_energy_pj(262_144, 0.9, 1e-3);
+        assert!((e_pj - p_uw * 1e-3 * 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn side_array_access_cheaper_than_main() {
+        let main = SramEnergyModel::date16_main();
+        let side = SramEnergyModel::date16_side();
+        assert!(side.access_energy_pj(5, 0.9) < main.access_energy_pj(16, 0.9) / 2.0);
+    }
+
+    #[test]
+    fn leakage_monotone_in_voltage() {
+        let m = SramEnergyModel::date16_main();
+        let mut prev = 0.0;
+        for i in 0..=8 {
+            let v = 0.5 + 0.05 * f64::from(i);
+            let p = m.leakage_power_uw(1000, v);
+            assert!(p > prev);
+            prev = p;
+        }
+    }
+}

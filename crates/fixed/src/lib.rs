@@ -1,0 +1,87 @@
+//! Q-format fixed-point arithmetic for 16-bit biosignal processing.
+//!
+//! Ultra-low-power biomedical nodes such as the one modelled by the paper
+//! process ECG samples as 16-bit two's-complement words ([`Q15`]). This crate
+//! provides the arithmetic the five applications are built on:
+//!
+//! * [`Q15`] — a saturating Q0.15 sample type whose *bit layout* is the thing
+//!   the DREAM technique protects (sign-extension runs in the MSBs),
+//! * [`Acc32`] — the 32-bit multiply-accumulate register used by every
+//!   filtering kernel, with explicit, documented rounding on the way back to
+//!   16 bits,
+//! * [`Rounding`] — the rounding modes supported by the store path.
+//!
+//! # Example
+//!
+//! ```
+//! use dream_fixed::{Q15, Acc32, Rounding};
+//!
+//! // A 3-tap moving average in Q15, the way the DSP kernels do it.
+//! let taps = [Q15::from_f64(1.0 / 3.0); 3];
+//! let x = [Q15::from_f64(0.30), Q15::from_f64(0.60), Q15::from_f64(0.90)];
+//! let mut acc = Acc32::ZERO;
+//! for (t, s) in taps.iter().zip(&x) {
+//!     acc = acc.mac(*t, *s);
+//! }
+//! let y = acc.to_q15(Rounding::Nearest);
+//! assert!((y.to_f64() - 0.60).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accum;
+mod q15;
+mod rounding;
+
+pub use accum::Acc32;
+pub use q15::{Q15, Q15_FRACTION_BITS, Q15_MAX, Q15_MIN};
+pub use rounding::Rounding;
+
+/// Number of bits in the data words manipulated by every application in the
+/// paper (the MIT-BIH samples are stored as 16-bit words, §II).
+pub const WORD_BITS: u32 = 16;
+
+/// Converts a slice of raw `i16` words into `Q15` samples without changing
+/// the bit patterns.
+///
+/// This is the view the memory substrate hands back to the DSP layer: the
+/// fault-injection machinery works on raw bits, the arithmetic works on
+/// `Q15`.
+///
+/// ```
+/// let words = [0i16, 16384, -16384];
+/// let q = dream_fixed::from_raw_slice(&words);
+/// assert_eq!(q[1].to_f64(), 0.5);
+/// ```
+pub fn from_raw_slice(words: &[i16]) -> Vec<Q15> {
+    words.iter().copied().map(Q15::from_raw).collect()
+}
+
+/// Converts `Q15` samples back into raw `i16` words (bit-identical).
+///
+/// ```
+/// use dream_fixed::Q15;
+/// let q = [Q15::from_raw(-5), Q15::from_raw(7)];
+/// assert_eq!(dream_fixed::to_raw_slice(&q), vec![-5, 7]);
+/// ```
+pub fn to_raw_slice(samples: &[Q15]) -> Vec<i16> {
+    samples.iter().map(|s| s.raw()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip_preserves_bits() {
+        let words: Vec<i16> = vec![i16::MIN, -1, 0, 1, i16::MAX, 12345, -12345];
+        assert_eq!(to_raw_slice(&from_raw_slice(&words)), words);
+    }
+
+    #[test]
+    fn word_bits_matches_q15_layout() {
+        assert_eq!(WORD_BITS, 16);
+        assert_eq!(Q15_FRACTION_BITS, 15);
+    }
+}

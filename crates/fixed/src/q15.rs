@@ -1,0 +1,249 @@
+//! The Q0.15 sample type.
+
+use core::fmt;
+use core::ops::{Add, Neg, Sub};
+
+use crate::Rounding;
+
+/// Number of fractional bits in [`Q15`].
+pub const Q15_FRACTION_BITS: u32 = 15;
+
+/// Largest representable [`Q15`] value (`32767 / 32768`, just under `1.0`).
+pub const Q15_MAX: Q15 = Q15(i16::MAX);
+
+/// Smallest representable [`Q15`] value (`-1.0` exactly).
+pub const Q15_MIN: Q15 = Q15(i16::MIN);
+
+/// A 16-bit two's-complement fixed-point sample in Q0.15 format.
+///
+/// The value is `raw / 2^15`, covering `[-1.0, 1.0)`. All arithmetic
+/// saturates instead of wrapping — the behaviour of the saturating DSP
+/// extensions present on the microcontrollers the paper targets, and the
+/// behaviour that keeps a stuck-at fault from silently turning an overflow
+/// into an unrelated value.
+///
+/// The bit layout matters to this repository beyond arithmetic: small-valued
+/// samples have long runs of identical most-significant bits (the sign
+/// extension), which is exactly what the DREAM technique exploits.
+///
+/// ```
+/// use dream_fixed::Q15;
+/// let a = Q15::from_f64(0.75);
+/// let b = Q15::from_f64(0.50);
+/// // Saturating addition: 1.25 is clamped to just under 1.0.
+/// assert_eq!((a + b), dream_fixed::Q15_MAX);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Q15(i16);
+
+impl Q15 {
+    /// The zero sample.
+    pub const ZERO: Q15 = Q15(0);
+
+    /// One least-significant-bit step (`2^-15`).
+    pub const EPSILON: Q15 = Q15(1);
+
+    /// Creates a sample from its raw two's-complement bit pattern.
+    ///
+    /// ```
+    /// use dream_fixed::Q15;
+    /// assert_eq!(Q15::from_raw(16384).to_f64(), 0.5);
+    /// ```
+    #[inline]
+    pub const fn from_raw(raw: i16) -> Self {
+        Q15(raw)
+    }
+
+    /// Converts a float to the nearest representable sample, saturating at
+    /// the format limits.
+    ///
+    /// ```
+    /// use dream_fixed::{Q15, Q15_MAX, Q15_MIN};
+    /// assert_eq!(Q15::from_f64(2.0), Q15_MAX);
+    /// assert_eq!(Q15::from_f64(-2.0), Q15_MIN);
+    /// ```
+    pub fn from_f64(value: f64) -> Self {
+        let scaled = (value * f64::from(1i32 << Q15_FRACTION_BITS)).round();
+        if scaled >= f64::from(i16::MAX) {
+            Q15_MAX
+        } else if scaled <= f64::from(i16::MIN) {
+            Q15_MIN
+        } else {
+            Q15(scaled as i16)
+        }
+    }
+
+    /// Returns the raw two's-complement bit pattern.
+    #[inline]
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Returns the value as a float (`raw / 2^15`).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.0) / f64::from(1i32 << Q15_FRACTION_BITS)
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, rhs: Q15) -> Q15 {
+        Q15(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Q15) -> Q15 {
+        Q15(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating negation (`-(-1.0)` clamps to `Q15_MAX`).
+    #[inline]
+    pub fn saturating_neg(self) -> Q15 {
+        Q15(self.0.checked_neg().unwrap_or(i16::MAX))
+    }
+
+    /// Fixed-point multiplication with the given rounding mode.
+    ///
+    /// The product of two Q0.15 values is a Q1.30 value; this shifts it back
+    /// to Q0.15. The only case that saturates is `-1.0 × -1.0`.
+    ///
+    /// ```
+    /// use dream_fixed::{Q15, Rounding};
+    /// let half = Q15::from_f64(0.5);
+    /// assert_eq!(half.mul(half, Rounding::Nearest).to_f64(), 0.25);
+    /// ```
+    pub fn mul(self, rhs: Q15, rounding: Rounding) -> Q15 {
+        let wide = i32::from(self.0) * i32::from(rhs.0);
+        let shifted = rounding.shift_right(i64::from(wide), Q15_FRACTION_BITS);
+        Q15(clamp_i64_to_i16(shifted))
+    }
+
+    /// Absolute value, saturating for `-1.0`.
+    #[inline]
+    pub fn saturating_abs(self) -> Q15 {
+        Q15(self.0.checked_abs().unwrap_or(i16::MAX))
+    }
+
+    /// Length (in bits) of the run of identical most-significant bits,
+    /// including the sign bit itself. Always in `1..=16`.
+    ///
+    /// This is the quantity the DREAM write logic computes: the number of
+    /// sign-extension bits that can be reconstructed from the sign alone.
+    ///
+    /// ```
+    /// use dream_fixed::Q15;
+    /// assert_eq!(Q15::from_raw(0).sign_run(), 16);      // all zero bits
+    /// assert_eq!(Q15::from_raw(-1).sign_run(), 16);     // all one bits
+    /// assert_eq!(Q15::from_raw(1).sign_run(), 15);      // 15 zeros then a 1
+    /// assert_eq!(Q15::from_raw(i16::MIN).sign_run(), 1); // 1000…0
+    /// ```
+    pub fn sign_run(self) -> u32 {
+        let bits = self.0 as u16;
+        if self.0 < 0 {
+            (!bits).leading_zeros().max(1)
+        } else {
+            bits.leading_zeros().max(1)
+        }
+        .min(16)
+    }
+}
+
+#[inline]
+fn clamp_i64_to_i16(v: i64) -> i16 {
+    v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16
+}
+
+impl Add for Q15 {
+    type Output = Q15;
+    fn add(self, rhs: Q15) -> Q15 {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sub for Q15 {
+    type Output = Q15;
+    fn sub(self, rhs: Q15) -> Q15 {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Neg for Q15 {
+    type Output = Q15;
+    fn neg(self) -> Q15 {
+        self.saturating_neg()
+    }
+}
+
+impl From<i16> for Q15 {
+    fn from(raw: i16) -> Self {
+        Q15::from_raw(raw)
+    }
+}
+
+impl From<Q15> for i16 {
+    fn from(q: Q15) -> i16 {
+        q.raw()
+    }
+}
+
+impl fmt::Debug for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q15({} = {:.6})", self.0, self.to_f64())
+    }
+}
+
+impl fmt::Display for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trip_is_tight() {
+        for raw in [-32768i16, -1, 0, 1, 32767, 1234, -4321] {
+            let q = Q15::from_raw(raw);
+            assert_eq!(Q15::from_f64(q.to_f64()), q);
+        }
+    }
+
+    #[test]
+    fn addition_saturates_both_ways() {
+        assert_eq!(Q15_MAX + Q15::EPSILON, Q15_MAX);
+        assert_eq!(Q15_MIN - Q15::EPSILON, Q15_MIN);
+        assert_eq!(-Q15_MIN, Q15_MAX);
+    }
+
+    #[test]
+    fn multiplication_matches_float_reference() {
+        let cases = [(0.5, 0.5), (-0.25, 0.75), (0.999, -0.999), (-1.0, 0.5)];
+        for (a, b) in cases {
+            let q = Q15::from_f64(a).mul(Q15::from_f64(b), Rounding::Nearest);
+            assert!((q.to_f64() - a * b).abs() < 2.0 / 32768.0, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn minus_one_squared_saturates() {
+        assert_eq!(Q15_MIN.mul(Q15_MIN, Rounding::Nearest), Q15_MAX);
+    }
+
+    #[test]
+    fn sign_run_counts_sign_extension() {
+        assert_eq!(Q15::from_raw(0x0001).sign_run(), 15);
+        assert_eq!(Q15::from_raw(0x00FF).sign_run(), 8);
+        assert_eq!(Q15::from_raw(0x7FFF).sign_run(), 1);
+        assert_eq!(Q15::from_raw(-2).sign_run(), 15);
+        assert_eq!(Q15::from_raw(-256).sign_run(), 8);
+    }
+
+    #[test]
+    fn abs_saturates_at_min() {
+        assert_eq!(Q15_MIN.saturating_abs(), Q15_MAX);
+        assert_eq!(Q15::from_raw(-5).saturating_abs(), Q15::from_raw(5));
+    }
+}

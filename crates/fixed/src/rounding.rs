@@ -1,0 +1,89 @@
+//! Rounding modes used when narrowing wide intermediates back to 16 bits.
+
+/// How a wide fixed-point intermediate is rounded when shifted back down to
+/// a 16-bit sample.
+///
+/// The microcontroller-class DSP kernels in the paper's applications narrow
+/// their 32-bit accumulators on every store to memory; which mode is in use
+/// changes the quantization-noise floor that the error-free (dashed) curves
+/// of Fig. 4 sit on, so it is explicit in every API that narrows.
+///
+/// ```
+/// use dream_fixed::Rounding;
+/// assert_eq!(Rounding::Floor.shift_right(-3, 1), -2);
+/// assert_eq!(Rounding::Truncate.shift_right(-3, 1), -1);
+/// assert_eq!(Rounding::Nearest.shift_right(3, 1), 2);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Rounding {
+    /// Round to nearest, ties away from zero. The default for all kernels.
+    #[default]
+    Nearest,
+    /// Arithmetic shift right (round toward negative infinity). Cheapest in
+    /// hardware; adds a small negative bias.
+    Floor,
+    /// Round toward zero (C-style integer division behaviour).
+    Truncate,
+}
+
+impl Rounding {
+    /// Shifts `value` right by `bits` using this rounding mode.
+    ///
+    /// `bits` may be 0, in which case `value` is returned unchanged.
+    #[inline]
+    pub fn shift_right(self, value: i64, bits: u32) -> i64 {
+        if bits == 0 {
+            return value;
+        }
+        match self {
+            Rounding::Floor => value >> bits,
+            Rounding::Truncate => {
+                if value >= 0 {
+                    value >> bits
+                } else {
+                    -((-value) >> bits)
+                }
+            }
+            Rounding::Nearest => {
+                let half = 1i64 << (bits - 1);
+                if value >= 0 {
+                    (value + half) >> bits
+                } else {
+                    -(((-value) + half) >> bits)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_is_arithmetic_shift() {
+        assert_eq!(Rounding::Floor.shift_right(7, 2), 1);
+        assert_eq!(Rounding::Floor.shift_right(-7, 2), -2);
+    }
+
+    #[test]
+    fn truncate_moves_toward_zero() {
+        assert_eq!(Rounding::Truncate.shift_right(7, 2), 1);
+        assert_eq!(Rounding::Truncate.shift_right(-7, 2), -1);
+    }
+
+    #[test]
+    fn nearest_ties_away_from_zero() {
+        assert_eq!(Rounding::Nearest.shift_right(2, 1), 1);
+        assert_eq!(Rounding::Nearest.shift_right(3, 1), 2);
+        assert_eq!(Rounding::Nearest.shift_right(-3, 1), -2);
+        assert_eq!(Rounding::Nearest.shift_right(-2, 1), -1);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        for mode in [Rounding::Nearest, Rounding::Floor, Rounding::Truncate] {
+            assert_eq!(mode.shift_right(-12345, 0), -12345);
+        }
+    }
+}

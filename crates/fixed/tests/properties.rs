@@ -1,0 +1,79 @@
+//! Property-based tests for the fixed-point layer.
+
+use dream_fixed::{Acc32, Q15, Rounding};
+use proptest::prelude::*;
+
+proptest! {
+    /// Conversion to float and back is the identity on representable values.
+    #[test]
+    fn float_round_trip(raw in any::<i16>()) {
+        let q = Q15::from_raw(raw);
+        prop_assert_eq!(Q15::from_f64(q.to_f64()), q);
+    }
+
+    /// Saturating addition never leaves the representable range and agrees
+    /// with clamped integer addition.
+    #[test]
+    fn add_is_clamped_integer_add(a in any::<i16>(), b in any::<i16>()) {
+        let sum = (Q15::from_raw(a) + Q15::from_raw(b)).raw();
+        let wide = i32::from(a) + i32::from(b);
+        prop_assert_eq!(i32::from(sum), wide.clamp(i32::from(i16::MIN), i32::from(i16::MAX)));
+    }
+
+    /// Multiplication error versus the float reference is bounded by one ULP
+    /// (plus the saturation case at -1 * -1).
+    #[test]
+    fn mul_close_to_float(a in any::<i16>(), b in any::<i16>()) {
+        let qa = Q15::from_raw(a);
+        let qb = Q15::from_raw(b);
+        let got = qa.mul(qb, Rounding::Nearest).to_f64();
+        let want = (qa.to_f64() * qb.to_f64()).clamp(-1.0, 32767.0 / 32768.0);
+        prop_assert!((got - want).abs() <= 1.5 / 32768.0, "{} vs {}", got, want);
+    }
+
+    /// The sign-run is consistent with its definition: the top `run` bits
+    /// all equal the sign bit, and bit `15 - run` (when it exists) differs.
+    #[test]
+    fn sign_run_definition(raw in any::<i16>()) {
+        let q = Q15::from_raw(raw);
+        let run = q.sign_run();
+        prop_assert!((1..=16).contains(&run));
+        let bits = raw as u16;
+        let sign = (bits >> 15) & 1;
+        for i in 0..run {
+            prop_assert_eq!((bits >> (15 - i)) & 1, sign, "bit {} of {:#06x}", i, bits);
+        }
+        if run < 16 {
+            prop_assert_eq!((bits >> (15 - run)) & 1, 1 - sign);
+        }
+    }
+
+    /// MAC chains stay within one quantization step of the float reference
+    /// for bounded inputs.
+    #[test]
+    fn mac_chain_bounded_error(
+        taps in prop::collection::vec(-8000i16..8000, 1..32),
+        xs in prop::collection::vec(-8000i16..8000, 1..32),
+    ) {
+        let n = taps.len().min(xs.len());
+        let mut acc = Acc32::ZERO;
+        let mut reference = 0.0f64;
+        for i in 0..n {
+            let t = Q15::from_raw(taps[i]);
+            let x = Q15::from_raw(xs[i]);
+            acc = acc.mac(t, x);
+            reference += t.to_f64() * x.to_f64();
+        }
+        let got = acc.to_q15(Rounding::Nearest).to_f64();
+        prop_assert!((got - reference.clamp(-1.0, 32767.0 / 32768.0)).abs() < 2.0 / 32768.0);
+    }
+
+    /// All rounding modes agree on exactly-representable shifts.
+    #[test]
+    fn rounding_modes_agree_on_exact(v in any::<i32>()) {
+        let exact = i64::from(v) << 4;
+        for mode in [Rounding::Nearest, Rounding::Floor, Rounding::Truncate] {
+            prop_assert_eq!(mode.shift_right(exact, 4), i64::from(v));
+        }
+    }
+}

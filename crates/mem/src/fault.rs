@@ -1,0 +1,334 @@
+//! Stuck-at fault maps.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The two permanent failure modes of a voltage-starved SRAM cell.
+///
+/// The paper injects both polarities: "Data corruption is caused by
+/// permanent errors that occur at random positions and set the affected
+/// memory bits to '1' or '0'" (§V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StuckAt {
+    /// The cell always reads 0 regardless of what was written.
+    Zero,
+    /// The cell always reads 1 regardless of what was written.
+    One,
+}
+
+impl StuckAt {
+    /// The bit value this fault forces.
+    pub fn bit(self) -> u32 {
+        match self {
+            StuckAt::Zero => 0,
+            StuckAt::One => 1,
+        }
+    }
+}
+
+/// A per-word stuck-at overlay for a memory array.
+///
+/// For every word the map stores which bit lanes are stuck (`stuck_mask`)
+/// and the value they are stuck at (`stuck_val`). Applying the overlay to
+/// read data is two bitwise operations, so fault injection adds O(1) work
+/// per access regardless of how many faults exist.
+///
+/// Maps are value types: the paper evaluates all EMTs against *the same*
+/// fault locations for fairness (§V), which callers get by cloning or
+/// sharing one generated map.
+///
+/// ```
+/// use dream_mem::{FaultMap, StuckAt};
+/// let mut map = FaultMap::empty(4, 16);
+/// map.inject(2, 15, StuckAt::One); // MSB of word 2 stuck at 1
+/// assert_eq!(map.apply(2, 0x0000), 0x8000);
+/// assert_eq!(map.apply(1, 0x0000), 0x0000);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultMap {
+    words: usize,
+    width: u32,
+    stuck_mask: Vec<u32>,
+    stuck_val: Vec<u32>,
+    fault_count: usize,
+}
+
+impl FaultMap {
+    /// Creates a fault-free map for `words` words of `width` bits each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32.
+    pub fn empty(words: usize, width: u32) -> Self {
+        assert!((1..=32).contains(&width), "width must be in 1..=32");
+        FaultMap {
+            words,
+            width,
+            stuck_mask: vec![0; words],
+            stuck_val: vec![0; words],
+            fault_count: 0,
+        }
+    }
+
+    /// Draws a random map where every bit cell is independently stuck with
+    /// probability `ber` (polarity 50/50), deterministically from `seed`.
+    ///
+    /// Uses geometric skip-sampling: instead of flipping a coin per cell,
+    /// the generator jumps directly between fault positions, so generation
+    /// cost is proportional to the number of faults, not the number of
+    /// cells. This is what makes the paper's 200-runs-per-voltage campaigns
+    /// affordable at the 0.9 V end where faults are vanishingly rare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is not within `[0.0, 1.0]` or `width` is not in
+    /// `1..=32`.
+    pub fn generate(words: usize, width: u32, ber: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&ber), "ber must be a probability");
+        let mut map = FaultMap::empty(words, width);
+        if ber == 0.0 || words == 0 {
+            return map;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total_bits = words as u64 * u64::from(width);
+        if ber >= 1.0 {
+            for w in 0..words {
+                for b in 0..width {
+                    let stuck = if rng.gen::<bool>() { StuckAt::One } else { StuckAt::Zero };
+                    map.inject(w, b, stuck);
+                }
+            }
+            return map;
+        }
+        // Geometric skipping: gap ~ floor(ln(U) / ln(1 - p)) cells between
+        // consecutive faults.
+        let log1m = (1.0 - ber).ln();
+        let mut pos: u64 = 0;
+        loop {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let gap = (u.ln() / log1m).floor() as u64;
+            pos = match pos.checked_add(gap) {
+                Some(p) => p,
+                None => break,
+            };
+            if pos >= total_bits {
+                break;
+            }
+            let word = (pos / u64::from(width)) as usize;
+            let bit = (pos % u64::from(width)) as u32;
+            let stuck = if rng.gen::<bool>() { StuckAt::One } else { StuckAt::Zero };
+            map.inject(word, bit, stuck);
+            pos += 1;
+            if pos >= total_bits {
+                break;
+            }
+        }
+        map
+    }
+
+    /// Forces `bit` of `word` to be stuck at the given polarity.
+    ///
+    /// Re-injecting an already-stuck bit overwrites its polarity without
+    /// double-counting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` or `bit` is out of range.
+    pub fn inject(&mut self, word: usize, bit: u32, stuck: StuckAt) {
+        assert!(word < self.words, "word index out of range");
+        assert!(bit < self.width, "bit index out of range");
+        let lane = 1u32 << bit;
+        if self.stuck_mask[word] & lane == 0 {
+            self.fault_count += 1;
+        }
+        self.stuck_mask[word] |= lane;
+        match stuck {
+            StuckAt::One => self.stuck_val[word] |= lane,
+            StuckAt::Zero => self.stuck_val[word] &= !lane,
+        }
+    }
+
+    /// Applies the overlay: returns what a read of `bits` stored in `word`
+    /// actually sees.
+    #[inline]
+    pub fn apply(&self, word: usize, bits: u32) -> u32 {
+        (bits & !self.stuck_mask[word]) | (self.stuck_val[word] & self.stuck_mask[word])
+    }
+
+    /// The stuck-bit lanes of `word`.
+    #[inline]
+    pub fn stuck_mask(&self, word: usize) -> u32 {
+        self.stuck_mask[word]
+    }
+
+    /// The values the stuck lanes of `word` are forced to.
+    #[inline]
+    pub fn stuck_values(&self, word: usize) -> u32 {
+        self.stuck_val[word] & self.stuck_mask[word]
+    }
+
+    /// Total number of stuck bit cells in the map.
+    pub fn fault_count(&self) -> usize {
+        self.fault_count
+    }
+
+    /// Number of words covered by the map.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of words that contain at least `n` stuck bits — the quantity
+    /// that decides whether ECC SEC/DED (which dies at 2 faults/word) or
+    /// DREAM (which survives any count inside the mask) wins at a voltage.
+    pub fn words_with_at_least(&self, n: u32) -> usize {
+        self.stuck_mask
+            .iter()
+            .filter(|m| m.count_ones() >= n)
+            .count()
+    }
+
+    /// Iterates over `(word, bit, polarity)` for every stuck cell.
+    pub fn iter_faults(&self) -> impl Iterator<Item = (usize, u32, StuckAt)> + '_ {
+        self.stuck_mask.iter().enumerate().flat_map(move |(w, &mask)| {
+            (0..self.width).filter_map(move |b| {
+                if mask & (1 << b) != 0 {
+                    let pol = if self.stuck_val[w] & (1 << b) != 0 {
+                        StuckAt::One
+                    } else {
+                        StuckAt::Zero
+                    };
+                    Some((w, b, pol))
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Builds a map with the *same* fault pattern but a different word
+    /// width, truncating faults that fall outside the new width.
+    ///
+    /// Used when comparing EMTs with different codeword widths (16-bit raw
+    /// vs 22-bit ECC) over "the same set of error locations/mappings" as the
+    /// paper prescribes.
+    pub fn with_width(&self, width: u32) -> FaultMap {
+        assert!((1..=32).contains(&width), "width must be in 1..=32");
+        let keep = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let mut out = FaultMap::empty(self.words, width);
+        for w in 0..self.words {
+            out.stuck_mask[w] = self.stuck_mask[w] & keep;
+            out.stuck_val[w] = self.stuck_val[w] & keep;
+            out.fault_count += out.stuck_mask[w].count_ones() as usize;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_is_transparent() {
+        let map = FaultMap::empty(8, 16);
+        for w in 0..8 {
+            assert_eq!(map.apply(w, 0xA5A5), 0xA5A5);
+        }
+        assert_eq!(map.fault_count(), 0);
+    }
+
+    #[test]
+    fn injection_forces_bits() {
+        let mut map = FaultMap::empty(2, 16);
+        map.inject(0, 3, StuckAt::One);
+        map.inject(0, 5, StuckAt::Zero);
+        assert_eq!(map.apply(0, 0x0000), 0x0008);
+        assert_eq!(map.apply(0, 0xFFFF), 0xFFDF);
+        assert_eq!(map.fault_count(), 2);
+    }
+
+    #[test]
+    fn reinjection_does_not_double_count() {
+        let mut map = FaultMap::empty(1, 16);
+        map.inject(0, 7, StuckAt::One);
+        map.inject(0, 7, StuckAt::Zero);
+        assert_eq!(map.fault_count(), 1);
+        assert_eq!(map.apply(0, 0xFFFF), 0xFF7F);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = FaultMap::generate(4096, 16, 1e-3, 7);
+        let b = FaultMap::generate(4096, 16, 1e-3, 7);
+        let c = FaultMap::generate(4096, 16, 1e-3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generation_count_tracks_ber() {
+        let words = 65_536;
+        let width = 16;
+        let ber = 1e-3;
+        let map = FaultMap::generate(words, width, ber, 99);
+        let expected = words as f64 * f64::from(width) * ber;
+        let got = map.fault_count() as f64;
+        // 6-sigma band for a binomial with ~1049 expected faults.
+        let sigma = (expected * (1.0 - ber)).sqrt();
+        assert!(
+            (got - expected).abs() < 6.0 * sigma,
+            "got {got}, expected {expected} +- {sigma}"
+        );
+    }
+
+    #[test]
+    fn zero_ber_means_no_faults() {
+        let map = FaultMap::generate(10_000, 22, 0.0, 1);
+        assert_eq!(map.fault_count(), 0);
+    }
+
+    #[test]
+    fn full_ber_sticks_everything() {
+        let map = FaultMap::generate(64, 16, 1.0, 1);
+        assert_eq!(map.fault_count(), 64 * 16);
+        for w in 0..64 {
+            assert_eq!(map.stuck_mask(w), 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn iter_faults_agrees_with_count() {
+        let map = FaultMap::generate(2048, 22, 5e-3, 3);
+        assert_eq!(map.iter_faults().count(), map.fault_count());
+        for (w, b, pol) in map.iter_faults() {
+            assert!(map.stuck_mask(w) & (1 << b) != 0);
+            assert_eq!((map.stuck_values(w) >> b) & 1, pol.bit());
+        }
+    }
+
+    #[test]
+    fn width_restriction_preserves_low_lanes() {
+        let mut map = FaultMap::empty(4, 22);
+        map.inject(1, 3, StuckAt::One);
+        map.inject(1, 20, StuckAt::One);
+        let narrow = map.with_width(16);
+        assert_eq!(narrow.fault_count(), 1);
+        assert_eq!(narrow.apply(1, 0), 0x0008);
+    }
+
+    #[test]
+    fn multi_fault_word_census() {
+        let mut map = FaultMap::empty(4, 16);
+        map.inject(0, 0, StuckAt::One);
+        map.inject(0, 1, StuckAt::One);
+        map.inject(2, 9, StuckAt::Zero);
+        assert_eq!(map.words_with_at_least(1), 2);
+        assert_eq!(map.words_with_at_least(2), 1);
+        assert_eq!(map.words_with_at_least(3), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Memory array geometry.
+
+/// Geometry of a word-organized memory array.
+///
+/// The paper's platform (the INYU node modelled on VirtualSOC, §V) uses a
+/// 32 kB shared data memory of 16-bit words divided into 16 banks accessed
+/// through a crossbar; [`MemGeometry::inyu_data_memory`] is that preset.
+///
+/// ```
+/// use dream_mem::MemGeometry;
+/// let g = MemGeometry::inyu_data_memory();
+/// assert_eq!(g.words(), 16 * 1024);
+/// assert_eq!(g.banks(), 16);
+/// assert_eq!(g.capacity_bytes(), 32 * 1024);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemGeometry {
+    words: usize,
+    bits_per_word: u32,
+    banks: usize,
+}
+
+impl MemGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `bits_per_word > 32`, or `banks`
+    /// does not divide `words`.
+    pub fn new(words: usize, bits_per_word: u32, banks: usize) -> Self {
+        assert!(words > 0, "memory must have at least one word");
+        assert!((1..=32).contains(&bits_per_word), "word width must be 1..=32");
+        assert!(banks > 0, "memory must have at least one bank");
+        assert_eq!(words % banks, 0, "banks must evenly divide the word count");
+        MemGeometry {
+            words,
+            bits_per_word,
+            banks,
+        }
+    }
+
+    /// The paper's shared data memory: 32 kB of 16-bit words in 16 banks.
+    pub fn inyu_data_memory() -> Self {
+        MemGeometry::new(16 * 1024, 16, 16)
+    }
+
+    /// The DREAM side memory for the INYU geometry: one 5-bit entry (sign +
+    /// 4-bit mask ID) per data word, single bank, always at nominal voltage.
+    pub fn inyu_mask_memory() -> Self {
+        MemGeometry::new(16 * 1024, 5, 1)
+    }
+
+    /// Number of words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Word width in bits.
+    pub fn bits_per_word(&self) -> u32 {
+        self.bits_per_word
+    }
+
+    /// Number of banks (low-order interleaved).
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Total number of bit cells.
+    pub fn total_bits(&self) -> usize {
+        self.words * self.bits_per_word as usize
+    }
+
+    /// Capacity in bytes, rounded down (a 5-bit-wide array reports its true
+    /// cell count divided by 8).
+    pub fn capacity_bytes(&self) -> usize {
+        self.total_bits() / 8
+    }
+
+    /// Bank that services `addr` (low-order interleaving, as in the TCDMs
+    /// of PULP-style platforms VirtualSOC models).
+    #[inline]
+    pub fn bank_of(&self, addr: usize) -> usize {
+        addr % self.banks
+    }
+
+    /// Row within the bank for `addr`.
+    #[inline]
+    pub fn row_of(&self, addr: usize) -> usize {
+        addr / self.banks
+    }
+
+    /// Returns a geometry with the same word count and banking but a
+    /// different word width (e.g. widening the array from 16 to 22 bits to
+    /// hold ECC check bits).
+    pub fn with_width(&self, bits_per_word: u32) -> Self {
+        MemGeometry::new(self.words, bits_per_word, self.banks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inyu_preset_matches_paper() {
+        let g = MemGeometry::inyu_data_memory();
+        assert_eq!(g.capacity_bytes(), 32 * 1024);
+        assert_eq!(g.banks(), 16);
+        assert_eq!(g.bits_per_word(), 16);
+    }
+
+    #[test]
+    fn banking_is_low_order_interleaved() {
+        let g = MemGeometry::new(64, 16, 4);
+        assert_eq!(g.bank_of(0), 0);
+        assert_eq!(g.bank_of(1), 1);
+        assert_eq!(g.bank_of(5), 1);
+        assert_eq!(g.row_of(5), 1);
+        assert_eq!(g.row_of(63), 15);
+    }
+
+    #[test]
+    fn widening_preserves_words_and_banks() {
+        let g = MemGeometry::inyu_data_memory().with_width(22);
+        assert_eq!(g.words(), 16 * 1024);
+        assert_eq!(g.bits_per_word(), 22);
+        assert_eq!(g.banks(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "banks must evenly divide")]
+    fn uneven_banking_rejected() {
+        let _ = MemGeometry::new(10, 16, 3);
+    }
+
+    #[test]
+    fn mask_memory_is_five_bits() {
+        // Formula 2 of the paper: 1 sign + log2(16) mask-ID bits.
+        assert_eq!(MemGeometry::inyu_mask_memory().bits_per_word(), 5);
+    }
+}

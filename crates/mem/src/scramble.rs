@@ -1,0 +1,223 @@
+//! Logical→physical address scrambling.
+
+/// A bijective permutation of word addresses.
+///
+/// The paper notes that a fresh random fault-location map per run "can be
+/// generated even in the presence of stuck-at faults by adding a small logic
+/// to randomize the mapping between logical and physical addresses and bit
+/// locations" (§V). This type is that small logic: a keyed bijection over
+/// `0..words` built from XOR-folding and odd-multiplier mixing over the
+/// next power of two, with cycle-walking to stay inside the array bounds.
+///
+/// Applying a different scrambler key to a *fixed* physical fault map is
+/// equivalent to drawing a fresh logical fault map, which is how a real
+/// device would re-randomize wear without re-manufacturing its defects.
+///
+/// ```
+/// use dream_mem::AddressScrambler;
+/// let s = AddressScrambler::new(1000, 0xBEEF);
+/// let mut seen = vec![false; 1000];
+/// for a in 0..1000 {
+///     let p = s.to_physical(a);
+///     assert!(!seen[p], "collision");
+///     seen[p] = true;
+///     assert_eq!(s.to_logical(p), a);
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddressScrambler {
+    words: usize,
+    mask: u64,
+    xor_key: u64,
+    mul_key: u64,
+    inv_mul_key: u64,
+    rot: u32,
+    bits: u32,
+}
+
+impl AddressScrambler {
+    /// Creates a scrambler for an array of `words` addresses, keyed by
+    /// `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn new(words: usize, key: u64) -> Self {
+        assert!(words > 0, "cannot scramble an empty array");
+        let bits = (words.max(2) as u64).next_power_of_two().trailing_zeros();
+        let mask = (1u64 << bits) - 1;
+        // Derive sub-keys with a splitmix64 step so nearby keys diverge.
+        let xor_key = splitmix64(key) & mask;
+        // Any odd multiplier is invertible modulo a power of two.
+        let mul_key = (splitmix64(key ^ 0x9E37_79B9_7F4A_7C15) | 1) & mask | 1;
+        let inv_mul_key = mod_inverse_pow2(mul_key, bits);
+        let rot = (splitmix64(key.wrapping_add(1)) % u64::from(bits.max(1))) as u32;
+        AddressScrambler {
+            words,
+            mask,
+            xor_key,
+            mul_key,
+            inv_mul_key,
+            rot,
+            bits,
+        }
+    }
+
+    /// An identity scrambler (useful as a default).
+    pub fn identity(words: usize) -> Self {
+        let mut s = AddressScrambler::new(words, 0);
+        s.xor_key = 0;
+        s.mul_key = 1;
+        s.inv_mul_key = 1;
+        s.rot = 0;
+        s
+    }
+
+    /// Number of addresses covered.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    fn permute_pow2(&self, addr: u64) -> u64 {
+        let x = (addr ^ self.xor_key) & self.mask;
+        let x = x.wrapping_mul(self.mul_key) & self.mask;
+        rotate_left_masked(x, self.rot, self.bits)
+    }
+
+    fn unpermute_pow2(&self, addr: u64) -> u64 {
+        let x = rotate_right_masked(addr, self.rot, self.bits);
+        let x = x.wrapping_mul(self.inv_mul_key) & self.mask;
+        (x ^ self.xor_key) & self.mask
+    }
+
+    /// Maps a logical address to its physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= words`.
+    pub fn to_physical(&self, addr: usize) -> usize {
+        assert!(addr < self.words, "address out of range");
+        // Cycle-walk: re-apply the power-of-two permutation until the result
+        // lands inside the (possibly non-power-of-two) array.
+        let mut x = addr as u64;
+        loop {
+            x = self.permute_pow2(x);
+            if (x as usize) < self.words {
+                return x as usize;
+            }
+        }
+    }
+
+    /// Maps a physical location back to its logical address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= words`.
+    pub fn to_logical(&self, addr: usize) -> usize {
+        assert!(addr < self.words, "address out of range");
+        let mut x = addr as u64;
+        loop {
+            x = self.unpermute_pow2(x);
+            if (x as usize) < self.words {
+                return x as usize;
+            }
+        }
+    }
+}
+
+fn rotate_left_masked(x: u64, rot: u32, bits: u32) -> u64 {
+    if rot == 0 || bits == 0 {
+        return x;
+    }
+    let mask = (1u64 << bits) - 1;
+    ((x << rot) | (x >> (bits - rot))) & mask
+}
+
+fn rotate_right_masked(x: u64, rot: u32, bits: u32) -> u64 {
+    if rot == 0 || bits == 0 {
+        return x;
+    }
+    let mask = (1u64 << bits) - 1;
+    ((x >> rot) | (x << (bits - rot))) & mask
+}
+
+/// Multiplicative inverse of an odd number modulo 2^bits (Newton iteration).
+fn mod_inverse_pow2(a: u64, bits: u32) -> u64 {
+    debug_assert!(a % 2 == 1);
+    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mut inv = 1u64;
+    // Five Newton steps give 64 bits of precision.
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(inv)));
+    }
+    inv & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bijective_on_power_of_two() {
+        let s = AddressScrambler::new(256, 0x1234);
+        let mut seen = [false; 256];
+        for a in 0..256 {
+            let p = s.to_physical(a);
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn bijective_on_awkward_size() {
+        let s = AddressScrambler::new(1000, 0xDEAD_BEEF);
+        let mut seen = vec![false; 1000];
+        for a in 0..1000 {
+            let p = s.to_physical(a);
+            assert!(!seen[p]);
+            seen[p] = true;
+            assert_eq!(s.to_logical(p), a);
+        }
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let s = AddressScrambler::identity(100);
+        for a in 0..100 {
+            assert_eq!(s.to_physical(a), a);
+            assert_eq!(s.to_logical(a), a);
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = AddressScrambler::new(4096, 1);
+        let b = AddressScrambler::new(4096, 2);
+        let moved = (0..4096).filter(|&x| a.to_physical(x) != b.to_physical(x)).count();
+        assert!(moved > 3000, "keys should decorrelate mappings, moved={moved}");
+    }
+
+    #[test]
+    fn inverse_multiplier_is_correct() {
+        for a in [1u64, 3, 5, 0xDEAD_BEE1, 0x7FFF_FFFF] {
+            let inv = mod_inverse_pow2(a, 32);
+            assert_eq!(a.wrapping_mul(inv) & 0xFFFF_FFFF, 1);
+        }
+    }
+
+    #[test]
+    fn single_word_array_works() {
+        let s = AddressScrambler::new(1, 77);
+        assert_eq!(s.to_physical(0), 0);
+        assert_eq!(s.to_logical(0), 0);
+    }
+}
+
+/// splitmix64 — the standard 64-bit mixing function.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,217 @@
+//! The faulty word array.
+
+use crate::{AddressScrambler, FaultMap, MemGeometry};
+
+/// A bit-accurate SRAM array with a stuck-at fault overlay.
+///
+/// Writes record the *true* bits; reads return the bits as seen through the
+/// [`FaultMap`], i.e. stuck cells return their stuck value regardless of
+/// what was written. This mirrors real silicon: a stuck-at cell physically
+/// accepts the write but cannot hold the value.
+///
+/// An optional [`AddressScrambler`] remaps logical word addresses before the
+/// array is indexed, modelling the paper's logical/physical randomization
+/// logic (§V).
+///
+/// Access counting is left to higher layers (`dream-core`'s protected
+/// memory and `dream-soc`'s ports) so this type stays a pure storage model.
+///
+/// ```
+/// use dream_mem::{FaultMap, FaultySram, MemGeometry, StuckAt};
+/// let g = MemGeometry::new(8, 16, 1);
+/// let mut map = FaultMap::empty(8, 16);
+/// map.inject(3, 0, StuckAt::One);
+/// let mut sram = FaultySram::with_faults(g, map);
+/// sram.write(3, 0x0000);
+/// assert_eq!(sram.read(3), 0x0001); // LSB stuck at one
+/// assert_eq!(sram.read_raw(3), 0x0000); // the latch itself holds the write
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultySram {
+    geometry: MemGeometry,
+    cells: Vec<u32>,
+    faults: FaultMap,
+    scrambler: AddressScrambler,
+    width_mask: u32,
+}
+
+impl FaultySram {
+    /// Creates a fault-free array of the given geometry.
+    pub fn new(geometry: MemGeometry) -> Self {
+        Self::with_faults(
+            geometry,
+            FaultMap::empty(geometry.words(), geometry.bits_per_word()),
+        )
+    }
+
+    /// Creates an array with the given fault overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault map's dimensions do not match the geometry.
+    pub fn with_faults(geometry: MemGeometry, faults: FaultMap) -> Self {
+        assert_eq!(faults.words(), geometry.words(), "fault map word count");
+        assert_eq!(
+            faults.width(),
+            geometry.bits_per_word(),
+            "fault map word width"
+        );
+        let width = geometry.bits_per_word();
+        let width_mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        FaultySram {
+            geometry,
+            cells: vec![0; geometry.words()],
+            faults,
+            scrambler: AddressScrambler::identity(geometry.words()),
+            width_mask,
+        }
+    }
+
+    /// Installs an address scrambler (logical→physical remapping).
+    pub fn set_scrambler(&mut self, scrambler: AddressScrambler) {
+        assert_eq!(
+            scrambler.words(),
+            self.geometry.words(),
+            "scrambler must cover the whole array"
+        );
+        self.scrambler = scrambler;
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.geometry
+    }
+
+    /// The fault overlay.
+    pub fn fault_map(&self) -> &FaultMap {
+        &self.faults
+    }
+
+    /// Replaces the fault overlay (used between campaign runs to install a
+    /// freshly drawn map while keeping the array contents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new map's dimensions do not match the geometry.
+    pub fn set_fault_map(&mut self, faults: FaultMap) {
+        assert_eq!(faults.words(), self.geometry.words());
+        assert_eq!(faults.width(), self.geometry.bits_per_word());
+        self.faults = faults;
+    }
+
+    /// Writes `bits` to logical address `addr` (bits above the word width
+    /// are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn write(&mut self, addr: usize, bits: u32) {
+        let phys = self.scrambler.to_physical(addr);
+        self.cells[phys] = bits & self.width_mask;
+    }
+
+    /// Reads logical address `addr` through the fault overlay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn read(&self, addr: usize) -> u32 {
+        let phys = self.scrambler.to_physical(addr);
+        self.faults.apply(phys, self.cells[phys])
+    }
+
+    /// Reads the latched bits without the fault overlay (debug/oracle view;
+    /// no physical read port behaves like this on degraded silicon).
+    #[inline]
+    pub fn read_raw(&self, addr: usize) -> u32 {
+        self.cells[self.scrambler.to_physical(addr)]
+    }
+
+    /// Number of stuck bits affecting the logical word `addr`.
+    pub fn stuck_bits_at(&self, addr: usize) -> u32 {
+        self.faults
+            .stuck_mask(self.scrambler.to_physical(addr))
+            .count_ones()
+    }
+
+    /// Fills the whole array with `bits` (e.g. to model a memory cleared at
+    /// boot).
+    pub fn fill(&mut self, bits: u32) {
+        let v = bits & self.width_mask;
+        self.cells.iter_mut().for_each(|c| *c = v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StuckAt;
+
+    fn small() -> MemGeometry {
+        MemGeometry::new(16, 16, 1)
+    }
+
+    #[test]
+    fn clean_memory_round_trips() {
+        let mut sram = FaultySram::new(small());
+        for a in 0..16 {
+            sram.write(a, (a as u32) * 0x111);
+        }
+        for a in 0..16 {
+            assert_eq!(sram.read(a), (a as u32) * 0x111);
+        }
+    }
+
+    #[test]
+    fn stuck_bits_corrupt_reads_not_latches() {
+        let mut map = FaultMap::empty(16, 16);
+        map.inject(5, 15, StuckAt::Zero);
+        let mut sram = FaultySram::with_faults(small(), map);
+        sram.write(5, 0xFFFF);
+        assert_eq!(sram.read(5), 0x7FFF);
+        assert_eq!(sram.read_raw(5), 0xFFFF);
+        assert_eq!(sram.stuck_bits_at(5), 1);
+    }
+
+    #[test]
+    fn writes_mask_to_width() {
+        let g = MemGeometry::new(4, 5, 1);
+        let mut sram = FaultySram::new(g);
+        sram.write(0, 0xFFFF_FFFF);
+        assert_eq!(sram.read(0), 0b1_1111);
+    }
+
+    #[test]
+    fn scrambler_moves_fault_to_other_logical_address() {
+        let mut map = FaultMap::empty(16, 16);
+        map.inject(0, 0, StuckAt::One);
+        let mut sram = FaultySram::with_faults(small(), map);
+        sram.set_scrambler(AddressScrambler::new(16, 0x5A5A));
+        // Exactly one logical address now sees the stuck bit.
+        let mut hit = Vec::new();
+        for a in 0..16 {
+            sram.write(a, 0);
+            if sram.read(a) != 0 {
+                hit.push(a);
+            }
+        }
+        assert_eq!(hit.len(), 1);
+    }
+
+    #[test]
+    fn fill_initializes_every_word() {
+        let mut sram = FaultySram::new(small());
+        sram.fill(0xABCD);
+        for a in 0..16 {
+            assert_eq!(sram.read(a), 0xABCD);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault map word width")]
+    fn mismatched_fault_width_rejected() {
+        let _ = FaultySram::with_faults(small(), FaultMap::empty(16, 22));
+    }
+}

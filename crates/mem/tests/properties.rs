@@ -1,0 +1,80 @@
+//! Property-based tests for the faulty-memory substrate.
+
+use dream_mem::{AddressScrambler, BerModel, FaultMap, FaultySram, MemGeometry, StuckAt};
+use proptest::prelude::*;
+
+proptest! {
+    /// The overlay is idempotent: applying it twice changes nothing.
+    #[test]
+    fn overlay_idempotent(seed in any::<u64>(), bits in any::<u32>()) {
+        let map = FaultMap::generate(256, 16, 0.05, seed);
+        for w in 0..256 {
+            let once = map.apply(w, bits & 0xFFFF);
+            prop_assert_eq!(map.apply(w, once), once);
+        }
+    }
+
+    /// A read through a faulty SRAM differs from the written value only in
+    /// stuck lanes, and in those lanes equals the stuck value.
+    #[test]
+    fn faults_only_touch_stuck_lanes(seed in any::<u64>(), value in any::<u16>()) {
+        let g = MemGeometry::new(128, 16, 1);
+        let map = FaultMap::generate(128, 16, 0.02, seed);
+        let mut sram = FaultySram::with_faults(g, map);
+        for a in 0..128 {
+            sram.write(a, u32::from(value));
+            let seen = sram.read(a);
+            let mask = sram.fault_map().stuck_mask(a);
+            prop_assert_eq!(seen & !mask, u32::from(value) & !mask);
+            prop_assert_eq!(seen & mask, sram.fault_map().stuck_values(a));
+        }
+    }
+
+    /// The scrambler is a bijection for arbitrary sizes and keys.
+    #[test]
+    fn scrambler_bijective(words in 1usize..2000, key in any::<u64>()) {
+        let s = AddressScrambler::new(words, key);
+        let mut seen = vec![false; words];
+        for a in 0..words {
+            let p = s.to_physical(a);
+            prop_assert!(p < words);
+            prop_assert!(!seen[p], "collision at {}", p);
+            seen[p] = true;
+            prop_assert_eq!(s.to_logical(p), a);
+        }
+    }
+
+    /// BER is monotone non-increasing in voltage for any legal parameters.
+    #[test]
+    fn ber_monotone(nominal in 0.5f64..1.2, log10 in -12.0f64..-1.0, slope in 0.0f64..20.0) {
+        let m = BerModel::new(nominal, log10, slope);
+        let mut prev = f64::INFINITY;
+        for i in 0..20 {
+            let v = 0.3 + 0.05 * f64::from(i);
+            let b = m.ber(v);
+            prop_assert!(b <= prev + 1e-18);
+            prev = b;
+        }
+    }
+
+    /// Generated maps never place faults outside the word width.
+    #[test]
+    fn faults_within_width(seed in any::<u64>(), width in 1u32..=32) {
+        let map = FaultMap::generate(512, width, 0.01, seed);
+        let lane_mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        for w in 0..512 {
+            prop_assert_eq!(map.stuck_mask(w) & !lane_mask, 0);
+        }
+    }
+
+    /// Injecting then reading back through an otherwise clean map recovers
+    /// exactly the injected polarity.
+    #[test]
+    fn inject_polarity_respected(word in 0usize..64, bit in 0u32..16, one in any::<bool>()) {
+        let mut map = FaultMap::empty(64, 16);
+        let pol = if one { StuckAt::One } else { StuckAt::Zero };
+        map.inject(word, bit, pol);
+        let seen = map.apply(word, if one { 0x0000 } else { 0xFFFF });
+        prop_assert_eq!((seen >> bit) & 1, pol.bit());
+    }
+}

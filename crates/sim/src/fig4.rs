@@ -1,0 +1,220 @@
+//! Experiments E2–E4: Fig. 4 — SNR versus memory supply voltage under the
+//! three protection schemes.
+
+use dream_core::{EmtKind, ProtectedMemory};
+use dream_dsp::{samples_to_f64, snr_db, AppKind, BiomedicalApp};
+use dream_ecg::Database;
+use dream_mem::{BerModel, FaultMap, MemGeometry};
+
+use crate::campaign::{cap_snr, fault_seed, ProtectedStorage};
+
+/// Configuration of the Fig. 4 voltage sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig4Config {
+    /// Input window length in samples.
+    pub window: usize,
+    /// Fault-map draws per (voltage) point — the paper uses 200 (§V).
+    pub runs: usize,
+    /// Supply-voltage grid (V).
+    pub voltages: Vec<f64>,
+    /// Techniques to sweep (Fig. 4a/b/c = None/DREAM/ECC).
+    pub emts: Vec<EmtKind>,
+    /// Applications to sweep.
+    pub apps: Vec<AppKind>,
+    /// BER-vs-voltage model.
+    pub ber: BerModel,
+    /// Base seed of the campaign.
+    pub seed: u64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config {
+            window: 1024,
+            runs: 200,
+            voltages: BerModel::paper_voltages(),
+            emts: EmtKind::paper_set().to_vec(),
+            apps: AppKind::all().to_vec(),
+            ber: BerModel::date16(),
+            seed: 0xF1641,
+        }
+    }
+}
+
+impl Fig4Config {
+    /// A reduced sweep for tests and smoke runs.
+    pub fn smoke() -> Self {
+        Fig4Config {
+            window: 512,
+            runs: 8,
+            voltages: vec![0.5, 0.6, 0.7, 0.8, 0.9],
+            ..Default::default()
+        }
+    }
+}
+
+/// One point of one curve in Fig. 4.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig4Point {
+    /// Application under test.
+    pub app: AppKind,
+    /// Protection scheme.
+    pub emt: EmtKind,
+    /// Data-memory supply voltage (V).
+    pub voltage: f64,
+    /// Mean output SNR over the runs (dB, averaged in dB as the paper
+    /// does).
+    pub mean_snr_db: f64,
+    /// Worst run (dB).
+    pub min_snr_db: f64,
+    /// Mean fraction of reads the decoder flagged uncorrectable.
+    pub uncorrectable_rate: f64,
+    /// Mean fraction of reads the decoder corrected.
+    pub corrected_rate: f64,
+}
+
+/// Reproduces Fig. 4: for every voltage, draw `runs` random stuck-at maps
+/// at the model BER, reuse **the same map** across all EMTs (§V: "all the
+/// EMTs are tested reusing the same set of error locations/mappings"), run
+/// every application, and average the per-run SNRs in dB.
+pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Point> {
+    let records = Database::date16_suite(cfg.window);
+    let apps: Vec<(AppKind, Box<dyn BiomedicalApp>)> = cfg
+        .apps
+        .iter()
+        .map(|&k| (k, k.instantiate(cfg.window)))
+        .collect();
+    // Geometry sized to the largest footprint, shared by all apps so one
+    // fault map serves every application in a run.
+    let max_words = apps.iter().map(|(_, a)| a.memory_words()).max().unwrap();
+    let geometry = MemGeometry::new(max_words.div_ceil(16) * 16, 16, 16);
+    // References are input-dependent only: compute once per (app, record).
+    let references: Vec<Vec<Vec<f64>>> = apps
+        .iter()
+        .map(|(_, app)| {
+            records
+                .iter()
+                .map(|r| app.run_reference(&r.samples))
+                .collect()
+        })
+        .collect();
+    let mut points = Vec::new();
+    for (vi, &voltage) in cfg.voltages.iter().enumerate() {
+        let ber = cfg.ber.ber(voltage);
+        for &emt in &cfg.emts {
+            for (ai, (app_kind, app)) in apps.iter().enumerate() {
+                let mut snr_sum = 0.0;
+                let mut snr_min = f64::INFINITY;
+                let mut uncorrectable = 0.0;
+                let mut corrected = 0.0;
+                for run in 0..cfg.runs {
+                    // Same seed across EMTs and apps => same fault map, as
+                    // in the paper; width 22 covers the widest codeword.
+                    let seed = fault_seed(cfg.seed, vi, run);
+                    let map = FaultMap::generate(geometry.words(), 22, ber, seed);
+                    let record = &records[run % records.len()];
+                    let mut mem = ProtectedMemory::with_fault_map(emt, geometry, &map);
+                    let out = {
+                        let mut storage = ProtectedStorage::new(&mut mem);
+                        app.run(&record.samples, &mut storage)
+                    };
+                    let snr = cap_snr(snr_db(
+                        &references[ai][run % records.len()],
+                        &samples_to_f64(&out),
+                    ));
+                    snr_sum += snr;
+                    snr_min = snr_min.min(snr);
+                    let stats = mem.stats();
+                    if stats.reads > 0 {
+                        uncorrectable += stats.uncorrectable_reads as f64 / stats.reads as f64;
+                        corrected += stats.corrected_reads as f64 / stats.reads as f64;
+                    }
+                }
+                let n = cfg.runs as f64;
+                points.push(Fig4Point {
+                    app: *app_kind,
+                    emt,
+                    voltage,
+                    mean_snr_db: snr_sum / n,
+                    min_snr_db: snr_min,
+                    uncorrectable_rate: uncorrectable / n,
+                    corrected_rate: corrected / n,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Looks up the curve of one (app, EMT) pair, sorted by voltage ascending.
+pub fn curve(points: &[Fig4Point], app: AppKind, emt: EmtKind) -> Vec<Fig4Point> {
+    let mut c: Vec<Fig4Point> = points
+        .iter()
+        .filter(|p| p.app == app && p.emt == emt)
+        .copied()
+        .collect();
+    c.sort_by(|a, b| a.voltage.partial_cmp(&b.voltage).expect("finite voltages"));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig4Config {
+        Fig4Config {
+            window: 512,
+            runs: 4,
+            voltages: vec![0.5, 0.7, 0.9],
+            emts: EmtKind::paper_set().to_vec(),
+            apps: vec![AppKind::Dwt],
+            ber: BerModel::date16(),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn produces_full_grid() {
+        let points = run_fig4(&tiny());
+        assert_eq!(points.len(), 3 * 3);
+    }
+
+    #[test]
+    fn snr_degrades_as_voltage_drops_unprotected() {
+        let points = run_fig4(&tiny());
+        let c = curve(&points, AppKind::Dwt, EmtKind::None);
+        assert!(
+            c.first().unwrap().mean_snr_db < c.last().unwrap().mean_snr_db,
+            "0.5 V should be worse than 0.9 V: {:?}",
+            c.iter().map(|p| p.mean_snr_db).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn protection_helps_at_mid_voltages() {
+        let points = run_fig4(&tiny());
+        let none = curve(&points, AppKind::Dwt, EmtKind::None);
+        let dream = curve(&points, AppKind::Dwt, EmtKind::Dream);
+        let ecc = curve(&points, AppKind::Dwt, EmtKind::EccSecDed);
+        // At 0.7 V both protections should beat no protection.
+        assert!(dream[1].mean_snr_db >= none[1].mean_snr_db);
+        assert!(ecc[1].mean_snr_db >= none[1].mean_snr_db);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_fig4(&tiny());
+        let b = run_fig4(&tiny());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mean_snr_db, y.mean_snr_db);
+        }
+    }
+
+    #[test]
+    fn curve_sorts_by_voltage() {
+        let points = run_fig4(&tiny());
+        let c = curve(&points, AppKind::Dwt, EmtKind::Dream);
+        assert!(c.windows(2).all(|w| w[0].voltage < w[1].voltage));
+    }
+}

@@ -1,0 +1,117 @@
+//! Plain-text tables and CSV emission for the experiment binaries.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Renders an aligned ASCII table (header row + separator + data rows).
+///
+/// ```
+/// let t = dream_sim::report::format_table(
+///     &["V", "SNR (dB)"],
+///     &[vec!["0.9".into(), "95.0".into()], vec!["0.5".into(), "12.3".into()]],
+/// );
+/// assert!(t.contains("0.9"));
+/// assert!(t.lines().count() == 4);
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        padded.join("  ")
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as CSV (comma-separated, no quoting — the harness emits
+/// only numbers and identifiers).
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating or writing the file.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Formats a fraction as a percentage with one decimal (`0.345` → `34.5%`).
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats an SNR value, rendering the harness cap as a `>=` bound.
+pub fn snr(db: f64) -> String {
+    if db >= crate::campaign::SNR_CAP_DB {
+        format!(">={:.0}", crate::campaign::SNR_CAP_DB)
+    } else {
+        format!("{db:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = format_table(
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let dir = std::env::temp_dir().join("dream_sim_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.345), "34.5%");
+        assert_eq!(pct(-0.5), "-50.0%");
+    }
+
+    #[test]
+    fn snr_caps() {
+        assert_eq!(snr(42.0), "42.0");
+        assert_eq!(snr(100.0), ">=100");
+    }
+}

@@ -1,0 +1,68 @@
+//! Platform configuration.
+
+use dream_mem::MemGeometry;
+
+/// Geometry and clocking of the modelled multi-processor platform.
+///
+/// ```
+/// use dream_soc::SocConfig;
+/// let c = SocConfig::inyu();
+/// assert_eq!(c.max_cores, 16);
+/// assert_eq!(c.clock_hz, 200.0e6);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SocConfig {
+    /// Maximum number of cores the interconnect supports.
+    pub max_cores: usize,
+    /// Core and memory clock (Hz).
+    pub clock_hz: f64,
+    /// Shared data-memory geometry (base 16-bit layout).
+    pub geometry: MemGeometry,
+    /// Core compute cycles charged between consecutive memory accesses
+    /// (the "rest of the instruction stream" of a cycle-accurate run).
+    pub compute_gap_cycles: u32,
+}
+
+impl SocConfig {
+    /// The paper's INYU platform: 16 ARM V6-class cores at 200 MHz sharing
+    /// a 32 kB / 16-bank memory (§V).
+    pub fn inyu() -> Self {
+        SocConfig {
+            max_cores: 16,
+            clock_hz: 200.0e6,
+            geometry: MemGeometry::inyu_data_memory(),
+            compute_gap_cycles: 1,
+        }
+    }
+
+    /// Seconds elapsed for a given cycle count at this clock.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        Self::inyu()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inyu_matches_paper_numbers() {
+        let c = SocConfig::inyu();
+        assert_eq!(c.geometry.capacity_bytes(), 32 * 1024);
+        assert_eq!(c.geometry.banks(), 16);
+        assert_eq!(c.max_cores, 16);
+    }
+
+    #[test]
+    fn seconds_scale_with_clock() {
+        let c = SocConfig::inyu();
+        assert!((c.seconds(200_000_000) - 1.0).abs() < 1e-12);
+        assert!((c.seconds(200_000) - 1e-3).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,45 @@
+//! Cycle-approximate MPSoC model — the reproduction's substitute for the
+//! VirtualSOC full-system simulator the paper extends (§V).
+//!
+//! The paper's platform is the INYU biomedical node: up to 16 ARM V6
+//! cores clocked at 200 MHz sharing a 32 kB, 16-bank data memory through a
+//! crossbar. For the studied quantities — which data words live in the
+//! faulty memory, how many accesses each run makes, how long a run takes —
+//! a transaction-level model is sufficient, so this crate provides:
+//!
+//! * [`SocConfig`] — platform geometry and clock (INYU preset),
+//! * [`MemoryPort`] — a [`dream_dsp::WordStorage`] implementation that
+//!   routes every application access through an EMT-protected faulty
+//!   memory while recording a bank-accurate access trace,
+//! * [`Crossbar`] — a cycle-by-cycle round-robin arbiter that replays one
+//!   trace per core and charges stalls for bank conflicts,
+//! * [`Soc`] — the composition: run one application per core, get outputs,
+//!   access statistics, cycle counts and an energy breakdown.
+//!
+//! # Example
+//!
+//! ```
+//! use dream_core::EmtKind;
+//! use dream_dsp::AppKind;
+//! use dream_ecg::Database;
+//! use dream_soc::{Soc, SocConfig};
+//!
+//! let record = Database::record(100, 512);
+//! let mut soc = Soc::new(SocConfig::inyu(), EmtKind::Dream, None);
+//! let run = soc.run_app(&*AppKind::Dwt.instantiate(512), &record.samples);
+//! assert!(run.cycles > 0);
+//! assert_eq!(run.output().len(), 5 * 512);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod crossbar;
+mod port;
+mod soc;
+
+pub use config::SocConfig;
+pub use crossbar::{Crossbar, CrossbarStats};
+pub use port::{AccessTrace, MemoryPort, TraceEvent};
+pub use soc::{Soc, SocRun};

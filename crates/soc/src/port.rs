@@ -1,0 +1,180 @@
+//! Memory ports: the bridge between applications and the protected memory.
+
+use dream_core::ProtectedMemory;
+use dream_dsp::WordStorage;
+use dream_mem::MemGeometry;
+
+/// One recorded memory transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Core compute cycles since the previous access was issued.
+    pub gap: u32,
+    /// Bank the access targets.
+    pub bank: u16,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+}
+
+/// A bank-annotated access trace of one core's run, replayable through the
+/// [`Crossbar`](crate::Crossbar) for cycle-level timing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl AccessTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events in issue order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A core's window into the shared protected memory.
+///
+/// Implements [`WordStorage`], so any [`dream_dsp`] application can run
+/// over it unchanged. Every access:
+///
+/// 1. is offset by the port's base address (cores get disjoint partitions
+///    of the shared memory, as the paper's applications get disjoint
+///    buffers),
+/// 2. goes through the EMT codec and the faulty array of the underlying
+///    [`ProtectedMemory`],
+/// 3. is appended to the port's [`AccessTrace`] with its bank id and the
+///    compute-cycle gap since the previous access.
+pub struct MemoryPort<'a> {
+    mem: &'a mut ProtectedMemory,
+    geometry: MemGeometry,
+    base: usize,
+    words: usize,
+    compute_gap: u32,
+    trace: AccessTrace,
+}
+
+impl<'a> MemoryPort<'a> {
+    /// Opens a port over `mem` covering `words` words starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window overruns the memory.
+    pub fn new(
+        mem: &'a mut ProtectedMemory,
+        geometry: MemGeometry,
+        base: usize,
+        words: usize,
+        compute_gap: u32,
+    ) -> Self {
+        assert!(base + words <= mem.words(), "port window out of range");
+        MemoryPort {
+            mem,
+            geometry,
+            base,
+            words,
+            compute_gap,
+            trace: AccessTrace::new(),
+        }
+    }
+
+    /// Consumes the port, returning its recorded trace.
+    pub fn into_trace(self) -> AccessTrace {
+        self.trace
+    }
+
+    fn record(&mut self, addr: usize, is_write: bool) {
+        self.trace.push(TraceEvent {
+            gap: self.compute_gap,
+            bank: self.geometry.bank_of(self.base + addr) as u16,
+            is_write,
+        });
+    }
+}
+
+impl WordStorage for MemoryPort<'_> {
+    fn len(&self) -> usize {
+        self.words
+    }
+
+    fn read(&mut self, addr: usize) -> i16 {
+        assert!(addr < self.words, "port read out of range");
+        self.record(addr, false);
+        self.mem.read(self.base + addr)
+    }
+
+    fn write(&mut self, addr: usize, value: i16) {
+        assert!(addr < self.words, "port write out of range");
+        self.record(addr, true);
+        self.mem.write(self.base + addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_core::EmtKind;
+
+    fn mem() -> ProtectedMemory {
+        ProtectedMemory::new(EmtKind::Dream, MemGeometry::new(64, 16, 4))
+    }
+
+    #[test]
+    fn port_offsets_addresses() {
+        let mut m = mem();
+        {
+            let mut port = MemoryPort::new(&mut m, MemGeometry::new(64, 16, 4), 32, 16, 1);
+            port.write(0, 42);
+        }
+        assert_eq!(m.read(32), 42);
+    }
+
+    #[test]
+    fn trace_records_banks_and_kinds() {
+        let mut m = mem();
+        let g = MemGeometry::new(64, 16, 4);
+        let mut port = MemoryPort::new(&mut m, g, 0, 64, 2);
+        port.write(0, 1); // bank 0
+        port.write(1, 2); // bank 1
+        let _ = port.read(5); // bank 1
+        let trace = port.into_trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.events()[0].bank, 0);
+        assert_eq!(trace.events()[1].bank, 1);
+        assert_eq!(trace.events()[2].bank, 1);
+        assert!(trace.events()[0].is_write);
+        assert!(!trace.events()[2].is_write);
+        assert_eq!(trace.events()[0].gap, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_window_rejected() {
+        let mut m = mem();
+        let _ = MemoryPort::new(&mut m, MemGeometry::new(64, 16, 4), 60, 16, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "port read out of range")]
+    fn reads_beyond_window_rejected() {
+        let mut m = mem();
+        let mut port = MemoryPort::new(&mut m, MemGeometry::new(64, 16, 4), 0, 8, 1);
+        let _ = port.read(8);
+    }
+}

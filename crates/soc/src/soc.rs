@@ -1,0 +1,222 @@
+//! The platform composition.
+
+use dream_core::{AccessStats, EmtKind, EnergyModelBundle, ProtectedMemory};
+use dream_dsp::BiomedicalApp;
+use dream_energy::EnergyBreakdown;
+use dream_mem::FaultMap;
+
+use crate::{AccessTrace, Crossbar, CrossbarStats, MemoryPort, SocConfig};
+
+/// Everything one platform run produces.
+#[derive(Clone, Debug)]
+pub struct SocRun {
+    /// Output words of each application, in core order.
+    pub outputs: Vec<Vec<i16>>,
+    /// Shared-memory access statistics accumulated over the run.
+    pub stats: AccessStats,
+    /// Total cycles (crossbar replay, including conflict stalls).
+    pub cycles: u64,
+    /// Interconnect statistics.
+    pub crossbar: CrossbarStats,
+}
+
+impl SocRun {
+    /// Output of the first (or only) core.
+    pub fn output(&self) -> &[i16] {
+        &self.outputs[0]
+    }
+}
+
+/// The modelled platform: an EMT-protected shared memory behind a banked
+/// crossbar, executing one application per core.
+///
+/// ```
+/// use dream_core::EmtKind;
+/// use dream_dsp::AppKind;
+/// use dream_ecg::Database;
+/// use dream_soc::{Soc, SocConfig};
+///
+/// let record = Database::record(101, 512);
+/// let mut soc = Soc::new(SocConfig::inyu(), EmtKind::EccSecDed, None);
+/// let run = soc.run_app(&*AppKind::CompressedSensing.instantiate(512), &record.samples);
+/// assert_eq!(run.output().len(), 256);
+/// ```
+pub struct Soc {
+    config: SocConfig,
+    mem: ProtectedMemory,
+}
+
+impl Soc {
+    /// Builds a platform with the given EMT and optional shared fault map
+    /// (width ≥ 22 so all EMTs see the same fault locations, §V).
+    pub fn new(config: SocConfig, emt: EmtKind, fault_map: Option<&FaultMap>) -> Self {
+        let mem = match fault_map {
+            Some(map) => ProtectedMemory::with_fault_map(emt, config.geometry, map),
+            None => ProtectedMemory::new(emt, config.geometry),
+        };
+        Soc { config, mem }
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// The protected shared memory (e.g. for fault census).
+    pub fn memory(&self) -> &ProtectedMemory {
+        &self.mem
+    }
+
+    /// Runs a single application on core 0.
+    pub fn run_app(&mut self, app: &dyn BiomedicalApp, input: &[i16]) -> SocRun {
+        self.run_apps(&[(app, input)])
+    }
+
+    /// Runs one application per core (disjoint partitions of the shared
+    /// memory), then replays the recorded traces through the crossbar for
+    /// cycle-level timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more apps than cores are given, or the combined footprint
+    /// exceeds the shared memory.
+    pub fn run_apps(&mut self, apps: &[(&dyn BiomedicalApp, &[i16])]) -> SocRun {
+        assert!(!apps.is_empty(), "need at least one application");
+        assert!(
+            apps.len() <= self.config.max_cores,
+            "more applications than cores"
+        );
+        let total: usize = apps.iter().map(|(a, _)| a.memory_words()).sum();
+        assert!(
+            total <= self.config.geometry.words(),
+            "combined footprint {total} exceeds the shared memory"
+        );
+        self.mem.reset_stats();
+        let mut outputs = Vec::with_capacity(apps.len());
+        let mut traces: Vec<AccessTrace> = Vec::with_capacity(apps.len());
+        let mut base = 0usize;
+        for (app, input) in apps {
+            let words = app.memory_words();
+            let mut port = MemoryPort::new(
+                &mut self.mem,
+                self.config.geometry,
+                base,
+                words,
+                self.config.compute_gap_cycles,
+            );
+            outputs.push(app.run(input, &mut port));
+            traces.push(port.into_trace());
+            base += words;
+        }
+        let crossbar = Crossbar::simulate(self.config.geometry.banks(), &traces);
+        SocRun {
+            outputs,
+            stats: self.mem.stats(),
+            cycles: crossbar.cycles,
+            crossbar,
+        }
+    }
+
+    /// Prices a run at the given data-memory supply voltage.
+    pub fn energy(&self, run: &SocRun, bundle: &EnergyModelBundle, data_v: f64) -> EnergyBreakdown {
+        bundle.run_energy(
+            self.mem.codec(),
+            &run.stats,
+            self.mem.words(),
+            data_v,
+            self.config.seconds(run.cycles),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_dsp::AppKind;
+    use dream_ecg::Database;
+
+    #[test]
+    fn single_core_run_matches_plain_storage() {
+        // With no faults, running through the SoC must produce exactly the
+        // same output as a plain in-process buffer.
+        let record = Database::record(100, 512);
+        for kind in AppKind::all() {
+            let app = kind.instantiate(512);
+            let mut soc = Soc::new(SocConfig::inyu(), EmtKind::None, None);
+            let run = soc.run_app(&*app, &record.samples);
+            let mut plain = dream_dsp::VecStorage::new(app.memory_words());
+            let expect = app.run(&record.samples, &mut plain);
+            assert_eq!(run.output(), &expect[..], "{kind}");
+        }
+    }
+
+    #[test]
+    fn stats_count_the_whole_run() {
+        let record = Database::record(100, 512);
+        let app = AppKind::Dwt.instantiate(512);
+        let mut soc = Soc::new(SocConfig::inyu(), EmtKind::Dream, None);
+        let run = soc.run_app(&*app, &record.samples);
+        // The DWT writes at least input + all outputs, reads more.
+        assert!(run.stats.writes >= 512 + 5 * 512);
+        assert!(run.stats.reads > run.stats.writes);
+        assert_eq!(run.cycles, run.crossbar.cycles);
+    }
+
+    #[test]
+    fn two_cores_share_the_memory() {
+        let record = Database::record(102, 256);
+        let a = AppKind::Dwt.instantiate(256);
+        let b = AppKind::CompressedSensing.instantiate(256);
+        let mut soc = Soc::new(SocConfig::inyu(), EmtKind::Dream, None);
+        let run = soc.run_apps(&[(&*a, &record.samples), (&*b, &record.samples)]);
+        assert_eq!(run.outputs.len(), 2);
+        assert_eq!(run.outputs[1].len(), 128);
+        // Parallel cores on one memory: some bank conflicts are expected.
+        assert!(run.crossbar.cycles > 0);
+    }
+
+    #[test]
+    fn parallel_runs_cost_fewer_cycles_than_serial() {
+        let record = Database::record(104, 256);
+        let a = AppKind::MorphologicalFilter.instantiate(256);
+        let b = AppKind::MorphologicalFilter.instantiate(256);
+        let mut soc = Soc::new(SocConfig::inyu(), EmtKind::None, None);
+        let serial_a = soc.run_app(&*a, &record.samples).cycles;
+        let serial_b = soc.run_app(&*b, &record.samples).cycles;
+        let parallel = soc
+            .run_apps(&[(&*a, &record.samples), (&*b, &record.samples)])
+            .cycles;
+        assert!(
+            parallel < serial_a + serial_b,
+            "parallel {parallel} vs serial {}",
+            serial_a + serial_b
+        );
+    }
+
+    #[test]
+    fn energy_accounts_for_leakage_over_cycles() {
+        let record = Database::record(100, 512);
+        let app = AppKind::Dwt.instantiate(512);
+        let mut soc = Soc::new(SocConfig::inyu(), EmtKind::Dream, None);
+        let run = soc.run_app(&*app, &record.samples);
+        let bundle = EnergyModelBundle::date16();
+        let e = soc.energy(&run, &bundle, 0.6);
+        assert!(e.leakage_pj > 0.0);
+        assert!(e.data_dynamic_pj > 0.0);
+        assert!(e.side_dynamic_pj > 0.0); // DREAM's mask memory
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the shared memory")]
+    fn oversubscription_rejected() {
+        let record = Database::record(100, 4096);
+        let apps: Vec<Box<dyn dream_dsp::BiomedicalApp>> =
+            (0..4).map(|_| AppKind::Dwt.instantiate(4096)).collect();
+        let pairs: Vec<(&dyn dream_dsp::BiomedicalApp, &[i16])> = apps
+            .iter()
+            .map(|a| (a.as_ref() as &dyn dream_dsp::BiomedicalApp, &record.samples[..]))
+            .collect();
+        let mut soc = Soc::new(SocConfig::inyu(), EmtKind::None, None);
+        let _ = soc.run_apps(&pairs);
+    }
+}

@@ -1,0 +1,44 @@
+//! **dream-suite** — a full reproduction of *"Energy vs. Reliability
+//! Trade-offs Exploration in Biomedical Ultra-Low Power Devices"* (Duch,
+//! Garcia del Valle, Ganapathy, Burg, Atienza — DATE 2016).
+//!
+//! This façade crate re-exports the workspace so downstream users depend on
+//! one name:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `dream-core` | the DREAM technique, ECC SEC/DED, protected memory |
+//! | [`fixed`] | `dream-fixed` | Q15 fixed-point arithmetic |
+//! | [`ecg`] | `dream-ecg` | synthetic ECG substrate (MIT-BIH stand-in) |
+//! | [`mem`] | `dream-mem` | BER model, stuck-at fault maps, faulty SRAM |
+//! | [`energy`] | `dream-energy` | CACTI-like energy/area models |
+//! | [`dsp`] | `dream-dsp` | the five biomedical applications + SNR metric |
+//! | [`soc`] | `dream-soc` | cycle-approximate MPSoC (VirtualSOC stand-in) |
+//! | [`sim`] | `dream-sim` | the per-figure/table experiment drivers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dream_suite::core::{Dream, EmtCodec};
+//!
+//! // DREAM protects the sign-extension run of each 16-bit sample.
+//! let dream = Dream::new();
+//! let encoded = dream.encode(-42);
+//! let corrupted = encoded.code ^ 0xFF00; // eight MSB faults
+//! assert_eq!(dream.decode(corrupted, encoded.side).word, -42);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dream_core as core;
+pub use dream_dsp as dsp;
+pub use dream_ecg as ecg;
+pub use dream_energy as energy;
+pub use dream_fixed as fixed;
+pub use dream_mem as mem;
+pub use dream_sim as sim;
+pub use dream_soc as soc;

@@ -1,0 +1,117 @@
+//! End-to-end integration: the full stack (ECG → application → SoC →
+//! protected faulty memory → SNR/energy) wired together the way the
+//! experiment harness uses it.
+
+use dream_suite::core::{EmtKind, EnergyModelBundle};
+use dream_suite::dsp::{samples_to_f64, snr_db, AppKind, VecStorage};
+use dream_suite::ecg::Database;
+use dream_suite::mem::{BerModel, FaultMap};
+use dream_suite::soc::{Soc, SocConfig};
+
+/// Every application, on every EMT, over a clean memory, must reproduce
+/// exactly the plain-storage output — the platform is transparent when no
+/// faults are present.
+#[test]
+fn clean_platform_is_transparent_for_all_apps_and_emts() {
+    let window = 512;
+    let record = Database::record(100, window);
+    for app_kind in AppKind::all() {
+        let app = app_kind.instantiate(window);
+        let mut plain = VecStorage::new(app.memory_words());
+        let expect = app.run(&record.samples, &mut plain);
+        for emt in EmtKind::all() {
+            let mut soc = Soc::new(SocConfig::inyu(), emt, None);
+            let run = soc.run_app(&*app, &record.samples);
+            assert_eq!(run.output(), &expect[..], "{app_kind} under {emt}");
+        }
+    }
+}
+
+/// The same fault map must yield bit-identical results across repeated
+/// executions — the determinism the 200-run campaigns rely on.
+#[test]
+fn fault_injection_is_deterministic() {
+    let window = 512;
+    let record = Database::record(103, window);
+    let config = SocConfig::inyu();
+    let map = FaultMap::generate(config.geometry.words(), 22, 1e-3, 77);
+    let app = AppKind::Dwt.instantiate(window);
+    let mut outputs = Vec::new();
+    for _ in 0..2 {
+        let mut soc = Soc::new(config, EmtKind::Dream, Some(&map));
+        outputs.push(soc.run_app(&*app, &record.samples).output().to_vec());
+    }
+    assert_eq!(outputs[0], outputs[1]);
+}
+
+/// Quality ordering at a mid-scale voltage: protected runs are at least as
+/// good as unprotected ones on the *same* fault map, for every application.
+#[test]
+fn protection_never_hurts_quality() {
+    let window = 512;
+    let voltage = 0.6;
+    let ber = BerModel::date16().ber(voltage);
+    let config = SocConfig::inyu();
+    for app_kind in AppKind::all() {
+        let app = app_kind.instantiate(window);
+        for run_idx in 0..3u64 {
+            let record = Database::record(100 + run_idx as u16, window);
+            let reference = app.run_reference(&record.samples);
+            let map = FaultMap::generate(config.geometry.words(), 22, ber, 1000 + run_idx);
+            let snr_of = |emt: EmtKind| {
+                let mut soc = Soc::new(config, emt, Some(&map));
+                let run = soc.run_app(&*app, &record.samples);
+                snr_db(&reference, &samples_to_f64(run.output())).min(120.0)
+            };
+            let none = snr_of(EmtKind::None);
+            let dream = snr_of(EmtKind::Dream);
+            // DREAM only ever rebuilds MSBs from reliable side data, so it
+            // can lose to raw storage only through faults raw storage also
+            // sees; allow a tiny tolerance for the rare case where a fault
+            // lands in ECC-lane cells that raw storage does not use.
+            assert!(
+                dream >= none - 1.0,
+                "{app_kind} run {run_idx}: DREAM {dream:.1} vs none {none:.1}"
+            );
+        }
+    }
+}
+
+/// Energy accounting is self-consistent across the stack: pricing a run
+/// through the SoC equals pricing its stats through the bundle directly.
+#[test]
+fn soc_energy_matches_direct_pricing() {
+    let window = 512;
+    let record = Database::record(100, window);
+    let app = AppKind::MorphologicalFilter.instantiate(window);
+    let bundle = EnergyModelBundle::date16();
+    let mut soc = Soc::new(SocConfig::inyu(), EmtKind::Dream, None);
+    let run = soc.run_app(&*app, &record.samples);
+    let via_soc = soc.energy(&run, &bundle, 0.7);
+    let direct = bundle.run_energy(
+        soc.memory().codec(),
+        &run.stats,
+        soc.memory().words(),
+        0.7,
+        SocConfig::inyu().seconds(run.cycles),
+    );
+    assert_eq!(via_soc, direct);
+    assert!(via_soc.total_pj() > 0.0);
+}
+
+/// A multi-core workload shares one protected memory: both cores' outputs
+/// are correct and the interconnect reports the contention.
+#[test]
+fn dual_core_pipeline_runs_both_apps() {
+    let window = 512;
+    let record = Database::record(101, window);
+    let cs = AppKind::CompressedSensing.instantiate(window);
+    let morpho = AppKind::MorphologicalFilter.instantiate(window);
+    let mut soc = Soc::new(SocConfig::inyu(), EmtKind::Dream, None);
+    let run = soc.run_apps(&[(&*cs, &record.samples), (&*morpho, &record.samples)]);
+    assert_eq!(run.outputs[0].len(), cs.output_len());
+    assert_eq!(run.outputs[1].len(), morpho.output_len());
+    let mut plain = VecStorage::new(cs.memory_words());
+    assert_eq!(run.outputs[0], cs.run(&record.samples, &mut plain));
+    assert!(run.crossbar.bank_accesses.iter().sum::<u64>() > 0);
+}

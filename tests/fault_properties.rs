@@ -1,0 +1,113 @@
+//! Property-based integration tests: the correction guarantees of §IV hold
+//! through the full storage stack (protected memory over faulty SRAM), not
+//! just at the codec level.
+
+use dream_suite::core::{Dream, EmtKind, ProtectedMemory};
+use dream_suite::mem::{FaultMap, MemGeometry, StuckAt};
+use proptest::prelude::*;
+
+fn geometry() -> MemGeometry {
+    MemGeometry::new(64, 16, 16)
+}
+
+proptest! {
+    /// DREAM through the memory stack: any set of faults confined to a
+    /// word's protected region leaves the read value intact.
+    #[test]
+    fn dream_stack_corrects_protected_region(
+        word in any::<i16>(),
+        fault_bits in prop::collection::vec((0u32..16, any::<bool>()), 0..6),
+        addr in 0usize..64,
+    ) {
+        let protected = Dream::protected_bits(word);
+        let mut map = FaultMap::empty(64, 22);
+        for (bit, polarity) in fault_bits {
+            // Keep only faults inside the protected MSB region.
+            if bit >= 16 - protected {
+                let stuck = if polarity { StuckAt::One } else { StuckAt::Zero };
+                map.inject(addr, bit, stuck);
+            }
+        }
+        let mut mem = ProtectedMemory::with_fault_map(EmtKind::Dream, geometry(), &map);
+        mem.write(addr, word);
+        prop_assert_eq!(mem.read(addr), word);
+    }
+
+    /// ECC through the memory stack: one stuck bit whose polarity disagrees
+    /// with the stored data is always corrected.
+    #[test]
+    fn ecc_stack_corrects_single_disagreeing_fault(
+        word in any::<i16>(),
+        bit in 0u32..22,
+        polarity in any::<bool>(),
+        addr in 0usize..64,
+    ) {
+        let mut map = FaultMap::empty(64, 22);
+        let stuck = if polarity { StuckAt::One } else { StuckAt::Zero };
+        map.inject(addr, bit, stuck);
+        let mut mem = ProtectedMemory::with_fault_map(EmtKind::EccSecDed, geometry(), &map);
+        mem.write(addr, word);
+        prop_assert_eq!(mem.read(addr), word);
+        // A stuck cell either agrees with the stored bit (no error) or
+        // disagrees (single error, corrected) — reads are always right.
+        let stats = mem.stats();
+        prop_assert_eq!(stats.uncorrectable_reads, 0);
+    }
+
+    /// Unprotected storage reads back exactly the overlay-corrupted bits —
+    /// the stack adds no hidden cleaning.
+    #[test]
+    fn none_stack_is_bit_transparent(
+        word in any::<i16>(),
+        bit in 0u32..16,
+        polarity in any::<bool>(),
+        addr in 0usize..64,
+    ) {
+        let mut map = FaultMap::empty(64, 22);
+        let stuck = if polarity { StuckAt::One } else { StuckAt::Zero };
+        map.inject(addr, bit, stuck);
+        let mut mem = ProtectedMemory::with_fault_map(EmtKind::None, geometry(), &map);
+        mem.write(addr, word);
+        let expected = {
+            let bits = word as u16;
+            let lane = 1u16 << bit;
+            if polarity { bits | lane } else { bits & !lane }
+        };
+        prop_assert_eq!(mem.read(addr) as u16, expected);
+    }
+
+    /// Writing other addresses never disturbs a word (no aliasing through
+    /// the codec/side-array plumbing).
+    #[test]
+    fn no_cross_address_interference(
+        words in prop::collection::vec(any::<i16>(), 64),
+        emt_idx in 0usize..4,
+    ) {
+        let emt = EmtKind::all()[emt_idx];
+        let mut mem = ProtectedMemory::new(emt, geometry());
+        for (i, &w) in words.iter().enumerate() {
+            mem.write(i, w);
+        }
+        for (i, &w) in words.iter().enumerate() {
+            prop_assert_eq!(mem.read(i), w, "addr {} under {}", i, emt);
+        }
+    }
+
+    /// Re-writing a word after its region was read with faults still
+    /// refreshes the side information correctly (mask IDs never go stale).
+    #[test]
+    fn dream_side_info_tracks_rewrites(
+        first in any::<i16>(),
+        second in any::<i16>(),
+        addr in 0usize..64,
+    ) {
+        // Fault on the MSB: protected for every word value.
+        let mut map = FaultMap::empty(64, 22);
+        map.inject(addr, 15, StuckAt::One);
+        let mut mem = ProtectedMemory::with_fault_map(EmtKind::Dream, geometry(), &map);
+        mem.write(addr, first);
+        let _ = mem.read(addr);
+        mem.write(addr, second);
+        prop_assert_eq!(mem.read(addr), second);
+    }
+}
