@@ -60,5 +60,10 @@ fn bench_decode_corrupted(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode_clean, bench_decode_corrupted);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode_clean,
+    bench_decode_corrupted
+);
 criterion_main!(benches);

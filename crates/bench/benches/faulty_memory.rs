@@ -11,13 +11,17 @@ fn bench_fault_map_generation(c: &mut Criterion) {
     let words = 16 * 1024;
     for v in [0.9, 0.7, 0.5] {
         let ber = BerModel::date16().ber(v);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{v}V")), &ber, |b, &ber| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                black_box(FaultMap::generate(words, 22, black_box(ber), seed))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{v}V")),
+            &ber,
+            |b, &ber| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(FaultMap::generate(words, 22, black_box(ber), seed))
+                })
+            },
+        );
     }
     group.finish();
 }

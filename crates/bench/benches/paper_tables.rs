@@ -80,10 +80,23 @@ fn bench_tradeoff(c: &mut Criterion) {
         ..Default::default()
     });
     group.bench_function("tradeoff_explore", |b| {
-        b.iter(|| black_box(explore(AppKind::Dwt, 1.0, black_box(&fig4), black_box(&energy))))
+        b.iter(|| {
+            black_box(explore(
+                AppKind::Dwt,
+                1.0,
+                black_box(&fig4),
+                black_box(&energy),
+            ))
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_fig2, bench_fig4, bench_energy, bench_tradeoff);
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig4,
+    bench_energy,
+    bench_tradeoff
+);
 criterion_main!(benches);

@@ -33,12 +33,20 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", report::format_table(&["bits", "samples", "share", ""], &rows));
-    println!("mean: {:.1} of 16 bits rebuildable", mean_protected_bits(&histogram));
+    println!(
+        "{}",
+        report::format_table(&["bits", "samples", "share", ""], &rows)
+    );
+    println!(
+        "mean: {:.1} of 16 bits rebuildable",
+        mean_protected_bits(&histogram)
+    );
 
     // A2 — the §V address scrambler: one die, many runs.
     let scrambler = scrambler_ablation(window, 0.55, runs);
-    println!("\nA2 — address scrambling at 0.55 V (one physical die, {runs} runs, unprotected DWT)");
+    println!(
+        "\nA2 — address scrambling at 0.55 V (one physical die, {runs} runs, unprotected DWT)"
+    );
     println!(
         "  fixed logical mapping : std {:.2} dB (every run hits the same words)",
         scrambler.fixed_mapping_std()
@@ -77,7 +85,11 @@ fn main() {
     let rows: Vec<Vec<String>> = mask_supply_ablation(window)
         .into_iter()
         .map(|(v, pinned, tracking)| {
-            vec![format!("{v:.2}"), report::pct(pinned), report::pct(tracking)]
+            vec![
+                format!("{v:.2}"),
+                report::pct(pinned),
+                report::pct(tracking),
+            ]
         })
         .collect();
     println!(

@@ -116,7 +116,15 @@ fn main() {
     .expect("write fig2.csv");
     report::write_csv(
         &dir.join("fig4.csv"),
-        &["app", "emt", "voltage", "mean_snr_db", "min_snr_db", "corrected_rate", "uncorrectable_rate"],
+        &[
+            "app",
+            "emt",
+            "voltage",
+            "mean_snr_db",
+            "min_snr_db",
+            "corrected_rate",
+            "uncorrectable_rate",
+        ],
         &fig4_points
             .iter()
             .map(|p| {

@@ -32,7 +32,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        report::format_table(&["EMT", "encoder GE", "decoder GE", "extra bits/word"], &table)
+        report::format_table(
+            &["EMT", "encoder GE", "decoder GE", "extra bits/word"],
+            &table
+        )
     );
     let (enc, dec) = ecc_vs_dream_area(&area_rows);
     println!(
@@ -49,7 +52,10 @@ fn main() {
         ..Default::default()
     };
     let rows = run_energy_table(&cfg);
-    println!("\n§VI-B — energy of one {} run (window {})", cfg.app, cfg.window);
+    println!(
+        "\n§VI-B — energy of one {} run (window {})",
+        cfg.app, cfg.window
+    );
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -99,7 +105,9 @@ fn main() {
     let path = results_dir().join("energy.csv");
     report::write_csv(
         &path,
-        &["emt", "voltage", "total_pj", "data_pj", "mask_pj", "codec_pj", "leak_pj", "overhead"],
+        &[
+            "emt", "voltage", "total_pj", "data_pj", "mask_pj", "codec_pj", "leak_pj", "overhead",
+        ],
         &csv,
     )
     .expect("write CSV");

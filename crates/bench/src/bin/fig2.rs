@@ -43,10 +43,13 @@ fn main() {
             }
             table.push(row);
         }
-        println!("\nFig. 2 — SNR (dB) vs bit position, stuck-at-{}", match stuck {
-            StuckAt::Zero => 0,
-            StuckAt::One => 1,
-        });
+        println!(
+            "\nFig. 2 — SNR (dB) vs bit position, stuck-at-{}",
+            match stuck {
+                StuckAt::Zero => 0,
+                StuckAt::One => 1,
+            }
+        );
         println!("{}", report::format_table(&header_refs, &table));
     }
 

@@ -75,7 +75,15 @@ fn main() {
     let path = results_dir().join("fig4.csv");
     report::write_csv(
         &path,
-        &["app", "emt", "voltage", "mean_snr_db", "min_snr_db", "corrected_rate", "uncorrectable_rate"],
+        &[
+            "app",
+            "emt",
+            "voltage",
+            "mean_snr_db",
+            "min_snr_db",
+            "corrected_rate",
+            "uncorrectable_rate",
+        ],
         &csv,
     )
     .expect("write CSV");

@@ -41,9 +41,7 @@ fn main() {
     let energy = run_energy_table(&energy_cfg);
     let policies = explore(app, tolerance_db, &points, &energy);
 
-    println!(
-        "\n§VI-C — {app} with a -{tolerance_db} dB tolerance (savings vs 0.9 V unprotected)"
-    );
+    println!("\n§VI-C — {app} with a -{tolerance_db} dB tolerance (savings vs 0.9 V unprotected)");
     let table: Vec<Vec<String>> = policies
         .iter()
         .map(|p| {
@@ -59,7 +57,9 @@ fn main() {
         "{}",
         report::format_table(&["EMT", "min voltage", "energy savings"], &table)
     );
-    println!("paper: no protection -> 0.85 V / 12.7%, DREAM -> 0.65 V / 30.6%, ECC -> 0.55 V / 39.5%");
+    println!(
+        "paper: no protection -> 0.85 V / 12.7%, DREAM -> 0.65 V / 30.6%, ECC -> 0.55 V / 39.5%"
+    );
 
     let csv: Vec<Vec<String>> = policies
         .iter()

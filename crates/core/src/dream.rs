@@ -86,9 +86,9 @@ impl Dream {
 fn sign_run(word: i16) -> u32 {
     let bits = word as u16;
     if word < 0 {
-        (!bits).leading_zeros().max(1).min(16)
+        (!bits).leading_zeros().clamp(1, 16)
     } else {
-        bits.leading_zeros().max(1).min(16)
+        bits.leading_zeros().clamp(1, 16)
     }
 }
 
@@ -123,6 +123,7 @@ impl EmtCodec for Dream {
         // The two parallel branches of Fig. 3 …
         let and_branch = corrupted & !mask; // clears the run (positive case)
         let or_branch = corrupted | mask; // sets the run (negative case)
+
         // … the sign-controlled 2:1 multiplexer …
         let mut out = if sign { or_branch } else { and_branch };
         // … and the "Set one bit" block: the first bit after the run always
@@ -220,7 +221,9 @@ mod tests {
             };
             // Exhaust all patterns when small, else a spread of patterns.
             let patterns: Vec<u32> = if protected <= 10 {
-                (0..(1u32 << protected)).map(|p| p << (16 - protected)).collect()
+                (0..(1u32 << protected))
+                    .map(|p| p << (16 - protected))
+                    .collect()
             } else {
                 (0..1024u32)
                     .map(|p| (p.wrapping_mul(2_654_435_761) % (1 << protected)) << (16 - protected))

@@ -137,7 +137,10 @@ impl EmtCodec for EccSecDed {
             // Odd number of errors with a syndrome: assume single, correct.
             (s, false) => {
                 if (1..=21).contains(&s) {
-                    (code ^ (1 << Self::bit_of_position(s)), DecodeOutcome::Corrected)
+                    (
+                        code ^ (1 << Self::bit_of_position(s)),
+                        DecodeOutcome::Corrected,
+                    )
                 } else {
                     // Syndrome points outside the code: >=3 errors.
                     (code, DecodeOutcome::DetectedUncorrectable)
@@ -249,7 +252,18 @@ mod tests {
         // SEC/DED requires Hamming distance 4 between codewords; spot-check
         // against a sample of word pairs.
         let c = codec();
-        let words = [0i16, 1, 2, 3, -1, -2, 255, 256, 0x5555u16 as i16, 0x2AAAu16 as i16];
+        let words = [
+            0i16,
+            1,
+            2,
+            3,
+            -1,
+            -2,
+            255,
+            256,
+            0x5555u16 as i16,
+            0x2AAAu16 as i16,
+        ];
         for &a in &words {
             for &b in &words {
                 if a == b {

@@ -91,7 +91,12 @@ pub enum EmtKind {
 impl EmtKind {
     /// All techniques, including the parity extension.
     pub fn all() -> [EmtKind; 4] {
-        [EmtKind::None, EmtKind::Parity, EmtKind::Dream, EmtKind::EccSecDed]
+        [
+            EmtKind::None,
+            EmtKind::Parity,
+            EmtKind::Dream,
+            EmtKind::EccSecDed,
+        ]
     }
 
     /// The three techniques the paper's Fig. 4 compares.

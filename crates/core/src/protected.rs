@@ -1,7 +1,7 @@
 //! Protected-memory composition: codec + faulty data array + reliable side
 //! array + statistics + energy accounting.
 
-use dream_energy::{EnergyBreakdown, SramEnergyModel, calib};
+use dream_energy::{calib, EnergyBreakdown, SramEnergyModel};
 use dream_mem::{FaultMap, FaultySram, MemGeometry};
 
 use crate::emt::{AnyCodec, DecodeOutcome, Decoded, EmtCodec, EmtKind};
@@ -76,8 +76,10 @@ impl EnergyModelBundle {
         let mut e = EnergyBreakdown::new();
         e.data_dynamic_pj = accesses * self.main.access_energy_pj(codec.code_width(), data_v);
         if codec.side_bits() > 0 {
-            e.side_dynamic_pj =
-                accesses * self.side.access_energy_pj(codec.side_bits(), self.side_supply_v);
+            e.side_dynamic_pj = accesses
+                * self
+                    .side
+                    .access_energy_pj(codec.side_bits(), self.side_supply_v);
         }
         let enc = codec.encoder_netlist().op_energy_pj(data_v);
         let dec = codec.decoder_netlist().op_energy_pj(data_v);
@@ -137,7 +139,12 @@ impl ProtectedMemory {
     pub fn new(kind: EmtKind, geometry: MemGeometry) -> Self {
         let codec = kind.codec();
         let width = codec.code_width();
-        Self::build(kind, codec, geometry, FaultMap::empty(geometry.words(), width))
+        Self::build(
+            kind,
+            codec,
+            geometry,
+            FaultMap::empty(geometry.words(), width),
+        )
     }
 
     /// Creates a protected memory whose data array carries the stuck-at
@@ -333,7 +340,6 @@ mod tests {
         assert_eq!(s.writes, 10);
         assert_eq!(s.reads, 5);
         assert_eq!(s.accesses(), 15);
-        let mut mem = mem;
         mem.reset_stats();
         assert_eq!(mem.stats().accesses(), 0);
     }

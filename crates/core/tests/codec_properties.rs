@@ -1,9 +1,7 @@
 //! Property-based tests for the EMT codecs — the invariants the paper's
 //! §IV correctness argument rests on.
 
-use dream_core::{
-    DecodeOutcome, Dream, EccSecDed, EmtCodec, EmtKind, EvenParity, NoProtection,
-};
+use dream_core::{DecodeOutcome, Dream, EccSecDed, EmtCodec, EmtKind, EvenParity, NoProtection};
 use proptest::prelude::*;
 
 proptest! {

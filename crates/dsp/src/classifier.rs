@@ -120,9 +120,8 @@ impl HeartbeatClassifier {
                 let left = pi.saturating_sub(samples(0.06));
                 let right = (pi + samples(0.06)).min(n - 1);
                 let prominence = amp(pi) - 0.5 * (amp(left) + amp(right));
-                let qrs_height = (amp((r as usize).min(n - 1))
-                    - amp((q as usize).min(n - 1)))
-                .abs();
+                let qrs_height =
+                    (amp((r as usize).min(n - 1)) - amp((q as usize).min(n - 1))).abs();
                 prominence > 0.04 * qrs_height && qrs_height > 0.0
             };
             let rr = if i > 0 {
@@ -131,9 +130,7 @@ impl HeartbeatClassifier {
                 f64::NAN
             };
             let premature = rr_count > 0 && rr < 0.8 * mean_rr;
-            let class = if qrs_width > ms(0.12) {
-                BeatClass::Ventricular
-            } else if premature && !has_p {
+            let class = if qrs_width > ms(0.12) || (premature && !has_p) {
                 BeatClass::Ventricular
             } else if !has_p {
                 BeatClass::Other
@@ -232,7 +229,10 @@ mod tests {
     fn sinus_rhythm_classifies_normal() {
         let beats = run_on(100, 2048); // normal sinus
         assert!(beats.len() >= 3, "{beats:?}");
-        let normal = beats.iter().filter(|(k, _)| *k == BeatClass::Normal).count();
+        let normal = beats
+            .iter()
+            .filter(|(k, _)| *k == BeatClass::Normal)
+            .count();
         assert!(
             normal * 2 > beats.len(),
             "sinus record should be mostly normal: {beats:?}"
@@ -251,7 +251,10 @@ mod tests {
         let mut mem = VecStorage::new(app.memory_words());
         let beats = HeartbeatClassifier::decode_output(&app.run(&af.samples, &mut mem));
         assert!(!beats.is_empty());
-        let abnormal = beats.iter().filter(|(k, _)| *k != BeatClass::Normal).count();
+        let abnormal = beats
+            .iter()
+            .filter(|(k, _)| *k != BeatClass::Normal)
+            .count();
         assert!(
             abnormal * 2 >= beats.len(),
             "AF beats should not classify as conducted-normal: {beats:?}"

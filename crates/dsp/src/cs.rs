@@ -68,7 +68,9 @@ impl CompressedSensing {
     /// average row weight `2·d`, a generous margin of `4·d` inputs at full
     /// scale still fits after shifting by `log2(4·d)`.
     fn scale_shift(&self) -> u32 {
-        (4 * self.nonzeros_per_column).next_power_of_two().trailing_zeros()
+        (4 * self.nonzeros_per_column)
+            .next_power_of_two()
+            .trailing_zeros()
     }
 
     /// The row index of the `k`-th one in column `col`.
@@ -187,13 +189,15 @@ mod tests {
     fn zero_input_gives_zero_measurements() {
         let app = CompressedSensing::new(64, 4, 2);
         let mut mem = VecStorage::new(app.memory_words());
-        assert!(app.run(&vec![0; 64], &mut mem).iter().all(|&v| v == 0));
+        assert!(app.run(&[0; 64], &mut mem).iter().all(|&v| v == 0));
     }
 
     #[test]
     fn fixed_point_tracks_float_reference() {
         let app = CompressedSensing::new(256, 4, 3);
-        let input: Vec<i16> = (0..256).map(|i| ((i as i32 * 157) % 12000 - 6000) as i16).collect();
+        let input: Vec<i16> = (0..256)
+            .map(|i| ((i * 157) % 12000 - 6000) as i16)
+            .collect();
         let mut mem = VecStorage::new(app.memory_words());
         let out = app.run(&input, &mut mem);
         let snr = snr_db(&app.run_reference(&input), &samples_to_f64(&out));
@@ -205,7 +209,9 @@ mod tests {
         // A sparse binary projection hits every column d times: nonzero
         // input ⇒ nonzero output.
         let app = CompressedSensing::new(256, 4, 8);
-        let input: Vec<i16> = (0..256).map(|i| if i == 100 { 10_000 } else { 0 }).collect();
+        let input: Vec<i16> = (0..256)
+            .map(|i| if i == 100 { 10_000 } else { 0 })
+            .collect();
         let mut mem = VecStorage::new(app.memory_words());
         let y = app.run(&input, &mut mem);
         assert!(y.iter().any(|&v| v != 0));
@@ -219,7 +225,10 @@ mod tests {
         let y = app.run(&input, &mut mem);
         // The shift is sized so even pathological inputs rarely rail; the
         // clamp exists but should not be the common case.
-        let railed = y.iter().filter(|&&v| v == i16::MAX || v == i16::MIN).count();
+        let railed = y
+            .iter()
+            .filter(|&&v| v == i16::MAX || v == i16::MIN)
+            .count();
         assert!(railed < y.len() / 4, "{railed} of {} railed", y.len());
     }
 }

@@ -150,7 +150,12 @@ fn detect_fiducials(
                     &mut lp2,
                     true,
                 );
-                let t = argext((r + ms(0.10)).min(n - 1), (r + ms(0.40)).min(n - 1), &mut lp2, true);
+                let t = argext(
+                    (r + ms(0.10)).min(n - 1),
+                    (r + ms(0.40)).min(n - 1),
+                    &mut lp2,
+                    true,
+                );
                 let slot = &mut out[beat * 5..beat * 5 + 5];
                 slot[0] = p as i16;
                 slot[1] = q as i16;
@@ -319,8 +324,16 @@ mod tests {
         let app = WaveletDelineation::new(2048, fast.fs);
         let mut m1 = VecStorage::new(app.memory_words());
         let mut m2 = VecStorage::new(app.memory_words());
-        let nf = app.run(&fast.samples, &mut m1).chunks(5).filter(|c| c[2] != 0).count();
-        let ns = app.run(&slow.samples, &mut m2).chunks(5).filter(|c| c[2] != 0).count();
+        let nf = app
+            .run(&fast.samples, &mut m1)
+            .chunks(5)
+            .filter(|c| c[2] != 0)
+            .count();
+        let ns = app
+            .run(&slow.samples, &mut m2)
+            .chunks(5)
+            .filter(|c| c[2] != 0)
+            .count();
         assert!(nf > ns, "tachy {nf} vs brady {ns}");
     }
 

@@ -1,6 +1,6 @@
 //! Discrete wavelet transform (paper §II-1).
 
-use dream_fixed::{Q15, Rounding};
+use dream_fixed::{Rounding, Q15};
 
 use crate::app::{AppKind, BiomedicalApp};
 use crate::WordStorage;
@@ -212,7 +212,9 @@ mod tests {
     use crate::{samples_to_f64, snr_db, VecStorage};
 
     fn ramp(n: usize) -> Vec<i16> {
-        (0..n).map(|i| ((i as i32 * 37) % 2000 - 1000) as i16).collect()
+        (0..n)
+            .map(|i| ((i as i32 * 37) % 2000 - 1000) as i16)
+            .collect()
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Matrix filtering (paper §II-2).
 
-use dream_fixed::{Acc32, Q15, Rounding};
+use dream_fixed::{Acc32, Rounding, Q15};
 
 use crate::app::{AppKind, BiomedicalApp};
 use crate::WordStorage;
@@ -198,7 +198,9 @@ mod tests {
     #[test]
     fn high_frequency_content_passes() {
         let app = MatrixFilter::new(32, 2, 1);
-        let input: Vec<i16> = (0..64).map(|i| if i % 2 == 0 { 2000 } else { -2000 }).collect();
+        let input: Vec<i16> = (0..64)
+            .map(|i| if i % 2 == 0 { 2000 } else { -2000 })
+            .collect();
         let mut mem = VecStorage::new(app.memory_words());
         let out = app.run(&input, &mut mem);
         let in_energy: i64 = input.iter().map(|&v| i64::from(v) * i64::from(v)).sum();
@@ -211,7 +213,7 @@ mod tests {
     #[test]
     fn fixed_point_tracks_float_reference() {
         let app = MatrixFilter::new(32, 8, 2);
-        let input: Vec<i16> = (0..256).map(|i| ((i as i32 * 211) % 8000 - 4000) as i16).collect();
+        let input: Vec<i16> = (0..256).map(|i| ((i * 211) % 8000 - 4000) as i16).collect();
         let mut mem = VecStorage::new(app.memory_words());
         let out = app.run(&input, &mut mem);
         let snr = snr_db(&app.run_reference(&input), &samples_to_f64(&out));

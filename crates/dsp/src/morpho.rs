@@ -209,7 +209,10 @@ impl BiomedicalApp for MorphologicalFilter {
         // Correction.
         for i in 0..n {
             let s = i32::from(mem.read(den + i)) - i32::from(mem.read(base + i));
-            mem.write(out + i, s.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16);
+            mem.write(
+                out + i,
+                s.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16,
+            );
         }
         mem.load_slice(out, n)
     }
@@ -290,7 +293,7 @@ mod tests {
         // opening preserves it while single-sample impulses would go.
         for (k, d) in (-5i32..=5).enumerate() {
             let boost = 8000 - d.abs() * 1500;
-            input[(195 + k) as usize] = input[(195 + k) as usize].saturating_add(boost as i16);
+            input[195 + k] = input[195 + k].saturating_add(boost as i16);
         }
         let mut mem = VecStorage::new(app.memory_words());
         let out = app.run(&input, &mut mem);

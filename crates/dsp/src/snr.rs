@@ -93,7 +93,7 @@ mod tests {
 
     #[test]
     fn snr_decreases_with_error_power() {
-        let r: Vec<f64> = (0..100).map(|i| f64::from(i)).collect();
+        let r: Vec<f64> = (0..100).map(f64::from).collect();
         let small: Vec<f64> = r.iter().map(|x| x + 0.1).collect();
         let big: Vec<f64> = r.iter().map(|x| x + 10.0).collect();
         assert!(snr_db(&r, &small) > snr_db(&r, &big));

@@ -157,7 +157,7 @@ mod tests {
     #[test]
     fn dyn_adapter_works() {
         let mut s = VecStorage::new(4);
-        let mut d: &mut dyn WordStorage = &mut s;
+        let d: &mut dyn WordStorage = &mut s;
         d.write(1, 9);
         assert_eq!(d.read(1), 9);
         assert_eq!(d.len(), 4);

@@ -3,7 +3,7 @@
 use core::fmt;
 use core::ops::{Add, Sub};
 
-use crate::{Q15, Rounding};
+use crate::{Rounding, Q15};
 
 /// A 32-bit accumulator for Q15 multiply-accumulate chains.
 ///

@@ -1,6 +1,6 @@
 //! Property-based tests for the fixed-point layer.
 
-use dream_fixed::{Acc32, Q15, Rounding};
+use dream_fixed::{Acc32, Rounding, Q15};
 use proptest::prelude::*;
 
 proptest! {

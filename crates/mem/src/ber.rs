@@ -100,7 +100,12 @@ mod tests {
         let m = BerModel::date16();
         let grid = BerModel::paper_voltages();
         for pair in grid.windows(2) {
-            assert!(m.ber(pair[0]) > m.ber(pair[1]), "{} vs {}", pair[0], pair[1]);
+            assert!(
+                m.ber(pair[0]) > m.ber(pair[1]),
+                "{} vs {}",
+                pair[0],
+                pair[1]
+            );
         }
     }
 

@@ -94,7 +94,11 @@ impl FaultMap {
         if ber >= 1.0 {
             for w in 0..words {
                 for b in 0..width {
-                    let stuck = if rng.gen::<bool>() { StuckAt::One } else { StuckAt::Zero };
+                    let stuck = if rng.gen::<bool>() {
+                        StuckAt::One
+                    } else {
+                        StuckAt::Zero
+                    };
                     map.inject(w, b, stuck);
                 }
             }
@@ -116,7 +120,11 @@ impl FaultMap {
             }
             let word = (pos / u64::from(width)) as usize;
             let bit = (pos % u64::from(width)) as u32;
-            let stuck = if rng.gen::<bool>() { StuckAt::One } else { StuckAt::Zero };
+            let stuck = if rng.gen::<bool>() {
+                StuckAt::One
+            } else {
+                StuckAt::Zero
+            };
             map.inject(word, bit, stuck);
             pos += 1;
             if pos >= total_bits {
@@ -194,20 +202,23 @@ impl FaultMap {
 
     /// Iterates over `(word, bit, polarity)` for every stuck cell.
     pub fn iter_faults(&self) -> impl Iterator<Item = (usize, u32, StuckAt)> + '_ {
-        self.stuck_mask.iter().enumerate().flat_map(move |(w, &mask)| {
-            (0..self.width).filter_map(move |b| {
-                if mask & (1 << b) != 0 {
-                    let pol = if self.stuck_val[w] & (1 << b) != 0 {
-                        StuckAt::One
+        self.stuck_mask
+            .iter()
+            .enumerate()
+            .flat_map(move |(w, &mask)| {
+                (0..self.width).filter_map(move |b| {
+                    if mask & (1 << b) != 0 {
+                        let pol = if self.stuck_val[w] & (1 << b) != 0 {
+                            StuckAt::One
+                        } else {
+                            StuckAt::Zero
+                        };
+                        Some((w, b, pol))
                     } else {
-                        StuckAt::Zero
-                    };
-                    Some((w, b, pol))
-                } else {
-                    None
-                }
+                        None
+                    }
+                })
             })
-        })
     }
 
     /// Builds a map with the *same* fault pattern but a different word
@@ -218,7 +229,11 @@ impl FaultMap {
     /// paper prescribes.
     pub fn with_width(&self, width: u32) -> FaultMap {
         assert!((1..=32).contains(&width), "width must be in 1..=32");
-        let keep = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let keep = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
         let mut out = FaultMap::empty(self.words, width);
         for w in 0..self.words {
             out.stuck_mask[w] = self.stuck_mask[w] & keep;

@@ -29,7 +29,10 @@ impl MemGeometry {
     /// does not divide `words`.
     pub fn new(words: usize, bits_per_word: u32, banks: usize) -> Self {
         assert!(words > 0, "memory must have at least one word");
-        assert!((1..=32).contains(&bits_per_word), "word width must be 1..=32");
+        assert!(
+            (1..=32).contains(&bits_per_word),
+            "word width must be 1..=32"
+        );
         assert!(banks > 0, "memory must have at least one bank");
         assert_eq!(words % banks, 0, "banks must evenly divide the word count");
         MemGeometry {

@@ -144,13 +144,26 @@ fn rotate_right_masked(x: u64, rot: u32, bits: u32) -> u64 {
 /// Multiplicative inverse of an odd number modulo 2^bits (Newton iteration).
 fn mod_inverse_pow2(a: u64, bits: u32) -> u64 {
     debug_assert!(a % 2 == 1);
-    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let mut inv = 1u64;
     // Five Newton steps give 64 bits of precision.
     for _ in 0..6 {
         inv = inv.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(inv)));
     }
     inv & mask
+}
+
+/// splitmix64 — the standard 64-bit mixing function.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -193,8 +206,13 @@ mod tests {
     fn different_keys_differ() {
         let a = AddressScrambler::new(4096, 1);
         let b = AddressScrambler::new(4096, 2);
-        let moved = (0..4096).filter(|&x| a.to_physical(x) != b.to_physical(x)).count();
-        assert!(moved > 3000, "keys should decorrelate mappings, moved={moved}");
+        let moved = (0..4096)
+            .filter(|&x| a.to_physical(x) != b.to_physical(x))
+            .count();
+        assert!(
+            moved > 3000,
+            "keys should decorrelate mappings, moved={moved}"
+        );
     }
 
     #[test]
@@ -211,13 +229,4 @@ mod tests {
         assert_eq!(s.to_physical(0), 0);
         assert_eq!(s.to_logical(0), 0);
     }
-}
-
-/// splitmix64 — the standard 64-bit mixing function.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }

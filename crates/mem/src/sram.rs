@@ -57,7 +57,11 @@ impl FaultySram {
             "fault map word width"
         );
         let width = geometry.bits_per_word();
-        let width_mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let width_mask = if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
         FaultySram {
             geometry,
             cells: vec![0; geometry.words()],

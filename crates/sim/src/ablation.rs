@@ -96,7 +96,9 @@ pub fn scrambler_ablation(window: usize, voltage: f64, runs: usize) -> Scrambler
     };
     ScramblerAblation {
         fixed_mapping_snrs: (0..runs).map(|_| run_once(None)).collect(),
-        scrambled_snrs: (0..runs).map(|r| run_once(Some(0xA5A5 + r as u64))).collect(),
+        scrambled_snrs: (0..runs)
+            .map(|r| run_once(Some(0xA5A5 + r as u64)))
+            .collect(),
     }
 }
 

@@ -89,10 +89,7 @@ fn price(
     bundle: &EnergyModelBundle,
     voltage: f64,
 ) -> EnergyBreakdown {
-    let (_, run) = runs
-        .iter()
-        .find(|(k, _)| *k == emt)
-        .expect("EMT was swept");
+    let (_, run) = runs.iter().find(|(k, _)| *k == emt).expect("EMT was swept");
     let soc_cfg = SocConfig::inyu();
     bundle.run_energy(
         &emt.codec(),

@@ -198,7 +198,11 @@ mod tests {
         let mut energy = Vec::new();
         for &v in &grid {
             fig4.push(point(EmtKind::None, v, if v >= 0.85 { 80.0 } else { 40.0 }));
-            fig4.push(point(EmtKind::Dream, v, if v >= 0.65 { 80.0 } else { 40.0 }));
+            fig4.push(point(
+                EmtKind::Dream,
+                v,
+                if v >= 0.65 { 80.0 } else { 40.0 },
+            ));
             fig4.push(point(
                 EmtKind::EccSecDed,
                 v,
@@ -233,7 +237,10 @@ mod tests {
         let dream = policies.iter().find(|p| p.emt == EmtKind::Dream).unwrap();
         // 1 - 1.34*(0.65/0.9)^2 = 0.3010...
         assert!((dream.savings_vs_nominal.unwrap() - 0.301).abs() < 1e-3);
-        let ecc = policies.iter().find(|p| p.emt == EmtKind::EccSecDed).unwrap();
+        let ecc = policies
+            .iter()
+            .find(|p| p.emt == EmtKind::EccSecDed)
+            .unwrap();
         // 1 - 1.55*(0.55/0.9)^2 = 0.4212...
         assert!((ecc.savings_vs_nominal.unwrap() - 0.421).abs() < 1e-3);
     }

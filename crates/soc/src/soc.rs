@@ -214,7 +214,12 @@ mod tests {
             (0..4).map(|_| AppKind::Dwt.instantiate(4096)).collect();
         let pairs: Vec<(&dyn dream_dsp::BiomedicalApp, &[i16])> = apps
             .iter()
-            .map(|a| (a.as_ref() as &dyn dream_dsp::BiomedicalApp, &record.samples[..]))
+            .map(|a| {
+                (
+                    a.as_ref() as &dyn dream_dsp::BiomedicalApp,
+                    &record.samples[..],
+                )
+            })
             .collect();
         let mut soc = Soc::new(SocConfig::inyu(), EmtKind::None, None);
         let _ = soc.run_apps(&pairs);

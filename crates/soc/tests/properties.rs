@@ -7,7 +7,11 @@ fn arbitrary_trace(banks: u16, max_len: usize) -> impl Strategy<Value = AccessTr
     prop::collection::vec((0u32..4, 0..banks, any::<bool>()), 0..max_len).prop_map(|events| {
         let mut t = AccessTrace::new();
         for (gap, bank, is_write) in events {
-            t.push(TraceEvent { gap, bank, is_write });
+            t.push(TraceEvent {
+                gap,
+                bank,
+                is_write,
+            });
         }
         t
     })

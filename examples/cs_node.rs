@@ -9,12 +9,12 @@
 //! ```
 
 use dream_suite::core::EmtKind;
+use dream_suite::core::EnergyModelBundle;
 use dream_suite::dsp::{samples_to_f64, snr_db, AppKind};
 use dream_suite::ecg::Database;
 use dream_suite::energy::EnergyBreakdown;
 use dream_suite::mem::{BerModel, FaultMap};
 use dream_suite::soc::{Soc, SocConfig};
-use dream_suite::core::EnergyModelBundle;
 
 fn main() {
     let window = 1024;
@@ -71,5 +71,7 @@ fn main() {
         ok_unprotected +=
             usize::from(snr_db(&reference, &samples_to_f64(run.output())) >= threshold_db);
     }
-    println!("without protection, only {ok_unprotected}/{transmitted} windows pass at this voltage");
+    println!(
+        "without protection, only {ok_unprotected}/{transmitted} windows pass at this voltage"
+    );
 }

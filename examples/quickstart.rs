@@ -8,7 +8,11 @@
 use dream_suite::core::{DecodeOutcome, Dream, EccSecDed, EmtCodec};
 
 fn show(label: &str, stored: u32, seen: u32, decoded: i16, outcome: DecodeOutcome, want: i16) {
-    let verdict = if decoded == want { "recovered" } else { "CORRUPTED" };
+    let verdict = if decoded == want {
+        "recovered"
+    } else {
+        "CORRUPTED"
+    };
     println!(
         "  {label:<28} stored {stored:#08x}, read {seen:#08x} -> {decoded:6} [{outcome:?}] {verdict}"
     );
@@ -16,7 +20,10 @@ fn show(label: &str, stored: u32, seen: u32, decoded: i16, outcome: DecodeOutcom
 
 fn main() {
     let word: i16 = -42; // 1111_1111_1101_0110 — a typical small ECG sample
-    println!("protecting the 16-bit sample {word} = {:#018b}", word as u16);
+    println!(
+        "protecting the 16-bit sample {word} = {:#018b}",
+        word as u16
+    );
 
     let dream = Dream::new();
     let ecc = EccSecDed::new();
@@ -29,28 +36,52 @@ fn main() {
         (d.side & 0xF) + 1,
         Dream::protected_bits(word),
     );
-    println!("ECC codeword: {:#08x} (16 data + 6 check bits in the faulty array)", e.code);
+    println!(
+        "ECC codeword: {:#08x} (16 data + 6 check bits in the faulty array)",
+        e.code
+    );
 
     println!("\n-- single MSB stuck-at-0 (both techniques cope) --");
     let flip = 1 << 15;
     let dd = dream.decode(d.code ^ flip, d.side);
     show("DREAM", d.code, d.code ^ flip, dd.word, dd.outcome, word);
     let de = ecc.decode(e.code ^ flip, e.side);
-    show("ECC SEC/DED", e.code, e.code ^ flip, de.word, de.outcome, word);
+    show(
+        "ECC SEC/DED",
+        e.code,
+        e.code ^ flip,
+        de.word,
+        de.outcome,
+        word,
+    );
 
     println!("\n-- three faults in the sign run (the <0.55 V regime) --");
     let flip = 0b1110_0000_0000_0000;
     let dd = dream.decode(d.code ^ flip, d.side);
     show("DREAM", d.code, d.code ^ flip, dd.word, dd.outcome, word);
     let de = ecc.decode(e.code ^ flip, e.side);
-    show("ECC SEC/DED (overwhelmed)", e.code, e.code ^ flip, de.word, de.outcome, word);
+    show(
+        "ECC SEC/DED (overwhelmed)",
+        e.code,
+        e.code ^ flip,
+        de.word,
+        de.outcome,
+        word,
+    );
 
     println!("\n-- one LSB fault (DREAM lets it pass; the apps tolerate it) --");
     let flip = 0b1;
     let dd = dream.decode(d.code ^ flip, d.side);
     show("DREAM", d.code, d.code ^ flip, dd.word, dd.outcome, word);
     let de = ecc.decode(e.code ^ flip, e.side);
-    show("ECC SEC/DED", e.code, e.code ^ flip, de.word, de.outcome, word);
+    show(
+        "ECC SEC/DED",
+        e.code,
+        e.code ^ flip,
+        de.word,
+        de.outcome,
+        word,
+    );
 
     println!(
         "\nstorage cost per word: DREAM {} side bits, ECC {} in-array bits (paper Formula 2: 5 vs 6)",

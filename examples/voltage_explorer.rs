@@ -32,7 +32,13 @@ fn main() {
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--app" => app = parse_app(iter.next().expect("--app needs a value")),
-            "--runs" => runs = iter.next().expect("--runs needs a value").parse().expect("number"),
+            "--runs" => {
+                runs = iter
+                    .next()
+                    .expect("--runs needs a value")
+                    .parse()
+                    .expect("number")
+            }
             _ => {}
         }
     }
@@ -87,13 +93,7 @@ fn main() {
         row.push(best.map_or("none usable".into(), |(emt, _)| emt.to_string()));
         table.push(row);
     }
-    let headers = [
-        "V",
-        "no protection",
-        "DREAM",
-        "ECC SEC/DED",
-        "recommended",
-    ];
+    let headers = ["V", "no protection", "DREAM", "ECC SEC/DED", "recommended"];
     println!("\n{app}: mean SNR / energy per run, and the cheapest EMT still within -1 dB");
     println!("{}", report::format_table(&headers, &table));
 }

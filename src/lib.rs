@@ -19,17 +19,20 @@
 //! # Quickstart
 //!
 //! ```
-//! use dream_suite::core::{Dream, EmtCodec};
+//! use dream_suite::core::{DecodeOutcome, Dream, EmtCodec};
 //!
 //! // DREAM protects the sign-extension run of each 16-bit sample.
 //! let dream = Dream::new();
 //! let encoded = dream.encode(-42);
 //! let corrupted = encoded.code ^ 0xFF00; // eight MSB faults
-//! assert_eq!(dream.decode(corrupted, encoded.side).word, -42);
+//! let decoded = dream.decode(corrupted, encoded.side);
+//! assert_eq!(decoded.word, -42);
+//! assert_eq!(decoded.outcome, DecodeOutcome::Corrected);
 //! ```
 //!
-//! See `examples/` for end-to-end scenarios and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction methodology and results.
+//! See `examples/` for end-to-end scenarios (start with
+//! `cargo run --example quickstart`) and `README.md` for the workspace
+//! layout and the tier-1 verification commands.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

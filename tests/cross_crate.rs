@@ -46,7 +46,7 @@ fn ecg_chain_feeds_the_memory_model() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let noisy = NoiseModel::date16().apply(&wave, 360.0, &mut rng);
     let samples = Adc::date16().quantize_all(&noisy);
-    let geometry = MemGeometry::new(720 + 16 - 720 % 16, 16, 16);
+    let geometry = MemGeometry::new(720 + 16, 16, 16);
     let mut mem = ProtectedMemory::new(EmtKind::Dream, geometry);
     for (i, &s) in samples.iter().enumerate() {
         mem.write(i, s);
@@ -147,4 +147,37 @@ fn storage_adapters_agree() {
     for i in 0..64 {
         assert_eq!(via_port.read(i), via_sim.read(i), "word {i}");
     }
+}
+
+/// Workspace-wiring smoke test: the `dream-suite` façade must keep
+/// re-exporting all eight member crates, and one public item from each must
+/// stay reachable through the façade path. If a re-export is dropped from
+/// `src/lib.rs` (or a crate is unplugged from the workspace), this fails to
+/// compile — which is the point.
+#[test]
+fn facade_reexports_are_complete() {
+    // core — the DREAM technique itself.
+    assert_eq!(dream_suite::core::extra_bits_per_word(16), 5);
+    // fixed — Q15 arithmetic.
+    assert_eq!(dream_suite::fixed::Q15::from_f64(0.5).to_f64(), 0.5);
+    // ecg — the synthetic record suite.
+    let record = dream_suite::ecg::Database::record(100, 64);
+    assert_eq!(record.samples.len(), 64);
+    // mem — the voltage/BER characterization.
+    let ber = dream_suite::mem::BerModel::date16();
+    assert!(ber.ber(0.5) > ber.ber(0.9));
+    // energy — the CACTI-like SRAM macro model.
+    let sram = dream_suite::energy::SramEnergyModel::date16_main();
+    assert!(sram.access_energy_pj(16, 0.9) > 0.0);
+    // dsp — the five applications plus the SNR metric (Formula 1).
+    assert_eq!(dream_suite::dsp::AppKind::all().len(), 5);
+    assert!(dream_suite::dsp::snr_db(&[1.0, -1.0], &[1.0, -1.0]).is_infinite());
+    // soc — the INYU platform preset.
+    let config = dream_suite::soc::SocConfig::inyu();
+    assert_eq!(config.geometry.banks(), 16);
+    // sim — the experiment drivers' configuration types.
+    let fig2 = dream_suite::sim::fig2::Fig2Config::default();
+    assert_eq!(fig2.window, 1024);
+    let energy_cfg = dream_suite::sim::energy_table::EnergyConfig::default();
+    assert!(!energy_cfg.voltages.is_empty());
 }

@@ -98,17 +98,26 @@ fn claim_fig2_msb_trend() {
 /// bits stuck-at-0; and from 0 to 12, for bits stuck-at-1" at 35 dB.
 #[test]
 fn claim_cs_tolerance_thresholds() {
+    // Full campaign scale for this claim: at fewer records/trials the CS
+    // curve sits within 0.1 dB of the 35 dB threshold around bit 13 and the
+    // extracted tolerance flips on averaging noise.
     let rows = run_fig2(&Fig2Config {
         window: 1024,
-        records: 6,
+        records: 10,
         apps: vec![AppKind::CompressedSensing],
-        fault_trials: 6,
+        fault_trials: 8,
     });
     let (sa0, sa1) = cs_tolerance(&rows, 35.0);
     let sa0 = sa0.expect("some tolerance for stuck-at-0");
     let sa1 = sa1.expect("some tolerance for stuck-at-1");
-    assert!((8..=12).contains(&sa0), "stuck-at-0 tolerance {sa0} (paper: 10)");
-    assert!(sa1 >= sa0, "stuck-at-1 {sa1} must tolerate at least as much as stuck-at-0 {sa0}");
+    assert!(
+        (8..=12).contains(&sa0),
+        "stuck-at-0 tolerance {sa0} (paper: 10)"
+    );
+    assert!(
+        sa1 >= sa0,
+        "stuck-at-1 {sa1} must tolerate at least as much as stuck-at-0 {sa0}"
+    );
     assert!(sa1 >= 12, "stuck-at-1 tolerance {sa1} (paper: 12)");
 }
 
@@ -202,7 +211,10 @@ fn claim_dream_protects_most_bits_of_real_ecg() {
 #[test]
 fn claim_ber_model_regimes() {
     let m = BerModel::date16();
-    assert!(m.ber(0.9) < 1e-6, "nominal voltage is effectively fault-free");
+    assert!(
+        m.ber(0.9) < 1e-6,
+        "nominal voltage is effectively fault-free"
+    );
     assert!(m.ber(0.5) > 1e-3, "deep scaling produces multi-error words");
     let g = BerModel::paper_voltages();
     assert_eq!(g.len(), 9);

@@ -1,0 +1,252 @@
+//! Minimal, offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset the `dream-suite` workspace uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — so that
+//! `cargo bench` (and the CI smoke job `cargo bench --no-run`) keep working
+//! without network access. Each benchmark is warmed up briefly, timed over a
+//! short budget, and reported as a mean time per iteration; there is no
+//! statistical analysis, plotting or baseline comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Time budget spent measuring one benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Time budget spent warming one benchmark up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Quantity processed per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: let caches and branch predictors settle.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+        }
+        // Measurement: batched timing over a fixed budget.
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            for _ in 0..16 {
+                std::hint::black_box(routine());
+            }
+            iters += 16;
+            if start.elapsed() >= MEASURE_BUDGET {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn report(path: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{path:<40} (no measurement)");
+        return;
+    }
+    let ns_per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:.1} Melem/s", n as f64 / ns_per_iter * 1e3)
+        }
+        Throughput::Bytes(n) => {
+            format!("  {:.1} MB/s", n as f64 / ns_per_iter * 1e3)
+        }
+    });
+    println!(
+        "{path:<40} {:>12.1} ns/iter{}",
+        ns_per_iter,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much data one iteration processes.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in is time-budgeted and
+    /// ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.name), &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group. (No cross-benchmark analysis in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&id.name, &b, None);
+        self
+    }
+}
+
+/// Re-export matching the real crate's `criterion::black_box` path.
+/// (The workspace's benches use `std::hint::black_box` directly.)
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; nothing to parse in
+            // this stand-in.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| ()));
+        group.finish();
+    }
+}

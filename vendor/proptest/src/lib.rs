@@ -1,0 +1,513 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the `dream-suite` workspace uses: the [`proptest!`]
+//! macro, the [`Strategy`] trait with `prop_map`, `any::<T>()`, integer and
+//! float range strategies, tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, the `prop_assert*` / [`prop_assume!`] macros and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Cases are sampled from a deterministic per-test RNG (seeded from the test
+//! name), so failures are reproducible run to run. There is **no shrinking**:
+//! a failing case panics with the exact sampled inputs instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// How a single sampled case ended, when it did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message describes it.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; the case is discarded.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-test configuration. Only `cases` is honoured by this stand-in.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Strategy combinators grouped the way the real crate groups them.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+        use std::fmt;
+        use std::ops::Range;
+
+        /// Length specifications accepted by [`vec`]: an exact `usize` or a
+        /// half-open `Range<usize>`.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(exact: usize) -> Self {
+                SizeRange {
+                    lo: exact,
+                    hi_exclusive: exact + 1,
+                }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi_exclusive: r.end,
+                }
+            }
+        }
+
+        /// The strategy returned by [`vec`].
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S>
+        where
+            S::Value: fmt::Debug,
+        {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                use rand::Rng;
+                let len = if self.size.lo + 1 == self.size.hi_exclusive {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi_exclusive)
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// A strategy for `Vec`s whose elements come from `element` and
+        /// whose length comes from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling from explicit value sets.
+    pub mod sample {
+        use super::super::{StdRng, Strategy};
+        use std::fmt;
+
+        /// The strategy returned by [`select`].
+        #[derive(Clone, Debug)]
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut StdRng) -> T {
+                use rand::Rng;
+                let i = rng.gen_range(0..self.options.len());
+                self.options[i].clone()
+            }
+        }
+
+        /// A strategy drawing uniformly from `options`.
+        pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: no options");
+            Select { options }
+        }
+    }
+}
+
+/// Everything a property test module needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Deterministically derives a seed from a test's identifying string (FNV-1a).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property test: samples up to `cases` successful runs of `case`
+/// (a closure over freshly sampled inputs), tolerating `prop_assume!`
+/// rejections, and panics on the first failure.
+pub fn run_property_test(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+) {
+    let mut rng = StdRng::seed_from_u64(seed_for(test_name));
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = config.cases.saturating_mul(20).max(1024);
+    while passed < config.cases {
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "{test_name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property failed after {passed} passing case(s)\n\
+                     inputs: {inputs}\n{msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors the real crate's surface syntax: inside
+/// a test module one writes `#[test]` above each property, exactly as with
+/// the real crate. (The attribute is left off here so the doctest can call
+/// the generated function directly.)
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     fn addition_commutes(a in any::<i16>(), b in any::<i16>()) {
+///         prop_assert_eq!(i32::from(a) + i32::from(b), i32::from(b) + i32::from(a));
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property_test(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng| {
+                        $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                        let inputs = {
+                            let mut s = String::new();
+                            $(
+                                s.push_str(concat!(stringify!($arg), " = "));
+                                s.push_str(&format!("{:?}, ", &$arg));
+                            )+
+                            s
+                        };
+                        let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            Ok(())
+                        })();
+                        (inputs, outcome)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but fails the current case instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($left), stringify!($right), l, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Discards the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 0u32..22, b in 1usize..=32, f in -4.0f64..4.0) {
+            prop_assert!(a < 22);
+            prop_assert!((1..=32).contains(&b));
+            prop_assert!((-4.0..4.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in prop::collection::vec((0u32..4, any::<bool>()), 0..6),
+            exact in prop::collection::vec(any::<i16>(), 8),
+        ) {
+            prop_assert!(v.len() < 6);
+            prop_assert_eq!(exact.len(), 8);
+            for (x, _flag) in v {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in any::<i16>()) {
+            prop_assume!(x != i16::MIN);
+            prop_assert_eq!(x.abs(), x.wrapping_abs());
+        }
+    }
+
+    #[test]
+    fn prop_map_and_select() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let doubled = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = doubled.sample(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+        let sel = prop::sample::select(vec!["a", "b", "c"]);
+        for _ in 0..100 {
+            assert!(["a", "b", "c"].contains(&sel.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_report_inputs() {
+        run_property_test_fails();
+    }
+
+    fn run_property_test_fails() {
+        let config = ProptestConfig::with_cases(16);
+        crate::run_property_test(&config, "demo", |rng| {
+            let x = crate::Strategy::sample(&(0u32..100), rng);
+            let outcome = (|| -> Result<(), TestCaseError> {
+                prop_assert!(x < 1000, "unreachable");
+                prop_assert!(x % 2 == 0 || x % 2 == 1, "unreachable");
+                prop_assert!(x < 50, "x was {}", x);
+                Ok(())
+            })();
+            (format!("x = {x:?}"), outcome)
+        });
+    }
+}
