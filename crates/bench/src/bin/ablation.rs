@@ -3,7 +3,7 @@
 //! scrambler, the BER-slope sensitivity, and the mask-supply pinning.
 //!
 //! ```text
-//! cargo run --release -p dream-bench --bin ablation [--window N] [--runs N]
+//! cargo run --release -p dream-bench --bin ablation [--window N] [--runs N] [--threads N]
 //! ```
 
 use dream_bench::Args;
@@ -17,6 +17,8 @@ fn main() {
     let args = Args::from_env();
     let window = args.number("window", 1024);
     let runs = args.number("runs", 12);
+    let threads = dream_bench::apply_threads(&args);
+    eprintln!("ablation: window={window} runs={runs} threads={threads}");
 
     // A1 — how much of each word DREAM can rebuild on real ECG data (§IV).
     let histogram = protected_bits_histogram(window);

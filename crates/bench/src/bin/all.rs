@@ -2,7 +2,7 @@
 //! paper-vs-measured summary (the source of `EXPERIMENTS.md`).
 //!
 //! ```text
-//! cargo run --release -p dream-bench --bin all [--runs N] [--window N] [--trials N]
+//! cargo run --release -p dream-bench --bin all [--runs N] [--window N] [--trials N] [--threads N]
 //! ```
 //!
 //! Defaults reproduce the paper's scale (200 fault maps per voltage);
@@ -24,6 +24,8 @@ fn main() {
     let window = args.number("window", 1024);
     let runs = args.number("runs", 200);
     let trials = args.number("trials", 8);
+    let threads = dream_bench::apply_threads(&args);
+    eprintln!("all: window={window} runs={runs} trials={trials} threads={threads}");
 
     // E1 / E9 — Fig. 2 and the CS tolerance thresholds.
     eprintln!("[1/4] Fig. 2 characterization…");

@@ -5,7 +5,7 @@
 //! counts.
 //!
 //! ```text
-//! cargo run --release -p dream-bench --bin energy [--window N] [--area]
+//! cargo run --release -p dream-bench --bin energy [--window N] [--area] [--threads N]
 //! ```
 
 use dream_bench::{results_dir, Args};
@@ -17,6 +17,7 @@ use dream_sim::report;
 
 fn main() {
     let args = Args::from_env();
+    dream_bench::apply_threads(&args);
     let area_rows = area_table(&EmtKind::paper_set());
     println!("\n§VI-B — codec area (gate equivalents) and redundancy");
     let table: Vec<Vec<String>> = area_rows

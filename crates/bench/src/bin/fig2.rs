@@ -3,7 +3,7 @@
 //! polarities, plus the §III compressed-sensing tolerance thresholds.
 //!
 //! ```text
-//! cargo run --release -p dream-bench --bin fig2 [--window N] [--records N] [--trials N]
+//! cargo run --release -p dream-bench --bin fig2 [--window N] [--records N] [--trials N] [--threads N]
 //! ```
 
 use dream_bench::{results_dir, Args};
@@ -19,9 +19,10 @@ fn main() {
         fault_trials: args.number("trials", 8),
         ..Default::default()
     };
+    let threads = dream_bench::apply_threads(&args);
     eprintln!(
-        "fig2: window={} records={} trials={}",
-        cfg.window, cfg.records, cfg.fault_trials
+        "fig2: window={} records={} trials={} threads={}",
+        cfg.window, cfg.records, cfg.fault_trials, threads
     );
     let rows = run_fig2(&cfg);
 

@@ -2,7 +2,7 @@
 //! every application under (a) no protection, (b) DREAM, (c) ECC SEC/DED.
 //!
 //! ```text
-//! cargo run --release -p dream-bench --bin fig4 [--runs N] [--window N] [--smoke] [--emt none|dream|ecc]
+//! cargo run --release -p dream-bench --bin fig4 [--runs N] [--window N] [--smoke] [--emt none|dream|ecc] [--threads N]
 //! ```
 //!
 //! The full configuration (200 runs × 9 voltages × 5 apps × 3 EMTs) is the
@@ -31,9 +31,10 @@ fn main() {
             other => panic!("unknown --emt {other:?} (none|dream|ecc|parity)"),
         }];
     }
+    let threads = dream_bench::apply_threads(&args);
     eprintln!(
-        "fig4: runs={} window={} voltages={:?} emts={:?}",
-        cfg.runs, cfg.window, cfg.voltages, cfg.emts
+        "fig4: runs={} window={} voltages={:?} emts={:?} threads={}",
+        cfg.runs, cfg.window, cfg.voltages, cfg.emts, threads
     );
     let points = run_fig4(&cfg);
 

@@ -1,0 +1,195 @@
+//! Times the four experiment campaigns serial vs. parallel, verifies that
+//! both paths produce **identical** output, and writes the results to
+//! `BENCH_campaigns.json` at the workspace root so future PRs have a perf
+//! trajectory to compare against.
+//!
+//! ```text
+//! cargo run --release -p dream-bench --bin perf_baseline [--smoke] [--threads N] [--window N]
+//! ```
+//!
+//! `--smoke` runs a reduced scale for CI and writes to the gitignored
+//! `results/BENCH_campaigns_smoke.json` instead (only full-scale runs
+//! update the tracked trajectory); `--threads` picks the parallel worker
+//! count (default: `DREAM_THREADS` or the machine's parallelism).
+
+use std::time::Instant;
+
+use dream_bench::{workspace_root, Args};
+use dream_dsp::AppKind;
+use dream_sim::ablation::ber_sensitivity;
+use dream_sim::energy_table::{run_energy_table, EnergyConfig};
+use dream_sim::exec;
+use dream_sim::fig2::{run_fig2, Fig2Config};
+use dream_sim::fig4::{run_fig4, Fig4Config};
+use dream_sim::tradeoff::explore;
+
+struct Timing {
+    name: &'static str,
+    trials: usize,
+    serial_s: f64,
+    parallel_s: f64,
+}
+
+impl Timing {
+    fn serial_rate(&self) -> f64 {
+        self.trials as f64 / self.serial_s
+    }
+
+    fn parallel_rate(&self) -> f64 {
+        self.trials as f64 / self.parallel_s
+    }
+
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s
+    }
+}
+
+/// Runs `campaign` once with 1 worker and once with `threads`, asserts the
+/// outputs are identical (the executor's determinism contract), and
+/// returns both wall times.
+fn time_campaign<R: PartialEq>(
+    name: &'static str,
+    trials: usize,
+    threads: usize,
+    campaign: impl Fn() -> R,
+) -> Timing {
+    eprintln!("[{name}] serial ({trials} trials)…");
+    exec::set_thread_override(Some(1));
+    let t0 = Instant::now();
+    let serial = campaign();
+    let serial_s = t0.elapsed().as_secs_f64();
+    eprintln!("[{name}] parallel ({threads} threads)…");
+    exec::set_thread_override(Some(threads));
+    let t0 = Instant::now();
+    let parallel = campaign();
+    let parallel_s = t0.elapsed().as_secs_f64();
+    exec::set_thread_override(None);
+    assert!(
+        serial == parallel,
+        "{name}: parallel output diverged from serial — determinism bug"
+    );
+    Timing {
+        name,
+        trials,
+        serial_s,
+        parallel_s,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.switch("smoke");
+    let threads = args.number("threads", exec::thread_count().max(2));
+    let window = args.number("window", if smoke { 512 } else { 1024 });
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("perf_baseline: smoke={smoke} threads={threads} window={window} hw_parallelism={hw}");
+
+    if threads > hw {
+        eprintln!(
+            "warning: timing {threads} workers on {hw} hardware thread(s) — \
+             expect ~1x speedup; rerun on multi-core hardware for a scaling baseline"
+        );
+    }
+
+    // Campaign scales: --smoke keeps CI in seconds; the full fig2 scale
+    // matches the stable paper-claims reduction (10 records × 8 trials).
+    let (fig2_records, fig2_trials) = if smoke { (2, 2) } else { (10, 8) };
+    let fig4_runs = if smoke { 4 } else { 24 };
+    let ber_runs = if smoke { 2 } else { 8 };
+    let ber_slopes: &[f64] = if smoke {
+        &[10.0, 16.0]
+    } else {
+        &[10.0, 13.0, 16.0]
+    };
+    let voltages = dream_mem::BerModel::paper_voltages();
+
+    let fig2_cfg = Fig2Config {
+        window,
+        records: fig2_records,
+        apps: AppKind::all().to_vec(),
+        fault_trials: fig2_trials,
+    };
+    let fig2_trial_count = fig2_cfg.apps.len() * 2 * 16 * fig2_records * fig2_trials;
+    let fig4_cfg = Fig4Config {
+        window,
+        runs: fig4_runs,
+        apps: AppKind::all().to_vec(),
+        ..Default::default()
+    };
+    let fig4_trial_count = fig4_cfg.voltages.len() * fig4_runs;
+    let energy_cfg = EnergyConfig {
+        window,
+        ..Default::default()
+    };
+
+    let timings = vec![
+        time_campaign("fig2", fig2_trial_count, threads, || run_fig2(&fig2_cfg)),
+        time_campaign("fig4", fig4_trial_count, threads, || run_fig4(&fig4_cfg)),
+        time_campaign(
+            "ablation",
+            ber_slopes.len() * voltages.len() * ber_runs,
+            threads,
+            || ber_sensitivity(window, ber_runs, ber_slopes),
+        ),
+        time_campaign("tradeoff", fig4_trial_count, threads, || {
+            let points = run_fig4(&Fig4Config {
+                apps: vec![AppKind::Dwt],
+                ..fig4_cfg.clone()
+            });
+            let energy = run_energy_table(&energy_cfg);
+            explore(AppKind::Dwt, 1.0, &points, &energy)
+        }),
+    ];
+
+    println!("\nCampaign throughput (serial vs {threads} threads; identical outputs verified)");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "campaign", "trials", "serial s", "par s", "ser tr/s", "par tr/s", "speedup"
+    );
+    for t in &timings {
+        println!(
+            "{:<10} {:>8} {:>10.2} {:>10.2} {:>12.1} {:>12.1} {:>7.2}x",
+            t.name,
+            t.trials,
+            t.serial_s,
+            t.parallel_s,
+            t.serial_rate(),
+            t.parallel_rate(),
+            t.speedup()
+        );
+    }
+
+    // Hand-rolled JSON (the workspace is intentionally dependency-free).
+    let entries: Vec<String> = timings
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"name\": \"{}\", \"trials\": {}, \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \
+                 \"serial_trials_per_s\": {:.2}, \"parallel_trials_per_s\": {:.2}, \"speedup\": {:.3}}}",
+                t.name,
+                t.trials,
+                t.serial_s,
+                t.parallel_s,
+                t.serial_rate(),
+                t.parallel_rate(),
+                t.speedup()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"generator\": \"cargo run --release -p dream-bench --bin perf_baseline{}\",\n  \
+         \"threads\": {threads},\n  \"hardware_parallelism\": {hw},\n  \"window\": {window},\n  \
+         \"campaigns\": [\n{}\n  ]\n}}\n",
+        if smoke { " -- --smoke" } else { "" },
+        entries.join(",\n")
+    );
+    // Smoke runs land in the gitignored results/ directory so they never
+    // clobber the tracked full-scale trajectory at the workspace root.
+    let path = if smoke {
+        dream_bench::results_dir().join("BENCH_campaigns_smoke.json")
+    } else {
+        workspace_root().join("BENCH_campaigns.json")
+    };
+    std::fs::write(&path, json).expect("write campaign baseline JSON");
+    eprintln!("wrote {}", path.display());
+}

@@ -5,7 +5,7 @@
 //! 0.85 V, ~30.6 % with DREAM at 0.65 V, ~39.5 % with ECC at 0.55 V).
 //!
 //! ```text
-//! cargo run --release -p dream-bench --bin tradeoff [--runs N] [--window N] [--tolerance DB]
+//! cargo run --release -p dream-bench --bin tradeoff [--runs N] [--window N] [--tolerance DB] [--threads N]
 //! ```
 
 use dream_bench::{results_dir, Args};
@@ -24,7 +24,10 @@ fn main() {
         .map(|v| v.parse::<f64>().expect("--tolerance expects dB"))
         .unwrap_or(1.0);
     let app = AppKind::Dwt;
-    eprintln!("tradeoff: app={app} window={window} runs={runs} tolerance={tolerance_db} dB");
+    let threads = dream_bench::apply_threads(&args);
+    eprintln!(
+        "tradeoff: app={app} window={window} runs={runs} tolerance={tolerance_db} dB threads={threads}"
+    );
 
     let fig4_cfg = Fig4Config {
         window,

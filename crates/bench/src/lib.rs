@@ -72,12 +72,28 @@ impl Args {
     }
 }
 
+/// Applies the `--threads N` flag every campaign binary shares: pins the
+/// executor's worker count (otherwise `DREAM_THREADS` / auto-detection
+/// decides) and returns the resolved count for banner lines.
+pub fn apply_threads(args: &Args) -> usize {
+    if let Some(n) = args.value("threads") {
+        let n: usize = n
+            .parse()
+            .unwrap_or_else(|_| panic!("--threads expects a positive integer, got {n:?}"));
+        dream_sim::exec::set_thread_override(Some(n));
+    }
+    dream_sim::exec::thread_count()
+}
+
+/// The workspace root (where `BENCH_campaigns.json` and `results/` live).
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 /// Directory where the binaries drop their CSV artifacts (`results/`,
 /// created on demand).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results");
+    let dir = workspace_root().join("results");
     std::fs::create_dir_all(&dir).expect("can create results directory");
     dir
 }

@@ -184,6 +184,35 @@ impl ProtectedMemory {
         }
     }
 
+    /// Re-arms this memory for a fresh campaign trial: installs a
+    /// width-narrowed copy of `map`, zeroes the data and side arrays, and
+    /// clears the statistics.
+    ///
+    /// Observationally identical to rebuilding with
+    /// [`ProtectedMemory::with_fault_map`] on the same geometry, but reuses
+    /// every allocation — the executor's worker arenas call this once per
+    /// trial instead of constructing a new memory. Any installed address
+    /// scrambler is removed (fresh construction has none); trials that
+    /// scramble must re-install their own key afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map covers a different word count or is narrower than
+    /// the codeword.
+    pub fn reset_with_fault_map(&mut self, map: &FaultMap) {
+        assert_eq!(map.words(), self.words(), "fault map word count");
+        assert!(
+            map.width() >= self.codec.code_width(),
+            "shared fault map must cover the widest codeword"
+        );
+        self.data.reload_faults(map);
+        self.data.fill(0);
+        self.data
+            .set_scrambler(dream_mem::AddressScrambler::identity(self.words()));
+        self.side.fill(0);
+        self.stats = AccessStats::default();
+    }
+
     /// The technique protecting this memory.
     pub fn kind(&self) -> EmtKind {
         self.kind
@@ -342,6 +371,34 @@ mod tests {
         assert_eq!(s.accesses(), 15);
         mem.reset_stats();
         assert_eq!(mem.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn reset_is_equivalent_to_fresh_construction() {
+        let wide = FaultMap::generate(64, 22, 0.02, 5);
+        for kind in EmtKind::paper_set() {
+            // A reused memory carrying stale data, stats, faults and a
+            // stale address scrambler…
+            let stale = FaultMap::generate(64, 22, 0.05, 99);
+            let mut reused = ProtectedMemory::with_fault_map(kind, geometry(), &stale);
+            reused.set_scrambler(dream_mem::AddressScrambler::new(64, 0xBAD));
+            for i in 0..64 {
+                reused.write(i, (i as i16) - 31);
+                let _ = reused.read(i);
+            }
+            reused.reset_with_fault_map(&wide);
+            // …must behave exactly like a freshly built one.
+            let mut fresh = ProtectedMemory::with_fault_map(kind, geometry(), &wide);
+            assert_eq!(reused.stats(), AccessStats::default(), "{kind}");
+            for i in 0..64 {
+                reused.write(i, (i as i16) * 3 - 90);
+                fresh.write(i, (i as i16) * 3 - 90);
+            }
+            for i in 0..64 {
+                assert_eq!(reused.read(i), fresh.read(i), "{kind} word {i}");
+            }
+            assert_eq!(reused.stats(), fresh.stats(), "{kind}");
+        }
     }
 
     #[test]

@@ -18,7 +18,12 @@ use crate::{
 ///
 /// [`BiomedicalApp::run_reference`] computes the same transformation in
 /// double precision — the `x_theo` of the paper's Formula 1.
-pub trait BiomedicalApp {
+///
+/// Applications are `Send + Sync`: [`BiomedicalApp::run`] takes `&self`
+/// (all mutable state lives in the supplied storage), so one instance can
+/// serve concurrent campaign workers and worker arenas can hold their own
+/// boxed copies.
+pub trait BiomedicalApp: Send + Sync {
     /// Display name (matches the paper's figure legends).
     fn name(&self) -> &'static str;
 

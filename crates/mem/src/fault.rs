@@ -84,10 +84,31 @@ impl FaultMap {
     /// Panics if `ber` is not within `[0.0, 1.0]` or `width` is not in
     /// `1..=32`.
     pub fn generate(words: usize, width: u32, ber: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&ber), "ber must be a probability");
         let mut map = FaultMap::empty(words, width);
+        map.regenerate(ber, seed);
+        map
+    }
+
+    /// Clears every fault, leaving dimensions (and allocations) intact.
+    pub fn clear(&mut self) {
+        self.stuck_mask.fill(0);
+        self.stuck_val.fill(0);
+        self.fault_count = 0;
+    }
+
+    /// Redraws this map in place, exactly as [`FaultMap::generate`] would
+    /// with the same dimensions — campaign workers reuse one allocation
+    /// across thousands of trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is not within `[0.0, 1.0]`.
+    pub fn regenerate(&mut self, ber: f64, seed: u64) {
+        assert!((0.0..=1.0).contains(&ber), "ber must be a probability");
+        self.clear();
+        let (words, width) = (self.words, self.width);
         if ber == 0.0 || words == 0 {
-            return map;
+            return;
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let total_bits = words as u64 * u64::from(width);
@@ -99,10 +120,10 @@ impl FaultMap {
                     } else {
                         StuckAt::Zero
                     };
-                    map.inject(w, b, stuck);
+                    self.inject(w, b, stuck);
                 }
             }
-            return map;
+            return;
         }
         // Geometric skipping: gap ~ floor(ln(U) / ln(1 - p)) cells between
         // consecutive faults.
@@ -125,13 +146,12 @@ impl FaultMap {
             } else {
                 StuckAt::Zero
             };
-            map.inject(word, bit, stuck);
+            self.inject(word, bit, stuck);
             pos += 1;
             if pos >= total_bits {
                 break;
             }
         }
-        map
     }
 
     /// Forces `bit` of `word` to be stuck at the given polarity.
@@ -228,19 +248,43 @@ impl FaultMap {
     /// vs 22-bit ECC) over "the same set of error locations/mappings" as the
     /// paper prescribes.
     pub fn with_width(&self, width: u32) -> FaultMap {
-        assert!((1..=32).contains(&width), "width must be in 1..=32");
-        let keep = if width == 32 {
-            u32::MAX
-        } else {
-            (1u32 << width) - 1
-        };
         let mut out = FaultMap::empty(self.words, width);
-        for w in 0..self.words {
-            out.stuck_mask[w] = self.stuck_mask[w] & keep;
-            out.stuck_val[w] = self.stuck_val[w] & keep;
-            out.fault_count += out.stuck_mask[w].count_ones() as usize;
+        if width >= self.width {
+            // Widening keeps every fault: no lanes exist above the source
+            // width, so the pattern copies verbatim.
+            out.stuck_mask.copy_from_slice(&self.stuck_mask);
+            out.stuck_val.copy_from_slice(&self.stuck_val);
+            out.fault_count = self.fault_count;
+        } else {
+            out.copy_narrowed_from(self);
         }
         out
+    }
+
+    /// Overwrites this map with the fault pattern of `src`, truncating
+    /// faults outside this map's (narrower or equal) width — the in-place,
+    /// allocation-free counterpart of [`FaultMap::with_width`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word counts differ or `src` is narrower than `self`.
+    pub fn copy_narrowed_from(&mut self, src: &FaultMap) {
+        assert_eq!(src.words, self.words, "fault map word count");
+        assert!(
+            src.width >= self.width,
+            "source map must cover this map's width"
+        );
+        let keep = if self.width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.width) - 1
+        };
+        self.fault_count = 0;
+        for w in 0..self.words {
+            self.stuck_mask[w] = src.stuck_mask[w] & keep;
+            self.stuck_val[w] = src.stuck_val[w] & keep;
+            self.fault_count += self.stuck_mask[w].count_ones() as usize;
+        }
     }
 }
 
@@ -334,6 +378,35 @@ mod tests {
         let narrow = map.with_width(16);
         assert_eq!(narrow.fault_count(), 1);
         assert_eq!(narrow.apply(1, 0), 0x0008);
+    }
+
+    #[test]
+    fn regenerate_matches_generate() {
+        let mut reused = FaultMap::generate(2048, 22, 5e-3, 1);
+        reused.regenerate(2e-3, 42);
+        assert_eq!(reused, FaultMap::generate(2048, 22, 2e-3, 42));
+        reused.clear();
+        assert_eq!(reused, FaultMap::empty(2048, 22));
+    }
+
+    #[test]
+    fn widening_preserves_every_fault() {
+        let narrow = FaultMap::generate(256, 16, 1e-2, 4);
+        let wide = narrow.with_width(22);
+        assert_eq!(wide.width(), 22);
+        assert_eq!(wide.fault_count(), narrow.fault_count());
+        for w in 0..256 {
+            assert_eq!(wide.stuck_mask(w), narrow.stuck_mask(w));
+            assert_eq!(wide.stuck_values(w), narrow.stuck_values(w));
+        }
+    }
+
+    #[test]
+    fn narrowed_copy_matches_with_width() {
+        let wide = FaultMap::generate(512, 22, 1e-2, 9);
+        let mut narrow = FaultMap::generate(512, 16, 0.5, 3); // stale content
+        narrow.copy_narrowed_from(&wide);
+        assert_eq!(narrow, wide.with_width(16));
     }
 
     #[test]

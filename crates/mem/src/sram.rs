@@ -103,6 +103,19 @@ impl FaultySram {
         self.faults = faults;
     }
 
+    /// Replaces the fault overlay with a width-narrowed copy of `src`
+    /// without reallocating — the campaign executor's per-trial re-arm
+    /// path (`src` may be wider than this array, as with the shared
+    /// widest-codeword maps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` covers a different word count or is narrower than
+    /// the array.
+    pub fn reload_faults(&mut self, src: &FaultMap) {
+        self.faults.copy_narrowed_from(src);
+    }
+
     /// Writes `bits` to logical address `addr` (bits above the word width
     /// are ignored).
     ///

@@ -4,10 +4,11 @@
 use dream_core::{Dream, EmtKind, EnergyModelBundle, ProtectedMemory};
 use dream_dsp::{samples_to_f64, snr_db, AppKind};
 use dream_ecg::Database;
-use dream_mem::{AddressScrambler, BerModel, FaultMap, MemGeometry};
+use dream_mem::{AddressScrambler, BerModel, FaultMap};
 use dream_soc::{Soc, SocConfig};
 
-use crate::campaign::{cap_snr, ProtectedStorage};
+use crate::campaign::{banked_geometry, cap_snr, ProtectedStorage};
+use crate::exec;
 
 /// Distribution of DREAM's per-word protection over real signal data:
 /// `histogram[k]` counts samples whose top `k` bits are rebuildable
@@ -76,29 +77,37 @@ impl ScramblerAblation {
 /// runs, with and without logical-address re-randomization.
 pub fn scrambler_ablation(window: usize, voltage: f64, runs: usize) -> ScramblerAblation {
     let app = AppKind::Dwt.instantiate(window);
-    let words = app.memory_words().div_ceil(16) * 16;
-    let geometry = MemGeometry::new(words, 16, 16);
+    let geometry = banked_geometry(app.memory_words());
+    let words = geometry.words();
     let ber = BerModel::date16().ber(voltage);
     let record = Database::record(100, window);
     let reference = app.run_reference(&record.samples);
     // One physical die.
     let physical = FaultMap::generate(words, 16, ber, 0xD1E);
-    let run_once = |scramble_key: Option<u64>| {
-        let mut mem = ProtectedMemory::with_fault_map(EmtKind::None, geometry, &physical);
-        if let Some(key) = scramble_key {
-            mem.set_scrambler(AddressScrambler::new(words, key));
-        }
-        let out = {
-            let mut storage = ProtectedStorage::new(&mut mem);
-            app.run(&record.samples, &mut storage)
-        };
-        cap_snr(snr_db(&reference, &samples_to_f64(&out)))
-    };
+    // Trials: `runs` fixed-mapping runs followed by `runs` re-scrambled
+    // ones; each is one descriptor for the campaign executor.
+    let trials: Vec<Option<u64>> = (0..runs)
+        .map(|_| None)
+        .chain((0..runs).map(|r| Some(0xA5A5 + r as u64)))
+        .collect();
+    let snrs = exec::run_trials(
+        &trials,
+        || (),
+        |(), &scramble_key, _| {
+            let mut mem = ProtectedMemory::with_fault_map(EmtKind::None, geometry, &physical);
+            if let Some(key) = scramble_key {
+                mem.set_scrambler(AddressScrambler::new(words, key));
+            }
+            let out = {
+                let mut storage = ProtectedStorage::new(&mut mem);
+                app.run(&record.samples, &mut storage)
+            };
+            cap_snr(snr_db(&reference, &samples_to_f64(&out)))
+        },
+    );
     ScramblerAblation {
-        fixed_mapping_snrs: (0..runs).map(|_| run_once(None)).collect(),
-        scrambled_snrs: (0..runs)
-            .map(|r| run_once(Some(0xA5A5 + r as u64)))
-            .collect(),
+        fixed_mapping_snrs: snrs[..runs].to_vec(),
+        scrambled_snrs: snrs[runs..].to_vec(),
     }
 }
 
@@ -118,25 +127,52 @@ pub struct BerSensitivityPoint {
 /// thresholds move per decade-per-volt of slope error?
 pub fn ber_sensitivity(window: usize, runs: usize, slopes: &[f64]) -> Vec<BerSensitivityPoint> {
     let app = AppKind::Dwt.instantiate(window);
-    let words = app.memory_words().div_ceil(16) * 16;
-    let geometry = MemGeometry::new(words, 16, 16);
+    let geometry = banked_geometry(app.memory_words());
+    let words = geometry.words();
     let record = Database::record(100, window);
     let reference = app.run_reference(&record.samples);
+    let voltages = BerModel::paper_voltages();
+    // Flattened (slope, voltage, run) sweep in historical nested-loop
+    // order, so the per-point averages below reduce in the same sequence.
+    struct Trial {
+        slope: f64,
+        voltage: f64,
+        run: usize,
+    }
+    let trials: Vec<Trial> = slopes
+        .iter()
+        .flat_map(|&slope| {
+            voltages.iter().flat_map(move |&voltage| {
+                (0..runs).map(move |run| Trial {
+                    slope,
+                    voltage,
+                    run,
+                })
+            })
+        })
+        .collect();
+    // Worker arena: a reusable DREAM memory and wide fault-map buffer.
+    let scratch = || {
+        (
+            ProtectedMemory::new(EmtKind::Dream, geometry),
+            FaultMap::empty(words, 22),
+        )
+    };
+    let snrs = exec::run_trials(&trials, scratch, |(mem, map), t, _| {
+        let ber = BerModel::new(0.9, -7.6, t.slope).ber(t.voltage);
+        map.regenerate(ber, 0xBE5 + t.run as u64);
+        mem.reset_with_fault_map(map);
+        let out = {
+            let mut storage = ProtectedStorage::new(mem);
+            app.run(&record.samples, &mut storage)
+        };
+        cap_snr(snr_db(&reference, &samples_to_f64(&out)))
+    });
     let mut points = Vec::new();
-    for &slope in slopes {
-        let model = BerModel::new(0.9, -7.6, slope);
-        for &voltage in &BerModel::paper_voltages() {
-            let ber = model.ber(voltage);
-            let mut sum = 0.0;
-            for run in 0..runs {
-                let map = FaultMap::generate(words, 22, ber, 0xBE5 + run as u64);
-                let mut mem = ProtectedMemory::with_fault_map(EmtKind::Dream, geometry, &map);
-                let out = {
-                    let mut storage = ProtectedStorage::new(&mut mem);
-                    app.run(&record.samples, &mut storage)
-                };
-                sum += cap_snr(snr_db(&reference, &samples_to_f64(&out)));
-            }
+    for (si, &slope) in slopes.iter().enumerate() {
+        for (vi, &voltage) in voltages.iter().enumerate() {
+            let base = (si * voltages.len() + vi) * runs;
+            let sum: f64 = snrs[base..base + runs].iter().sum();
             points.push(BerSensitivityPoint {
                 slope,
                 voltage,

@@ -1,7 +1,12 @@
-//! Shared campaign plumbing: seeds, storage adapters, SNR conventions.
+//! Shared campaign plumbing: seeds, storage adapters, SNR conventions,
+//! and the geometry/record-suite selection every figure runner shares.
 
 use dream_core::ProtectedMemory;
-use dream_dsp::WordStorage;
+use dream_dsp::{BiomedicalApp, WordStorage};
+use dream_ecg::{Database, Record};
+use dream_mem::MemGeometry;
+
+use crate::exec;
 
 /// Maximum SNR reported by the harness (dB). Runs whose output matches the
 /// reference exactly (possible for the delineation app, whose fiducial
@@ -33,6 +38,35 @@ fn splitmix64(mut x: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Smallest 16-bank geometry that fits `words` (the characterizations do
+/// not need the full 32 kB array; a right-sized one keeps campaigns fast).
+///
+/// All four figure runners derive their memory shapes from this one
+/// helper, so the banked layout is decided in exactly one place.
+pub fn banked_geometry(words: usize) -> MemGeometry {
+    let banks = 16;
+    MemGeometry::new(words.div_ceil(banks) * banks, 16, banks)
+}
+
+/// The record suite a campaign averages over: the standard
+/// [`Database::date16_suite`] truncated to at most `max_records` entries.
+pub fn record_suite(window: usize, max_records: usize) -> Vec<Record> {
+    let mut suite = Database::date16_suite(window);
+    suite.truncate(max_records);
+    suite
+}
+
+/// Double-precision reference outputs (`x_theo` of Formula 1) of `app`
+/// over `records`, computed once per campaign — in parallel across
+/// records — and then shared read-only by every trial.
+pub fn reference_outputs(app: &dyn BiomedicalApp, records: &[Record]) -> Vec<Vec<f64>> {
+    exec::run_trials(
+        records,
+        || (),
+        |(), record, _| app.run_reference(&record.samples),
+    )
 }
 
 /// Adapter exposing a [`ProtectedMemory`] as application storage, without
@@ -90,6 +124,33 @@ mod tests {
         assert_eq!(cap_snr(f64::INFINITY), SNR_CAP_DB);
         assert_eq!(cap_snr(f64::NEG_INFINITY), -20.0);
         assert_eq!(cap_snr(42.0), 42.0);
+    }
+
+    #[test]
+    fn banked_geometry_rounds_up_to_full_banks() {
+        let g = banked_geometry(100);
+        assert_eq!(g.words(), 112); // next multiple of 16
+        assert_eq!(g.words() % 16, 0);
+        assert_eq!(banked_geometry(160).words(), 160);
+    }
+
+    #[test]
+    fn record_suite_truncates() {
+        assert_eq!(record_suite(256, 3).len(), 3);
+        assert_eq!(
+            record_suite(256, usize::MAX).len(),
+            dream_ecg::Database::SUITE_SIZE
+        );
+    }
+
+    #[test]
+    fn reference_outputs_match_direct_computation() {
+        let records = record_suite(256, 2);
+        let app = dream_dsp::AppKind::Dwt.instantiate(256);
+        let refs = reference_outputs(&*app, &records);
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0], app.run_reference(&records[0].samples));
+        assert_eq!(refs[1], app.run_reference(&records[1].samples));
     }
 
     #[test]

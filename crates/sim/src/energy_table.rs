@@ -7,6 +7,8 @@ use dream_energy::EnergyBreakdown;
 use dream_mem::BerModel;
 use dream_soc::{Soc, SocConfig};
 
+use crate::exec;
+
 /// One row of the energy table: one EMT at one supply voltage.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyRow {
@@ -56,16 +58,17 @@ pub fn run_energy_table(cfg: &EnergyConfig) -> Vec<EnergyRow> {
     let record = Database::record(100, cfg.window);
     let app = cfg.app.instantiate(cfg.window);
     let bundle = EnergyModelBundle::date16();
-    // One run per EMT captures (reads, writes, cycles).
-    let runs: Vec<(EmtKind, dream_soc::SocRun)> = cfg
-        .emts
-        .iter()
-        .map(|&emt| {
+    // One run per EMT captures (reads, writes, cycles); the EMTs are
+    // independent, so they run as one small parallel campaign.
+    let runs: Vec<(EmtKind, dream_soc::SocRun)> = exec::run_trials(
+        &cfg.emts,
+        || (),
+        |(), &emt, _| {
             let mut soc = Soc::new(SocConfig::inyu(), emt, None);
             let run = soc.run_app(&*app, &record.samples);
             (emt, run)
-        })
-        .collect();
+        },
+    );
     let mut rows = Vec::new();
     for &voltage in &cfg.voltages {
         // Baseline at this voltage: the unprotected memory.

@@ -1,0 +1,223 @@
+//! Deterministic parallel execution of campaign trials.
+//!
+//! Every figure of the paper is a Monte-Carlo campaign: hundreds of
+//! independent `(point, run)` trials whose outputs are averaged into curve
+//! points. The trials are embarrassingly parallel — each one derives its
+//! fault map from [`crate::campaign::fault_seed`] and touches nothing but
+//! its own scratch memory — so this module schedules a flattened trial
+//! list across `std::thread::scope` workers and merges the results **in
+//! trial order**, making the output bit-identical regardless of how many
+//! workers ran it.
+//!
+//! # Determinism contract
+//!
+//! [`run_trials`] guarantees `result[i]` came from `trials[i]` for every
+//! `i`, whatever the thread count. Callers keep that guarantee end to end
+//! by (a) deriving all randomness from the trial descriptor (never from a
+//! worker-local RNG), and (b) fully re-arming any reused scratch state at
+//! the start of each trial (see `ProtectedMemory::reset_with_fault_map`).
+//! Aggregations stay bit-identical because floating-point reduction
+//! happens *after* the merge, in trial order.
+//!
+//! # Thread count
+//!
+//! Resolution order: explicit [`set_thread_override`] (used by the bench
+//! binaries' `--threads` flag and the determinism tests) → the
+//! `DREAM_THREADS` environment variable → `available_parallelism()`.
+//! A count of 1 reproduces the historical serial path exactly, worker
+//! scratch included.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable selecting the worker count (`1` = serial).
+pub const THREADS_ENV: &str = "DREAM_THREADS";
+
+/// Process-wide thread-count override (0 = none). Takes precedence over
+/// [`THREADS_ENV`] so binaries and tests can pin the count without
+/// mutating the process environment.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the worker count for all subsequent campaigns (`None` restores
+/// the environment/auto-detect resolution).
+///
+/// # Panics
+///
+/// Panics if `Some(0)` is passed — zero workers cannot run anything.
+pub fn set_thread_override(threads: Option<usize>) {
+    if let Some(n) = threads {
+        assert!(n > 0, "thread override must be at least 1");
+        THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+    } else {
+        THREAD_OVERRIDE.store(0, Ordering::SeqCst);
+    }
+}
+
+/// The worker count campaigns will use right now (override → env →
+/// available parallelism; at least 1).
+///
+/// # Panics
+///
+/// Panics if [`THREADS_ENV`] is set to something other than a positive
+/// integer — a typo silently falling back to all cores would be worse.
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        let n: usize = raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{THREADS_ENV} must be a positive integer, got {raw:?}"));
+        assert!(n > 0, "{THREADS_ENV} must be at least 1");
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs every trial descriptor through `run`, in parallel, returning the
+/// results **in trial order**.
+///
+/// `scratch` builds one worker-local arena (reused app instances,
+/// protected memories, fault-map buffers) per worker thread; `run`
+/// executes one trial against that arena. Workers claim trials from a
+/// shared atomic cursor, so the schedule load-balances irregular trial
+/// costs, while the order-restoring merge keeps the output independent of
+/// the schedule.
+///
+/// With a resolved thread count of 1 (or at most one trial) everything
+/// runs inline on the caller's thread with a single arena — the exact
+/// historical serial path.
+///
+/// # Panics
+///
+/// Propagates a panic from any trial.
+pub fn run_trials<T, C, R>(
+    trials: &[T],
+    scratch: impl Fn() -> C + Sync,
+    run: impl Fn(&mut C, &T, usize) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let workers = thread_count().min(trials.len().max(1));
+    if workers <= 1 {
+        let mut arena = scratch();
+        return trials
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run(&mut arena, t, i))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let partials: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut arena = scratch();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= trials.len() {
+                            break;
+                        }
+                        out.push((i, run(&mut arena, &trials[i], i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    // Order-restoring merge: slot every result back at its trial index.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(trials.len());
+    slots.resize_with(trials.len(), || None);
+    for (i, r) in partials.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "trial {i} ran twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every trial ran exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that pin the global thread override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = OVERRIDE_LOCK.lock().expect("override lock");
+        set_thread_override(Some(n));
+        let r = f();
+        set_thread_override(None);
+        r
+    }
+
+    #[test]
+    fn results_come_back_in_trial_order() {
+        let trials: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 5] {
+            let got = with_threads(threads, || {
+                run_trials(
+                    &trials,
+                    || 0u64,
+                    |_, &t, i| {
+                        assert_eq!(t, i);
+                        (t * 31) as u64
+                    },
+                )
+            });
+            let want: Vec<u64> = trials.iter().map(|&t| (t * 31) as u64).collect();
+            assert_eq!(got, want, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn scratch_is_worker_local_and_reused() {
+        // Each worker's arena counts the trials it served; the total must
+        // cover every trial exactly once.
+        let trials: Vec<u32> = (0..100).collect();
+        let served = with_threads(3, || {
+            run_trials(
+                &trials,
+                || 0usize,
+                |count, _, _| {
+                    *count += 1;
+                    *count
+                },
+            )
+        });
+        // Per-trial scratch counters are ≥ 1 and never exceed the trial count.
+        assert!(served.iter().all(|&c| (1..=100).contains(&c)));
+    }
+
+    #[test]
+    fn empty_trial_list_is_fine() {
+        let out: Vec<u8> = run_trials(&[] as &[u8], || (), |_, &t, _| t);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn override_beats_environment() {
+        let _guard = OVERRIDE_LOCK.lock().expect("override lock");
+        set_thread_override(Some(3));
+        assert_eq!(thread_count(), 3);
+        set_thread_override(None);
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_override_rejected() {
+        set_thread_override(Some(0));
+    }
+}

@@ -2,11 +2,14 @@
 //! permanent error.
 
 use dream_core::{EmtKind, ProtectedMemory};
-use dream_dsp::{samples_to_f64, snr_db, AppKind};
+use dream_dsp::{samples_to_f64, snr_db, AppKind, BiomedicalApp};
 use dream_ecg::Database;
-use dream_mem::{FaultMap, MemGeometry, StuckAt};
+use dream_mem::{FaultMap, StuckAt};
 
-use crate::campaign::{cap_snr, fault_seed, ProtectedStorage};
+use crate::campaign::{
+    banked_geometry, cap_snr, fault_seed, record_suite, reference_outputs, ProtectedStorage,
+};
+use crate::exec;
 
 /// Configuration of the Fig. 2 characterization.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,62 +61,111 @@ pub struct Fig2Row {
 /// with the tolerances the paper reads off the figure — CS passing 35 dB
 /// with faults up to bit 10 requires the single-cell reading.)
 pub fn run_fig2(cfg: &Fig2Config) -> Vec<Fig2Row> {
-    let records = Database::date16_suite(cfg.window);
-    let records = &records[..cfg.records.min(records.len())];
-    let mut rows = Vec::new();
-    for &app_kind in &cfg.apps {
-        let app = app_kind.instantiate(cfg.window);
-        let words = app.memory_words();
-        let geometry = pick_geometry(words);
-        let references: Vec<Vec<f64>> = records
-            .iter()
-            .map(|r| app.run_reference(&r.samples))
-            .collect();
+    let records = record_suite(cfg.window, cfg.records);
+    // Shared read-only state, hoisted out of the trial loop: one app
+    // instance per kind (for footprints and references) and the
+    // double-precision references per (app, record).
+    let apps: Vec<Box<dyn BiomedicalApp>> =
+        cfg.apps.iter().map(|k| k.instantiate(cfg.window)).collect();
+    let references: Vec<Vec<Vec<f64>>> = apps
+        .iter()
+        .map(|app| reference_outputs(&**app, &records))
+        .collect();
+
+    // Flatten the nested sweep into independent trial descriptors, one per
+    // (app, polarity, bit, record, fault location) — the order mirrors the
+    // historical nested loops so the merged aggregation below reproduces
+    // the serial results bit for bit.
+    struct Trial {
+        app: usize,
+        stuck: StuckAt,
+        bit: u32,
+        record: usize,
+        fault_trial: usize,
+    }
+    let mut trials = Vec::new();
+    for app in 0..cfg.apps.len() {
         for stuck in [StuckAt::Zero, StuckAt::One] {
             for bit in 0..16u32 {
-                let mut snr_sum = 0.0;
-                let mut runs = 0usize;
-                for (ri, record) in records.iter().enumerate() {
-                    for trial in 0..cfg.fault_trials {
-                        // One faulty cell at a deterministic pseudo-random
-                        // location in the app's buffer footprint. The
-                        // location depends only on (record, trial) — *not*
-                        // on the bit or polarity — so every point of the
-                        // curve stresses the same cells and the bit axis is
-                        // a paired comparison, as when profiling one
-                        // physical die.
-                        let seed = fault_seed(0xF162, ri, trial);
-                        let word = (seed % words as u64) as usize;
-                        let mut map = FaultMap::empty(geometry.words(), 16);
-                        map.inject(word, bit, stuck);
-                        let mut mem =
-                            ProtectedMemory::with_fault_map(EmtKind::None, geometry, &map);
-                        let out = {
-                            let mut storage = ProtectedStorage::new(&mut mem);
-                            app.run(&record.samples, &mut storage)
-                        };
-                        snr_sum += cap_snr(snr_db(&references[ri], &samples_to_f64(&out)));
-                        runs += 1;
+                for record in 0..records.len() {
+                    for fault_trial in 0..cfg.fault_trials {
+                        trials.push(Trial {
+                            app,
+                            stuck,
+                            bit,
+                            record,
+                            fault_trial,
+                        });
                     }
                 }
+            }
+        }
+    }
+
+    // Worker arena: per app, a reusable unprotected memory and a fault-map
+    // buffer, plus the app's word count for fault placement.
+    struct AppArena {
+        app: Box<dyn BiomedicalApp>,
+        mem: ProtectedMemory,
+        map: FaultMap,
+        words: usize,
+    }
+    let scratch = || -> Vec<AppArena> {
+        cfg.apps
+            .iter()
+            .map(|k| {
+                let app = k.instantiate(cfg.window);
+                let words = app.memory_words();
+                let geometry = banked_geometry(words);
+                AppArena {
+                    app,
+                    mem: ProtectedMemory::new(EmtKind::None, geometry),
+                    map: FaultMap::empty(geometry.words(), 16),
+                    words,
+                }
+            })
+            .collect()
+    };
+
+    let snrs = exec::run_trials(&trials, scratch, |arenas, t, _| {
+        let arena = &mut arenas[t.app];
+        // One faulty cell at a deterministic pseudo-random location in the
+        // app's buffer footprint. The location depends only on (record,
+        // trial) — *not* on the bit or polarity — so every point of the
+        // curve stresses the same cells and the bit axis is a paired
+        // comparison, as when profiling one physical die.
+        let seed = fault_seed(0xF162, t.record, t.fault_trial);
+        let word = (seed % arena.words as u64) as usize;
+        arena.map.clear();
+        arena.map.inject(word, t.bit, t.stuck);
+        arena.mem.reset_with_fault_map(&arena.map);
+        let out = {
+            let mut storage = ProtectedStorage::new(&mut arena.mem);
+            arena.app.run(&records[t.record].samples, &mut storage)
+        };
+        cap_snr(snr_db(&references[t.app][t.record], &samples_to_f64(&out)))
+    });
+
+    // Deterministic merge: trials of one curve point are contiguous, so
+    // each point averages its own chunk in trial order.
+    let runs_per_point = records.len() * cfg.fault_trials;
+    let mut rows = Vec::new();
+    let mut next = 0usize;
+    for &app_kind in &cfg.apps {
+        for stuck in [StuckAt::Zero, StuckAt::One] {
+            for bit in 0..16u32 {
+                let point = &snrs[next..next + runs_per_point];
+                next += runs_per_point;
                 rows.push(Fig2Row {
                     app: app_kind,
                     stuck,
                     bit,
-                    snr_db: snr_sum / runs as f64,
+                    snr_db: point.iter().sum::<f64>() / runs_per_point as f64,
                 });
             }
         }
     }
     rows
-}
-
-/// Smallest banked geometry that fits `words` (the characterization does
-/// not need the full 32 kB array; a right-sized one keeps tests fast).
-fn pick_geometry(words: usize) -> MemGeometry {
-    let banks = 16;
-    let rounded = words.div_ceil(banks) * banks;
-    MemGeometry::new(rounded, 16, banks)
 }
 
 /// The §III claim for compressed sensing: the highest bit position whose

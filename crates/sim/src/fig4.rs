@@ -3,10 +3,16 @@
 
 use dream_core::{EmtKind, ProtectedMemory};
 use dream_dsp::{samples_to_f64, snr_db, AppKind, BiomedicalApp};
-use dream_ecg::Database;
-use dream_mem::{BerModel, FaultMap, MemGeometry};
+use dream_mem::{BerModel, FaultMap};
 
-use crate::campaign::{cap_snr, fault_seed, ProtectedStorage};
+use crate::campaign::{
+    banked_geometry, cap_snr, fault_seed, record_suite, reference_outputs, ProtectedStorage,
+};
+use crate::exec;
+
+/// Width of the shared fault maps: covers the widest codeword of the EMT
+/// set so one map serves every technique (§V).
+const SHARED_MAP_WIDTH: u32 = 22;
 
 /// Configuration of the Fig. 4 voltage sweep.
 #[derive(Clone, Debug, PartialEq)]
@@ -78,61 +84,122 @@ pub struct Fig4Point {
 /// EMTs are tested reusing the same set of error locations/mappings"), run
 /// every application, and average the per-run SNRs in dB.
 pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Point> {
-    let records = Database::date16_suite(cfg.window);
-    let apps: Vec<(AppKind, Box<dyn BiomedicalApp>)> = cfg
+    let records = record_suite(cfg.window, usize::MAX);
+    let apps: Vec<Box<dyn BiomedicalApp>> = cfg
         .apps
         .iter()
-        .map(|&k| (k, k.instantiate(cfg.window)))
+        .map(|&k| k.instantiate(cfg.window))
         .collect();
     // Geometry sized to the largest footprint, shared by all apps so one
     // fault map serves every application in a run.
-    let max_words = apps.iter().map(|(_, a)| a.memory_words()).max().unwrap();
-    let geometry = MemGeometry::new(max_words.div_ceil(16) * 16, 16, 16);
-    // References are input-dependent only: compute once per (app, record).
+    let max_words = apps.iter().map(|a| a.memory_words()).max().unwrap();
+    let geometry = banked_geometry(max_words);
+    // References are input-dependent only: compute once per (app, record),
+    // shared read-only by every trial.
     let references: Vec<Vec<Vec<f64>>> = apps
         .iter()
-        .map(|(_, app)| {
-            records
-                .iter()
-                .map(|r| app.run_reference(&r.samples))
-                .collect()
-        })
+        .map(|app| reference_outputs(&**app, &records))
         .collect();
+
+    // One trial = one (voltage, run) pair: the fault map is drawn once and
+    // reused across every EMT and application, exactly the paper's "same
+    // set of error locations/mappings" methodology — and a ×(EMTs × apps)
+    // saving on map generation over the historical per-cell loop.
+    struct Trial {
+        voltage_idx: usize,
+        run: usize,
+    }
+    let trials: Vec<Trial> = (0..cfg.voltages.len())
+        .flat_map(|voltage_idx| (0..cfg.runs).map(move |run| Trial { voltage_idx, run }))
+        .collect();
+
+    /// Per-trial observation of one (EMT, app) cell.
+    struct Cell {
+        snr_db: f64,
+        uncorrectable: f64,
+        corrected: f64,
+    }
+    // Worker arena: per-worker app instances, one reusable protected
+    // memory per EMT, and the shared wide fault-map buffer.
+    struct Arena {
+        apps: Vec<Box<dyn BiomedicalApp>>,
+        mems: Vec<ProtectedMemory>,
+        map: FaultMap,
+    }
+    let scratch = || Arena {
+        apps: cfg
+            .apps
+            .iter()
+            .map(|&k| k.instantiate(cfg.window))
+            .collect(),
+        mems: cfg
+            .emts
+            .iter()
+            .map(|&emt| ProtectedMemory::new(emt, geometry))
+            .collect(),
+        map: FaultMap::empty(geometry.words(), SHARED_MAP_WIDTH),
+    };
+
+    let results = exec::run_trials(&trials, scratch, |arena, t, _| {
+        let ber = cfg.ber.ber(cfg.voltages[t.voltage_idx]);
+        // Same seed across EMTs and apps => same fault map, as in the
+        // paper; the wide map covers the widest codeword.
+        let seed = fault_seed(cfg.seed, t.voltage_idx, t.run);
+        arena.map.regenerate(ber, seed);
+        let record = &records[t.run % records.len()];
+        let mut cells = Vec::with_capacity(cfg.emts.len() * arena.apps.len());
+        for mem in &mut arena.mems {
+            for (ai, app) in arena.apps.iter().enumerate() {
+                mem.reset_with_fault_map(&arena.map);
+                let out = {
+                    let mut storage = ProtectedStorage::new(mem);
+                    app.run(&record.samples, &mut storage)
+                };
+                let snr = cap_snr(snr_db(
+                    &references[ai][t.run % records.len()],
+                    &samples_to_f64(&out),
+                ));
+                let stats = mem.stats();
+                let (uncorrectable, corrected) = if stats.reads > 0 {
+                    (
+                        stats.uncorrectable_reads as f64 / stats.reads as f64,
+                        stats.corrected_reads as f64 / stats.reads as f64,
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
+                cells.push(Cell {
+                    snr_db: snr,
+                    uncorrectable,
+                    corrected,
+                });
+            }
+        }
+        cells
+    });
+
+    // Deterministic merge: aggregate each (voltage, EMT, app) curve point
+    // over its runs in ascending run order — the historical reduction
+    // order, so the sums are bit-identical to the serial nested loops.
     let mut points = Vec::new();
     for (vi, &voltage) in cfg.voltages.iter().enumerate() {
-        let ber = cfg.ber.ber(voltage);
-        for &emt in &cfg.emts {
-            for (ai, (app_kind, app)) in apps.iter().enumerate() {
+        for (ei, &emt) in cfg.emts.iter().enumerate() {
+            for (ai, &app_kind) in cfg.apps.iter().enumerate() {
+                let cell_idx = ei * cfg.apps.len() + ai;
                 let mut snr_sum = 0.0;
                 let mut snr_min = f64::INFINITY;
                 let mut uncorrectable = 0.0;
                 let mut corrected = 0.0;
                 for run in 0..cfg.runs {
-                    // Same seed across EMTs and apps => same fault map, as
-                    // in the paper; width 22 covers the widest codeword.
-                    let seed = fault_seed(cfg.seed, vi, run);
-                    let map = FaultMap::generate(geometry.words(), 22, ber, seed);
-                    let record = &records[run % records.len()];
-                    let mut mem = ProtectedMemory::with_fault_map(emt, geometry, &map);
-                    let out = {
-                        let mut storage = ProtectedStorage::new(&mut mem);
-                        app.run(&record.samples, &mut storage)
-                    };
-                    let snr = cap_snr(snr_db(
-                        &references[ai][run % records.len()],
-                        &samples_to_f64(&out),
-                    ));
-                    snr_sum += snr;
-                    snr_min = snr_min.min(snr);
-                    let stats = mem.stats();
-                    if stats.reads > 0 {
-                        uncorrectable += stats.uncorrectable_reads as f64 / stats.reads as f64;
-                        corrected += stats.corrected_reads as f64 / stats.reads as f64;
-                    }
+                    let cell = &results[vi * cfg.runs + run][cell_idx];
+                    snr_sum += cell.snr_db;
+                    snr_min = snr_min.min(cell.snr_db);
+                    uncorrectable += cell.uncorrectable;
+                    corrected += cell.corrected;
                 }
                 let n = cfg.runs as f64;
                 points.push(Fig4Point {
-                    app: *app_kind,
+                    app: app_kind,
                     emt,
                     voltage,
                     mean_snr_db: snr_sum / n,

@@ -7,12 +7,14 @@
 //! | [`energy_table`] | §VI-B — energy overhead of each EMT vs the unprotected baseline, and the codec area comparison |
 //! | [`tradeoff`] | §VI-C — mixed-EMT voltage policy for a given output-degradation tolerance and its energy savings |
 //! | [`ablation`] | extensions: protected-bits census, address-scrambling ablation, BER-slope sensitivity, mask-supply ablation |
-//! | [`campaign`] | shared plumbing: seed discipline, the storage adapter onto protected memories, SNR capping |
+//! | [`campaign`] | shared plumbing: seed discipline, the storage adapter onto protected memories, SNR capping, geometry/record-suite selection |
+//! | [`exec`] | the deterministic parallel trial executor behind every campaign (`DREAM_THREADS`) |
 //! | [`report`] | ASCII tables and CSV emission for the `dream-bench` binaries |
 //!
 //! The experiment functions are deterministic: every random choice derives
-//! from explicit seeds, so `cargo run -p dream-bench --bin fig4` prints the
-//! same series on every machine.
+//! from explicit seeds, and the [`exec`] scheduler merges trial results in
+//! trial order, so `cargo run -p dream-bench --bin fig4` prints the same
+//! series on every machine **at every thread count**.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 pub mod ablation;
 pub mod campaign;
 pub mod energy_table;
+pub mod exec;
 pub mod fig2;
 pub mod fig4;
 pub mod report;

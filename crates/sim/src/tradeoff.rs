@@ -6,6 +6,22 @@ use dream_dsp::AppKind;
 use crate::energy_table::EnergyRow;
 use crate::fig4::{curve, Fig4Point};
 
+/// Energy of the 0.9 V unprotected baseline every §VI-C saving is priced
+/// against (pJ) — shared by [`explore`] and [`mixed_policy`], which used
+/// to each re-derive it.
+///
+/// # Panics
+///
+/// Panics if the energy table lacks the 0.9 V unprotected row.
+fn nominal_baseline_pj(energy: &[EnergyRow]) -> f64 {
+    energy
+        .iter()
+        .find(|r| r.emt == EmtKind::None && (r.voltage - 0.9).abs() < 1e-9)
+        .expect("energy table must include the 0.9 V unprotected baseline")
+        .energy
+        .total_pj()
+}
+
 /// The operating point §VI-C selects for one EMT: the lowest voltage whose
 /// *average* output degradation stays within the tolerance, and the energy
 /// saved by running there instead of nominal-unprotected.
@@ -39,12 +55,7 @@ pub fn explore(
     fig4: &[Fig4Point],
     energy: &[EnergyRow],
 ) -> Vec<TradeoffPolicy> {
-    let baseline_energy = energy
-        .iter()
-        .find(|r| r.emt == EmtKind::None && (r.voltage - 0.9).abs() < 1e-9)
-        .expect("energy table must include the 0.9 V unprotected baseline")
-        .energy
-        .total_pj();
+    let baseline_energy = nominal_baseline_pj(energy);
     let emts: Vec<EmtKind> = {
         let mut seen = Vec::new();
         for p in fig4 {
@@ -120,12 +131,7 @@ pub fn mixed_policy(
     fig4: &[Fig4Point],
     energy: &[EnergyRow],
 ) -> Vec<PolicyBand> {
-    let baseline = energy
-        .iter()
-        .find(|r| r.emt == EmtKind::None && (r.voltage - 0.9).abs() < 1e-9)
-        .expect("energy table must include the 0.9 V unprotected baseline")
-        .energy
-        .total_pj();
+    let baseline = nominal_baseline_pj(energy);
     let policies = explore(app, tolerance_db, fig4, energy);
     let mut voltages: Vec<f64> = fig4
         .iter()

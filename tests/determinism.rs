@@ -1,0 +1,155 @@
+//! The campaign executor's contract: output is bit-identical whatever the
+//! worker count, and the flattened trial indexing never makes two trials
+//! share a fault seed.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use dream_suite::dsp::AppKind;
+use dream_suite::sim::campaign::fault_seed;
+use dream_suite::sim::exec;
+use dream_suite::sim::fig2::{run_fig2, Fig2Config};
+use dream_suite::sim::fig4::{run_fig4, Fig4Config};
+use proptest::prelude::*;
+
+/// Serializes tests that pin the process-wide thread override.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    exec::set_thread_override(Some(n));
+    let r = f();
+    exec::set_thread_override(None);
+    r
+}
+
+/// `DREAM_THREADS=1` and `DREAM_THREADS=4` must yield the same `Fig2Row`s
+/// down to the last mantissa bit: same rows, same order, exact f64
+/// equality (not approximate).
+#[test]
+fn fig2_rows_identical_serial_vs_parallel() {
+    let _guard = OVERRIDE_LOCK.lock().expect("override lock");
+    let cfg = Fig2Config {
+        window: 512,
+        records: 2,
+        apps: vec![AppKind::Dwt, AppKind::CompressedSensing],
+        fault_trials: 2,
+    };
+    let serial = with_threads(1, || run_fig2(&cfg));
+    let parallel = with_threads(4, || run_fig2(&cfg));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.app, p.app);
+        assert_eq!(s.stuck, p.stuck);
+        assert_eq!(s.bit, p.bit);
+        assert_eq!(
+            s.snr_db.to_bits(),
+            p.snr_db.to_bits(),
+            "{} {:?} bit {}: {} vs {}",
+            s.app,
+            s.stuck,
+            s.bit,
+            s.snr_db,
+            p.snr_db
+        );
+    }
+}
+
+/// Same contract for the Fig. 4 voltage sweep, including the min/rate
+/// fields that fold over runs.
+#[test]
+fn fig4_points_identical_serial_vs_parallel() {
+    let _guard = OVERRIDE_LOCK.lock().expect("override lock");
+    let cfg = Fig4Config {
+        window: 512,
+        runs: 5,
+        voltages: vec![0.5, 0.7, 0.9],
+        apps: vec![AppKind::Dwt],
+        ..Default::default()
+    };
+    let serial = with_threads(1, || run_fig4(&cfg));
+    let parallel = with_threads(4, || run_fig4(&cfg));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.app, p.app);
+        assert_eq!(s.emt, p.emt);
+        assert_eq!(s.voltage.to_bits(), p.voltage.to_bits());
+        assert_eq!(s.mean_snr_db.to_bits(), p.mean_snr_db.to_bits(), "{s:?}");
+        assert_eq!(s.min_snr_db.to_bits(), p.min_snr_db.to_bits(), "{s:?}");
+        assert_eq!(
+            s.uncorrectable_rate.to_bits(),
+            p.uncorrectable_rate.to_bits()
+        );
+        assert_eq!(s.corrected_rate.to_bits(), p.corrected_rate.to_bits());
+    }
+}
+
+/// With no override pinned, `thread_count` resolves through the
+/// `DREAM_THREADS` environment variable (CI runs this suite with
+/// `DREAM_THREADS=2` to exercise exactly this path).
+#[test]
+fn thread_count_honors_environment() {
+    let _guard = OVERRIDE_LOCK.lock().expect("override lock");
+    exec::set_thread_override(None);
+    // Whatever the ambient variable says must be what campaigns get…
+    if let Ok(raw) = std::env::var(exec::THREADS_ENV) {
+        let expect: usize = raw.trim().parse().expect("DREAM_THREADS is an integer");
+        assert_eq!(exec::thread_count(), expect);
+    }
+    // …and an explicit value must round-trip through the resolution path.
+    let ambient = std::env::var(exec::THREADS_ENV).ok();
+    std::env::set_var(exec::THREADS_ENV, "3");
+    assert_eq!(exec::thread_count(), 3);
+    match ambient {
+        Some(v) => std::env::set_var(exec::THREADS_ENV, v),
+        None => std::env::remove_var(exec::THREADS_ENV),
+    }
+}
+
+/// The executor preserves trial order regardless of the schedule.
+#[test]
+fn executor_results_stay_in_trial_order() {
+    let _guard = OVERRIDE_LOCK.lock().expect("override lock");
+    let trials: Vec<u64> = (0..503).collect();
+    let expect: Vec<u64> = trials.iter().map(|t| t.wrapping_mul(0x9E37)).collect();
+    for threads in [1, 2, 4, 7] {
+        let got = with_threads(threads, || {
+            exec::run_trials(&trials, || (), |(), &t, _| t.wrapping_mul(0x9E37))
+        });
+        assert_eq!(got, expect, "{threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under the flattened trial indexing every (point, run) pair of a
+    /// campaign grid still draws a distinct fault seed — no collisions
+    /// within a campaign, whatever its base seed.
+    #[test]
+    fn fault_seed_stays_collision_free_when_flattened(
+        base in any::<u64>(),
+        points in 1usize..40,
+        runs in 1usize..40,
+    ) {
+        let mut seen = HashSet::new();
+        for flat in 0..points * runs {
+            // The executor hands workers a flat index; runners derive the
+            // (point, run) coordinates exactly like this.
+            let seed = fault_seed(base, flat / runs, flat % runs);
+            prop_assert!(seen.insert(seed), "collision at flat index {}", flat);
+        }
+    }
+
+    /// Two campaigns with different base seeds share no seeds on the same
+    /// grid (so figures never accidentally correlate their fault draws).
+    #[test]
+    fn distinct_base_seeds_do_not_collide(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let sa: HashSet<u64> = (0..16).flat_map(|p| (0..16).map(move |r| fault_seed(a, p, r))).collect();
+        for p in 0..16 {
+            for r in 0..16 {
+                prop_assert!(!sa.contains(&fault_seed(b, p, r)));
+            }
+        }
+    }
+}
