@@ -48,6 +48,65 @@ fn bench_protected_access(c: &mut Criterion) {
     group.finish();
 }
 
+/// The clean-word fast path against the forced full decoder, on a
+/// mid-voltage map where most — but not all — words are clean: the
+/// regression guard for the per-access read pipeline.
+fn bench_clean_fast_path(c: &mut Criterion) {
+    let geometry = MemGeometry::inyu_data_memory();
+    let ber = BerModel::date16().ber(0.6);
+    let map = FaultMap::generate(geometry.words(), 22, ber, 42);
+    let mut group = c.benchmark_group("read_fast_path_vs_full_decode");
+    for kind in EmtKind::paper_set() {
+        for fast in [true, false] {
+            let mut mem = ProtectedMemory::with_fault_map(kind, geometry, &map);
+            mem.set_fast_path(fast);
+            for i in 0..1024 {
+                mem.write(i, (i * 31) as i16);
+            }
+            let label = format!("{kind}/{}", if fast { "fast" } else { "full" });
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) & 1023;
+                    black_box(mem.read(black_box(i)))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Block transfers against word-at-a-time loops — the streaming path the
+/// DSP windows use.
+fn bench_block_access(c: &mut Criterion) {
+    let geometry = MemGeometry::inyu_data_memory();
+    let ber = BerModel::date16().ber(0.6);
+    let map = FaultMap::generate(geometry.words(), 22, ber, 42);
+    let mut group = c.benchmark_group("block_vs_word_transfers_256");
+    let data: Vec<i16> = (0..256).map(|i| (i * 129 - 9000) as i16).collect();
+    let mut buf = vec![0i16; 256];
+    let mut mem = ProtectedMemory::with_fault_map(EmtKind::Dream, geometry, &map);
+    group.bench_function("word_at_a_time", |b| {
+        b.iter(|| {
+            for (i, &v) in data.iter().enumerate() {
+                mem.write(i, v);
+            }
+            for (i, slot) in buf.iter_mut().enumerate() {
+                *slot = mem.read(i);
+            }
+            black_box(buf[17])
+        })
+    });
+    group.bench_function("block", |b| {
+        b.iter(|| {
+            mem.write_block(0, &data);
+            mem.read_block(0, &mut buf);
+            black_box(buf[17])
+        })
+    });
+    group.finish();
+}
+
 fn bench_scrambler(c: &mut Criterion) {
     let s = AddressScrambler::new(16 * 1024, 0xBEEF);
     c.bench_function("scramble_to_physical", |b| {
@@ -63,6 +122,8 @@ criterion_group!(
     benches,
     bench_fault_map_generation,
     bench_protected_access,
+    bench_clean_fast_path,
+    bench_block_access,
     bench_scrambler
 );
 criterion_main!(benches);

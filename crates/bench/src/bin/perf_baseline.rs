@@ -1,22 +1,31 @@
 //! Times the four experiment campaigns serial vs. parallel, verifies that
-//! both paths produce **identical** output, and writes the results to
-//! `BENCH_campaigns.json` at the workspace root so future PRs have a perf
-//! trajectory to compare against.
+//! both paths produce **identical** output, and **appends** the results to
+//! the `trajectory` array of `BENCH_campaigns.json` at the workspace root,
+//! so the perf history accumulates across PRs instead of overwriting
+//! itself.
 //!
 //! ```text
 //! cargo run --release -p dream-bench --bin perf_baseline [--smoke] [--threads N] [--window N]
 //! ```
 //!
-//! `--smoke` runs a reduced scale for CI and writes to the gitignored
+//! `--smoke` runs a reduced scale for CI and appends to the gitignored
 //! `results/BENCH_campaigns_smoke.json` instead (only full-scale runs
 //! update the tracked trajectory); `--threads` picks the parallel worker
 //! count (default: `DREAM_THREADS` or the machine's parallelism).
+//!
+//! Besides trials/s, every campaign reports **accesses/s**: the protected
+//! memory traffic it drives per wall-clock second, derived from clean-run
+//! access counts of each (application, record) pair (fault-dependent
+//! detector paths can shift per-trial counts by a handful of words; the
+//! clean-run figure is the stable denominator).
 
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use dream_bench::{workspace_root, Args};
-use dream_dsp::AppKind;
+use dream_dsp::{AppKind, VecStorage, WordStorage};
+use dream_ecg::Database;
 use dream_sim::ablation::ber_sensitivity;
+use dream_sim::campaign::record_suite;
 use dream_sim::energy_table::{run_energy_table, EnergyConfig};
 use dream_sim::exec;
 use dream_sim::fig2::{run_fig2, Fig2Config};
@@ -26,6 +35,7 @@ use dream_sim::tradeoff::explore;
 struct Timing {
     name: &'static str,
     trials: usize,
+    accesses: u64,
     serial_s: f64,
     parallel_s: f64,
 }
@@ -39,6 +49,10 @@ impl Timing {
         self.trials as f64 / self.parallel_s
     }
 
+    fn serial_access_rate(&self) -> f64 {
+        self.accesses as f64 / self.serial_s
+    }
+
     fn speedup(&self) -> f64 {
         self.serial_s / self.parallel_s
     }
@@ -50,6 +64,7 @@ impl Timing {
 fn time_campaign<R: PartialEq>(
     name: &'static str,
     trials: usize,
+    accesses: u64,
     threads: usize,
     campaign: impl Fn() -> R,
 ) -> Timing {
@@ -71,8 +86,103 @@ fn time_campaign<R: PartialEq>(
     Timing {
         name,
         trials,
+        accesses,
         serial_s,
         parallel_s,
+    }
+}
+
+/// Word storage that counts accesses on top of a plain vector — the probe
+/// behind the campaigns' accesses/s metric.
+struct CountingStorage {
+    inner: VecStorage,
+    accesses: u64,
+}
+
+impl WordStorage for CountingStorage {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn read(&mut self, addr: usize) -> i16 {
+        self.accesses += 1;
+        self.inner.read(addr)
+    }
+
+    fn write(&mut self, addr: usize, value: i16) {
+        self.accesses += 1;
+        self.inner.write(addr, value);
+    }
+    // Block transfers inherit the per-word defaults, so every streamed
+    // word is counted exactly like a protected-memory access.
+}
+
+/// Clean-run access count of one `app` run over `input`.
+fn accesses_per_run(app: AppKind, window: usize, input: &[i16]) -> u64 {
+    let app = app.instantiate(window);
+    let mut mem = CountingStorage {
+        inner: VecStorage::new(app.memory_words()),
+        accesses: 0,
+    };
+    let _ = app.run(input, &mut mem);
+    mem.accesses
+}
+
+/// Formats a unix timestamp as an ISO-8601 UTC date-time (civil-from-days,
+/// Howard Hinnant's algorithm — the workspace is intentionally
+/// dependency-free).
+fn iso8601_utc(unix: u64) -> String {
+    let days = (unix / 86_400) as i64;
+    let secs = unix % 86_400;
+    let (h, m, s) = (secs / 3600, (secs % 3600) / 60, secs % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mon = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mon <= 2 { y + 1 } else { y };
+    format!("{y:04}-{mon:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+/// Appends `entry` to the `trajectory` array of the JSON file at `path`.
+///
+/// A legacy single-run file (the pre-trajectory format) is preserved as
+/// the first trajectory entry; a missing or unrecognized file starts a
+/// fresh trajectory.
+fn append_trajectory(path: &std::path::Path, entry: &str) -> String {
+    const HEADER: &str = "{\n  \"generator\": \"cargo run --release -p dream-bench --bin perf_baseline\",\n  \"trajectory\": [\n";
+    const FOOTER: &str = "\n  ]\n}\n";
+    match std::fs::read_to_string(path) {
+        Ok(old) if old.contains("\"trajectory\"") => {
+            // Splice the new entry before the file's last closing bracket
+            // (the trajectory array's — every campaigns array closes
+            // earlier). Formatting-tolerant: any indentation survives.
+            let idx = old.rfind(']').unwrap_or_else(|| {
+                // Never clobber accumulated history: a trajectory-marked
+                // file without a closing bracket is corrupt — bail out.
+                panic!(
+                    "{} mentions \"trajectory\" but has no closing ']' — \
+                     refusing to overwrite the perf history; repair or \
+                     remove the file and re-run",
+                    path.display()
+                )
+            });
+            let head = old[..idx].trim_end();
+            // An empty trajectory array gets no separating comma.
+            let sep = if head.ends_with('[') { "\n" } else { ",\n" };
+            format!("{head}{sep}{entry}\n  {}", &old[idx..])
+        }
+        Ok(legacy) => {
+            // Wrap the pre-trajectory baseline as the first entry so the
+            // history keeps its origin point.
+            let legacy = legacy.trim();
+            format!("{HEADER}    {legacy},\n{entry}{FOOTER}")
+        }
+        Err(_) => format!("{HEADER}{entry}{FOOTER}"),
     }
 }
 
@@ -122,66 +232,141 @@ fn main() {
         ..Default::default()
     };
 
+    // Clean-run access counts per (app, record): the denominators of the
+    // accesses/s columns. fig2 averages over its (possibly truncated)
+    // record subset, while run_fig4 always cycles over the full suite —
+    // so each campaign's counts come from the suite it actually runs.
+    let full_suite = record_suite(window, usize::MAX);
+    let per_app_record: Vec<Vec<u64>> = AppKind::all()
+        .iter()
+        .map(|&app| {
+            full_suite
+                .iter()
+                .map(|r| accesses_per_run(app, window, &r.samples))
+                .collect()
+        })
+        .collect();
+    // fig2: every (app, polarity, bit, record, fault trial) runs the app
+    // once on that record.
+    let fig2_accesses: u64 = per_app_record
+        .iter()
+        .map(|counts| {
+            counts[..fig2_records.min(counts.len())].iter().sum::<u64>()
+                * 2
+                * 16
+                * fig2_trials as u64
+        })
+        .sum();
+    // fig4: every (voltage, run) trial runs all EMTs × apps once on the
+    // full-suite record the run cycles to.
+    let fig4_record = |run: usize| run % full_suite.len();
+    let fig4_accesses_all_apps: u64 = (0..fig4_runs)
+        .map(|run| {
+            per_app_record
+                .iter()
+                .map(|counts| counts[fig4_record(run)])
+                .sum::<u64>()
+        })
+        .sum::<u64>()
+        * fig4_cfg.emts.len() as u64
+        * fig4_cfg.voltages.len() as u64;
+    // ablation (BER sensitivity) and the tradeoff's fig4 reuse are
+    // DWT-only sweeps over the record-100 window.
+    let dwt_rec100 = accesses_per_run(AppKind::Dwt, window, &Database::record(100, window).samples);
+    let ablation_accesses = dwt_rec100 * (ber_slopes.len() * voltages.len() * ber_runs) as u64;
+    let dwt_idx = AppKind::all()
+        .iter()
+        .position(|&a| a == AppKind::Dwt)
+        .expect("Dwt is in the standard app set");
+    let tradeoff_accesses: u64 = (0..fig4_runs)
+        .map(|run| per_app_record[dwt_idx][fig4_record(run)])
+        .sum::<u64>()
+        * fig4_cfg.emts.len() as u64
+        * fig4_cfg.voltages.len() as u64;
+
     let timings = vec![
-        time_campaign("fig2", fig2_trial_count, threads, || run_fig2(&fig2_cfg)),
-        time_campaign("fig4", fig4_trial_count, threads, || run_fig4(&fig4_cfg)),
+        time_campaign("fig2", fig2_trial_count, fig2_accesses, threads, || {
+            run_fig2(&fig2_cfg)
+        }),
+        time_campaign(
+            "fig4",
+            fig4_trial_count,
+            fig4_accesses_all_apps,
+            threads,
+            || run_fig4(&fig4_cfg),
+        ),
         time_campaign(
             "ablation",
             ber_slopes.len() * voltages.len() * ber_runs,
+            ablation_accesses,
             threads,
             || ber_sensitivity(window, ber_runs, ber_slopes),
         ),
-        time_campaign("tradeoff", fig4_trial_count, threads, || {
-            let points = run_fig4(&Fig4Config {
-                apps: vec![AppKind::Dwt],
-                ..fig4_cfg.clone()
-            });
-            let energy = run_energy_table(&energy_cfg);
-            explore(AppKind::Dwt, 1.0, &points, &energy)
-        }),
+        time_campaign(
+            "tradeoff",
+            fig4_trial_count,
+            tradeoff_accesses,
+            threads,
+            || {
+                let points = run_fig4(&Fig4Config {
+                    apps: vec![AppKind::Dwt],
+                    ..fig4_cfg.clone()
+                });
+                let energy = run_energy_table(&energy_cfg);
+                explore(AppKind::Dwt, 1.0, &points, &energy)
+            },
+        ),
     ];
 
     println!("\nCampaign throughput (serial vs {threads} threads; identical outputs verified)");
     println!(
-        "{:<10} {:>8} {:>10} {:>10} {:>12} {:>12} {:>8}",
-        "campaign", "trials", "serial s", "par s", "ser tr/s", "par tr/s", "speedup"
+        "{:<10} {:>8} {:>10} {:>10} {:>12} {:>12} {:>14} {:>8}",
+        "campaign", "trials", "serial s", "par s", "ser tr/s", "par tr/s", "ser accs/s", "speedup"
     );
     for t in &timings {
         println!(
-            "{:<10} {:>8} {:>10.2} {:>10.2} {:>12.1} {:>12.1} {:>7.2}x",
+            "{:<10} {:>8} {:>10.2} {:>10.2} {:>12.1} {:>12.1} {:>14.0} {:>7.2}x",
             t.name,
             t.trials,
             t.serial_s,
             t.parallel_s,
             t.serial_rate(),
             t.parallel_rate(),
+            t.serial_access_rate(),
             t.speedup()
         );
     }
 
     // Hand-rolled JSON (the workspace is intentionally dependency-free).
-    let entries: Vec<String> = timings
+    let campaigns: Vec<String> = timings
         .iter()
         .map(|t| {
             format!(
-                "    {{\"name\": \"{}\", \"trials\": {}, \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \
-                 \"serial_trials_per_s\": {:.2}, \"parallel_trials_per_s\": {:.2}, \"speedup\": {:.3}}}",
+                "        {{\"name\": \"{}\", \"trials\": {}, \"accesses\": {}, \"serial_s\": {:.3}, \
+                 \"parallel_s\": {:.3}, \"serial_trials_per_s\": {:.2}, \"parallel_trials_per_s\": {:.2}, \
+                 \"serial_accesses_per_s\": {:.0}, \"speedup\": {:.3}}}",
                 t.name,
                 t.trials,
+                t.accesses,
                 t.serial_s,
                 t.parallel_s,
                 t.serial_rate(),
                 t.parallel_rate(),
+                t.serial_access_rate(),
                 t.speedup()
             )
         })
         .collect();
-    let json = format!(
-        "{{\n  \"generator\": \"cargo run --release -p dream-bench --bin perf_baseline{}\",\n  \
-         \"threads\": {threads},\n  \"hardware_parallelism\": {hw},\n  \"window\": {window},\n  \
-         \"campaigns\": [\n{}\n  ]\n}}\n",
-        if smoke { " -- --smoke" } else { "" },
-        entries.join(",\n")
+    let unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before 1970")
+        .as_secs();
+    let entry = format!(
+        "    {{\n      \"unix_time\": {unix},\n      \"date_utc\": \"{}\",\n      \
+         \"threads\": {threads},\n      \"hardware_parallelism\": {hw},\n      \
+         \"window\": {window},\n      \"campaigns\": [\n{}\n      ]\n    }}",
+        iso8601_utc(unix),
+        campaigns.join(",\n")
     );
     // Smoke runs land in the gitignored results/ directory so they never
     // clobber the tracked full-scale trajectory at the workspace root.
@@ -190,6 +375,7 @@ fn main() {
     } else {
         workspace_root().join("BENCH_campaigns.json")
     };
+    let json = append_trajectory(&path, &entry);
     std::fs::write(&path, json).expect("write campaign baseline JSON");
-    eprintln!("wrote {}", path.display());
+    eprintln!("appended trajectory entry to {}", path.display());
 }

@@ -2,7 +2,7 @@
 
 use dream_energy::{Gate, Netlist};
 
-use crate::emt::{DecodeOutcome, Decoded, EmtCodec, Encoded};
+use crate::emt::{DecodeOutcome, Decoded, EmtCodec, EmtKind, Encoded};
 
 /// Dynamic eRror compEnsation And Masking.
 ///
@@ -45,13 +45,55 @@ const DATA_BITS: u32 = 16;
 /// Bits in the mask identifier: log2(16).
 const MASK_ID_BITS: u32 = 4;
 
+/// Per-side-word reconstruction masks: the whole Fig. 3 read path — mask
+/// LUT, AND branch, OR branch, sign multiplexer and set-one-bit block —
+/// folds into `(corrupted & AND_TABLE[side]) | OR_TABLE[side]` because the
+/// 5 side bits fully determine which branch wins and which bits it forces:
+///
+/// * positive (`sign = 0`): clear the run (`AND !mask`), force the guard
+///   bit below it to 1 → `and = !mask`, `or = guard`,
+/// * negative (`sign = 1`): set the run (`OR mask`), force the guard bit
+///   to 0 → `and = !guard`, `or = mask`.
+///
+/// Computed once at compile time over all 32 side words.
+const fn decode_tables() -> ([u32; 32], [u32; 32]) {
+    let mut and_t = [0u32; 32];
+    let mut or_t = [0u32; 32];
+    let mut side = 0usize;
+    while side < 32 {
+        let sign = side & (1 << MASK_ID_BITS) != 0;
+        let run = (side as u32 & ((1 << MASK_ID_BITS) - 1)) + 1;
+        let mask = (0xFFFF_u32 << (DATA_BITS - run)) & 0xFFFF;
+        let guard = if run < DATA_BITS {
+            1u32 << (DATA_BITS - 1 - run)
+        } else {
+            0
+        };
+        if sign {
+            and_t[side] = 0xFFFF & !guard;
+            or_t[side] = mask;
+        } else {
+            and_t[side] = 0xFFFF & !mask;
+            or_t[side] = guard;
+        }
+        side += 1;
+    }
+    (and_t, or_t)
+}
+
+/// AND/OR reconstruction masks indexed by the 5 side bits.
+const DECODE_TABLES: ([u32; 32], [u32; 32]) = decode_tables();
+
 impl Dream {
     /// Creates the codec.
     pub fn new() -> Self {
         Dream { _private: () }
     }
 
-    /// Splits side bits into `(sign, run)` where `run ∈ 1..=16`.
+    /// Splits side bits into `(sign, run)` where `run ∈ 1..=16` (the
+    /// hot decode path uses [`DECODE_TABLES`] instead; this survives for
+    /// the reference decoder).
+    #[cfg(test)]
     #[inline]
     fn unpack_side(side: u16) -> (bool, u32) {
         let sign = side & (1 << MASK_ID_BITS) != 0;
@@ -61,6 +103,7 @@ impl Dream {
 
     /// The full mask for a given run length: ones in the top `run` bits.
     /// In hardware this is the mask-ID → mask lookup table of Fig. 3.
+    #[cfg(test)]
     #[inline]
     fn mask_for_run(run: u32) -> u32 {
         debug_assert!((1..=16).contains(&run));
@@ -97,6 +140,10 @@ impl EmtCodec for Dream {
         "DREAM"
     }
 
+    fn kind(&self) -> EmtKind {
+        EmtKind::Dream
+    }
+
     fn code_width(&self) -> u32 {
         DATA_BITS
     }
@@ -106,6 +153,7 @@ impl EmtCodec for Dream {
         1 + MASK_ID_BITS
     }
 
+    #[inline]
     fn encode(&self, word: i16) -> Encoded {
         let run = sign_run(word);
         let sign = word < 0;
@@ -116,27 +164,13 @@ impl EmtCodec for Dream {
         }
     }
 
+    #[inline]
     fn decode(&self, code: u32, side: u16) -> Decoded {
-        let (sign, run) = Self::unpack_side(side);
-        let mask = Self::mask_for_run(run);
+        // The whole Fig. 3 read path as two table lookups and two bitwise
+        // operations (see [`decode_tables`] for the derivation).
         let corrupted = code & 0xFFFF;
-        // The two parallel branches of Fig. 3 …
-        let and_branch = corrupted & !mask; // clears the run (positive case)
-        let or_branch = corrupted | mask; // sets the run (negative case)
-
-        // … the sign-controlled 2:1 multiplexer …
-        let mut out = if sign { or_branch } else { and_branch };
-        // … and the "Set one bit" block: the first bit after the run always
-        // holds the inverted sign, so its position (known from the mask ID)
-        // is rebuilt with a NOT of the sign.
-        if run < DATA_BITS {
-            let guard = 1u32 << (DATA_BITS - 1 - run);
-            if sign {
-                out &= !guard;
-            } else {
-                out |= guard;
-            }
-        }
+        let idx = usize::from(side) & 31;
+        let out = (corrupted & DECODE_TABLES.0[idx]) | DECODE_TABLES.1[idx];
         let word = out as u16 as i16;
         let outcome = if out == corrupted {
             DecodeOutcome::Clean
@@ -178,6 +212,43 @@ impl EmtCodec for Dream {
     }
 }
 
+/// The historical branchy decoder, kept as the oracle for the table-driven
+/// kernel.
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    pub fn decode(code: u32, side: u16) -> Decoded {
+        let (sign, run) = Dream::unpack_side(side);
+        let mask = Dream::mask_for_run(run);
+        let corrupted = code & 0xFFFF;
+        // The two parallel branches of Fig. 3 …
+        let and_branch = corrupted & !mask; // clears the run (positive case)
+        let or_branch = corrupted | mask; // sets the run (negative case)
+
+        // … the sign-controlled 2:1 multiplexer …
+        let mut out = if sign { or_branch } else { and_branch };
+        // … and the "Set one bit" block: the first bit after the run always
+        // holds the inverted sign, so its position (known from the mask ID)
+        // is rebuilt with a NOT of the sign.
+        if run < DATA_BITS {
+            let guard = 1u32 << (DATA_BITS - 1 - run);
+            if sign {
+                out &= !guard;
+            } else {
+                out |= guard;
+            }
+        }
+        let word = out as u16 as i16;
+        let outcome = if out == corrupted {
+            DecodeOutcome::Clean
+        } else {
+            DecodeOutcome::Corrected
+        };
+        Decoded { word, outcome }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +257,32 @@ mod tests {
         let d = Dream::new();
         let e = d.encode(word);
         d.decode(e.code, e.side).word
+    }
+
+    #[test]
+    fn exhaustive_decode_matches_branchy_reference() {
+        // The decode domain is tiny — 2^16 codewords × 32 side words — so
+        // the table-driven kernel is proven equal on *all* of it, outcome
+        // classification included.
+        let d = Dream::new();
+        for side in 0..32u16 {
+            for code in 0..=0xFFFFu32 {
+                assert_eq!(
+                    d.decode(code, side),
+                    reference::decode(code, side),
+                    "code {code:#06x} side {side:#04x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_ignores_stray_upper_side_bits() {
+        // The side array stores 5 meaningful bits; decode must mask, not
+        // index out of the table.
+        let d = Dream::new();
+        let e = d.encode(-1234);
+        assert_eq!(d.decode(e.code, e.side), d.decode(e.code, e.side | 0xFFE0));
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub trait EmtCodec {
     /// Human-readable technique name (used in reports and figures).
     fn name(&self) -> &'static str;
 
+    /// The selector this codec instantiates (lets the monomorphized
+    /// [`ProtectedMemory`](crate::ProtectedMemory) report its technique
+    /// without carrying a redundant field).
+    fn kind(&self) -> EmtKind;
+
     /// Bits per word stored in the faulty data array (16 for raw storage,
     /// 22 for ECC SEC/DED, …).
     fn code_width(&self) -> u32;
@@ -154,6 +159,15 @@ impl EmtCodec for AnyCodec {
         }
     }
 
+    fn kind(&self) -> EmtKind {
+        match self {
+            AnyCodec::None(c) => c.kind(),
+            AnyCodec::Parity(c) => c.kind(),
+            AnyCodec::Dream(c) => c.kind(),
+            AnyCodec::Ecc(c) => c.kind(),
+        }
+    }
+
     fn code_width(&self) -> u32 {
         match self {
             AnyCodec::None(c) => c.code_width(),
@@ -172,6 +186,7 @@ impl EmtCodec for AnyCodec {
         }
     }
 
+    #[inline]
     fn encode(&self, word: i16) -> Encoded {
         match self {
             AnyCodec::None(c) => c.encode(word),
@@ -181,6 +196,7 @@ impl EmtCodec for AnyCodec {
         }
     }
 
+    #[inline]
     fn decode(&self, code: u32, side: u16) -> Decoded {
         match self {
             AnyCodec::None(c) => c.decode(code, side),

@@ -1,10 +1,48 @@
 //! Protected-memory composition: codec + faulty data array + reliable side
 //! array + statistics + energy accounting.
+//!
+//! # Anatomy of an access
+//!
+//! A write runs the encoder and stores `(code, side)`; a read loads the
+//! code bits through the fault overlay and runs the decoder. Two
+//! structural optimizations keep that pipeline off the campaign profiles:
+//!
+//! * **Monomorphization** — [`ProtectedMemory`] is generic over its codec
+//!   `C: EmtCodec` (defaulting to the [`AnyCodec`] facade, so existing
+//!   harness code is unchanged). Campaign arenas instantiate
+//!   `ProtectedMemory<NoProtection>` etc., compiling every access down to
+//!   the concrete codec kernel with no enum dispatch.
+//! * **Clean-word fast path** — the overwhelming majority of words have no
+//!   stuck cell at a given voltage, and a clean word reads back exactly the
+//!   bits the encoder produced. The memory therefore keeps a *shadow* of
+//!   the decode result each stored word would produce absent faults; when
+//!   [`FaultySram::is_word_clean`] says no stuck lane touches the word, the
+//!   read returns the shadow entry and skips the decoder entirely.
+//!   Statistics (and therefore energy accounting) are bit-identical either
+//!   way, because the shadow stores the full [`Decoded`] — including the
+//!   outcome a decode of the reset state would report.
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use dream_energy::{calib, EnergyBreakdown, SramEnergyModel};
 use dream_mem::{FaultMap, FaultySram, MemGeometry};
 
 use crate::emt::{AnyCodec, DecodeOutcome, Decoded, EmtCodec, EmtKind};
+
+/// Process-wide kill switch for the clean-word fast path, for differential
+/// tests that must compare fast-path and full-decoder behaviour of whole
+/// campaigns. Memories sample it at construction and on
+/// [`ProtectedMemory::reset_with_fault_map`].
+static FORCE_FULL_DECODE: AtomicBool = AtomicBool::new(false);
+
+/// Test-only: force every subsequently built (or re-armed) memory to run
+/// the full decoder on every read, disabling the clean-word fast path.
+///
+/// Both settings are observationally equivalent by construction; the
+/// differential suite in `tests/fast_path.rs` proves it on real campaigns.
+pub fn force_full_decode(disable_fast_path: bool) {
+    FORCE_FULL_DECODE.store(disable_fast_path, Ordering::SeqCst);
+}
 
 /// Running access/outcome counters of a [`ProtectedMemory`].
 ///
@@ -66,7 +104,7 @@ impl EnergyModelBundle {
     /// bit cells are the reliability limiter.
     pub fn run_energy(
         &self,
-        codec: &AnyCodec,
+        codec: &dyn EmtCodec,
         stats: &AccessStats,
         words: usize,
         data_v: f64,
@@ -108,8 +146,14 @@ impl Default for EnergyModelBundle {
 /// [`FaultySram`] running at a scaled (fault-inducing) supply; the side
 /// array holding DREAM's sign + mask-ID bits is modelled as always
 /// error-free because it runs at nominal voltage. Every write runs the
-/// encoder, every read runs the decoder, and [`AccessStats`] accumulates
-/// what happened.
+/// encoder, every read runs the decoder — or, for words untouched by any
+/// stuck cell, the clean-word fast path (see the module docs) — and
+/// [`AccessStats`] accumulates what happened.
+///
+/// The codec parameter defaults to the [`AnyCodec`] facade, so
+/// `ProtectedMemory` with no type argument behaves exactly as before;
+/// performance-critical callers monomorphize with
+/// [`ProtectedMemory::with_codec`].
 ///
 /// ```
 /// use dream_core::{EmtKind, ProtectedMemory};
@@ -124,27 +168,26 @@ impl Default for EnergyModelBundle {
 /// assert_eq!(mem.stats().reads, 1);
 /// ```
 #[derive(Clone, Debug)]
-pub struct ProtectedMemory {
-    kind: EmtKind,
-    codec: AnyCodec,
+pub struct ProtectedMemory<C: EmtCodec = AnyCodec> {
+    codec: C,
     data: FaultySram,
     side: Vec<u16>,
+    /// Per-address decode result the stored word produces absent faults:
+    /// what the clean-word fast path returns instead of running the
+    /// decoder. Writes refresh it with `(word, Clean)` — the round-trip
+    /// identity every codec guarantees — and resets refresh it with the
+    /// decode of the zeroed arrays.
+    shadow: Vec<Decoded>,
+    fast_path: bool,
     stats: AccessStats,
 }
 
-impl ProtectedMemory {
+impl ProtectedMemory<AnyCodec> {
     /// Creates a fault-free protected memory over `geometry` (given for the
     /// *16-bit* base layout; the data array widens automatically for codecs
     /// with in-array redundancy).
     pub fn new(kind: EmtKind, geometry: MemGeometry) -> Self {
-        let codec = kind.codec();
-        let width = codec.code_width();
-        Self::build(
-            kind,
-            codec,
-            geometry,
-            FaultMap::empty(geometry.words(), width),
-        )
+        Self::with_codec(kind.codec(), geometry)
     }
 
     /// Creates a protected memory whose data array carries the stuck-at
@@ -161,25 +204,46 @@ impl ProtectedMemory {
     /// Panics if the map covers a different word count or is narrower than
     /// the codeword.
     pub fn with_fault_map(kind: EmtKind, geometry: MemGeometry, map: &FaultMap) -> Self {
-        let codec = kind.codec();
+        Self::with_codec_and_fault_map(kind.codec(), geometry, map)
+    }
+}
+
+impl<C: EmtCodec> ProtectedMemory<C> {
+    /// Creates a fault-free protected memory monomorphized over `codec` —
+    /// the zero-dispatch path campaign arenas use.
+    pub fn with_codec(codec: C, geometry: MemGeometry) -> Self {
+        let width = codec.code_width();
+        Self::build(codec, geometry, FaultMap::empty(geometry.words(), width))
+    }
+
+    /// Monomorphized counterpart of [`ProtectedMemory::with_fault_map`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map covers a different word count or is narrower than
+    /// the codeword.
+    pub fn with_codec_and_fault_map(codec: C, geometry: MemGeometry, map: &FaultMap) -> Self {
         let width = codec.code_width();
         assert_eq!(map.words(), geometry.words(), "fault map word count");
         assert!(
             map.width() >= width,
             "shared fault map must cover the widest codeword"
         );
-        Self::build(kind, codec, geometry, map.with_width(width))
+        let map = map.with_width(width);
+        Self::build(codec, geometry, map)
     }
 
-    fn build(kind: EmtKind, codec: AnyCodec, geometry: MemGeometry, map: FaultMap) -> Self {
+    fn build(codec: C, geometry: MemGeometry, map: FaultMap) -> Self {
         let data_geometry = geometry.with_width(codec.code_width());
         let data = FaultySram::with_faults(data_geometry, map);
         let side = vec![0u16; geometry.words()];
+        let shadow = vec![codec.decode(0, 0); geometry.words()];
         ProtectedMemory {
-            kind,
             codec,
             data,
             side,
+            shadow,
+            fast_path: !FORCE_FULL_DECODE.load(Ordering::Relaxed),
             stats: AccessStats::default(),
         }
     }
@@ -210,16 +274,18 @@ impl ProtectedMemory {
         self.data
             .set_scrambler(dream_mem::AddressScrambler::identity(self.words()));
         self.side.fill(0);
+        self.shadow.fill(self.codec.decode(0, 0));
+        self.fast_path = !FORCE_FULL_DECODE.load(Ordering::Relaxed);
         self.stats = AccessStats::default();
     }
 
     /// The technique protecting this memory.
     pub fn kind(&self) -> EmtKind {
-        self.kind
+        self.codec.kind()
     }
 
     /// The codec instance (for netlists and widths).
-    pub fn codec(&self) -> &AnyCodec {
+    pub fn codec(&self) -> &C {
         &self.codec
     }
 
@@ -254,6 +320,19 @@ impl ProtectedMemory {
     /// Panics if the scrambler does not cover the whole array.
     pub fn set_scrambler(&mut self, scrambler: dream_mem::AddressScrambler) {
         self.data.set_scrambler(scrambler);
+        // Remapping moves which latched bits a logical address sees, so the
+        // fault-free decode shadow is rebuilt from the raw (unfaulted)
+        // array contents — O(words), paid once per re-randomization.
+        for addr in 0..self.shadow.len() {
+            self.shadow[addr] = self.codec.decode(self.data.read_raw(addr), self.side[addr]);
+        }
+    }
+
+    /// Test-only: enables or disables this memory's clean-word fast path
+    /// (both settings are observationally identical; differential tests
+    /// compare them).
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
     }
 
     /// Writes a data word: encoder → faulty array (+ side array).
@@ -266,6 +345,13 @@ impl ProtectedMemory {
         let enc = self.codec.encode(word);
         self.data.write(addr, enc.code);
         self.side[addr] = enc.side;
+        // decode(encode(w)) == (w, Clean) for every codec (proven
+        // exhaustively in the codec test suites), so the fast-path shadow
+        // needs no decoder call here.
+        self.shadow[addr] = Decoded {
+            word,
+            outcome: DecodeOutcome::Clean,
+        };
         self.stats.writes += 1;
     }
 
@@ -284,9 +370,16 @@ impl ProtectedMemory {
     /// # Panics
     ///
     /// Panics if `addr` is out of range.
+    #[inline]
     pub fn read_decoded(&mut self, addr: usize) -> Decoded {
-        let code = self.data.read(addr);
-        let decoded = self.codec.decode(code, self.side[addr]);
+        let decoded = if self.fast_path && self.data.is_word_clean(addr) {
+            // No stuck lane touches this word: the stored code reads back
+            // exactly as written and the shadow holds its decode.
+            self.shadow[addr]
+        } else {
+            let code = self.data.read(addr);
+            self.codec.decode(code, self.side[addr])
+        };
         self.stats.reads += 1;
         match decoded.outcome {
             DecodeOutcome::Corrected => self.stats.corrected_reads += 1,
@@ -294,6 +387,66 @@ impl ProtectedMemory {
             DecodeOutcome::Clean => {}
         }
         decoded
+    }
+
+    /// Writes `data.len()` consecutive words starting at `base` — the
+    /// block counterpart of [`ProtectedMemory::write`], with the bounds
+    /// check hoisted out of the per-word loop. Statistics advance exactly
+    /// as `data.len()` single writes would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overruns the memory.
+    pub fn write_block(&mut self, base: usize, data: &[i16]) {
+        let end = base
+            .checked_add(data.len())
+            .expect("block end overflows usize");
+        assert!(end <= self.words(), "block write out of range");
+        for (i, &word) in data.iter().enumerate() {
+            let addr = base + i;
+            let enc = self.codec.encode(word);
+            self.data.write(addr, enc.code);
+            self.side[addr] = enc.side;
+            self.shadow[addr] = Decoded {
+                word,
+                outcome: DecodeOutcome::Clean,
+            };
+        }
+        self.stats.writes += data.len() as u64;
+    }
+
+    /// Reads `out.len()` consecutive words starting at `base` — the block
+    /// counterpart of [`ProtectedMemory::read`]. Statistics advance
+    /// exactly as `out.len()` single reads would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overruns the memory.
+    pub fn read_block(&mut self, base: usize, out: &mut [i16]) {
+        let end = base
+            .checked_add(out.len())
+            .expect("block end overflows usize");
+        assert!(end <= self.words(), "block read out of range");
+        let mut corrected = 0u64;
+        let mut uncorrectable = 0u64;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let addr = base + i;
+            let decoded = if self.fast_path && self.data.is_word_clean(addr) {
+                self.shadow[addr]
+            } else {
+                let code = self.data.read(addr);
+                self.codec.decode(code, self.side[addr])
+            };
+            match decoded.outcome {
+                DecodeOutcome::Corrected => corrected += 1,
+                DecodeOutcome::DetectedUncorrectable => uncorrectable += 1,
+                DecodeOutcome::Clean => {}
+            }
+            *slot = decoded.word;
+        }
+        self.stats.reads += out.len() as u64;
+        self.stats.corrected_reads += corrected;
+        self.stats.uncorrectable_reads += uncorrectable;
     }
 
     /// Prices the accumulated statistics with `bundle` at supply `data_v`
@@ -431,5 +584,86 @@ mod tests {
     fn narrow_shared_map_rejected() {
         let map = FaultMap::empty(64, 16);
         let _ = ProtectedMemory::with_fault_map(EmtKind::EccSecDed, geometry(), &map);
+    }
+
+    #[test]
+    fn block_transfers_match_word_at_a_time_accesses() {
+        let map = FaultMap::generate(64, 22, 0.02, 17);
+        for kind in EmtKind::all() {
+            let mut word_mem = ProtectedMemory::with_fault_map(kind, geometry(), &map);
+            let mut block_mem = ProtectedMemory::with_fault_map(kind, geometry(), &map);
+            let data: Vec<i16> = (0..40).map(|i| (i * 997 - 11_000) as i16).collect();
+            for (i, &w) in data.iter().enumerate() {
+                word_mem.write(3 + i, w);
+            }
+            block_mem.write_block(3, &data);
+            let word_reads: Vec<i16> = (0..40).map(|i| word_mem.read(3 + i)).collect();
+            let mut block_reads = vec![0i16; 40];
+            block_mem.read_block(3, &mut block_reads);
+            assert_eq!(word_reads, block_reads, "{kind}");
+            assert_eq!(word_mem.stats(), block_mem.stats(), "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block read out of range")]
+    fn overrunning_block_read_rejected() {
+        let mut mem = ProtectedMemory::new(EmtKind::Dream, geometry());
+        let mut buf = vec![0i16; 8];
+        mem.read_block(60, &mut buf);
+    }
+
+    #[test]
+    fn uninitialized_reads_identical_with_and_without_fast_path() {
+        // Reading a never-written word decodes the zeroed arrays — for
+        // DREAM that is a *Corrected* non-zero word (side word 0 means
+        // "run of 1, positive"), which the shadow must reproduce exactly.
+        for kind in EmtKind::all() {
+            let run = |fast: bool| {
+                let mut mem = ProtectedMemory::new(kind, geometry());
+                mem.set_fast_path(fast);
+                let decoded: Vec<_> = (0..8).map(|a| mem.read_decoded(a)).collect();
+                (decoded, mem.stats())
+            };
+            assert_eq!(run(true), run(false), "{kind}");
+        }
+    }
+
+    #[test]
+    fn scrambler_install_rebuilds_the_fast_path_shadow() {
+        // Installing a scrambler *after* writes remaps which latched bits
+        // each logical address sees; fast-path reads must still match the
+        // full decoder exactly.
+        let map = FaultMap::generate(64, 22, 0.05, 23);
+        for kind in EmtKind::paper_set() {
+            let run = |fast: bool| {
+                let mut mem = ProtectedMemory::with_fault_map(kind, geometry(), &map);
+                mem.set_fast_path(fast);
+                for i in 0..64 {
+                    mem.write(i, (i as i16) * 411 - 13_000);
+                }
+                mem.set_scrambler(dream_mem::AddressScrambler::new(64, 0xC0FFEE));
+                let reads: Vec<_> = (0..64).map(|a| mem.read_decoded(a)).collect();
+                (reads, mem.stats())
+            };
+            assert_eq!(run(true), run(false), "{kind}");
+        }
+    }
+
+    #[test]
+    fn monomorphized_memory_matches_facade() {
+        use crate::Dream;
+        let map = FaultMap::generate(64, 22, 0.03, 31);
+        let mut facade = ProtectedMemory::with_fault_map(EmtKind::Dream, geometry(), &map);
+        let mut typed = ProtectedMemory::with_codec_and_fault_map(Dream::new(), geometry(), &map);
+        assert_eq!(typed.kind(), EmtKind::Dream);
+        for i in 0..64 {
+            facade.write(i, (i as i16) - 32);
+            typed.write(i, (i as i16) - 32);
+        }
+        for i in 0..64 {
+            assert_eq!(facade.read_decoded(i), typed.read_decoded(i), "word {i}");
+        }
+        assert_eq!(facade.stats(), typed.stats());
     }
 }

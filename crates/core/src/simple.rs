@@ -2,7 +2,7 @@
 
 use dream_energy::{Gate, Netlist};
 
-use crate::emt::{DecodeOutcome, Decoded, EmtCodec, Encoded};
+use crate::emt::{DecodeOutcome, Decoded, EmtCodec, EmtKind, Encoded};
 
 /// Raw, unprotected storage — the paper's Fig. 4a and the energy baseline
 /// every overhead in §VI-B is quoted against.
@@ -30,6 +30,10 @@ impl EmtCodec for NoProtection {
         "no protection"
     }
 
+    fn kind(&self) -> EmtKind {
+        EmtKind::None
+    }
+
     fn code_width(&self) -> u32 {
         16
     }
@@ -38,6 +42,7 @@ impl EmtCodec for NoProtection {
         0
     }
 
+    #[inline]
     fn encode(&self, word: i16) -> Encoded {
         Encoded {
             code: u32::from(word as u16),
@@ -45,6 +50,7 @@ impl EmtCodec for NoProtection {
         }
     }
 
+    #[inline]
     fn decode(&self, code: u32, _side: u16) -> Decoded {
         Decoded {
             word: (code & 0xFFFF) as u16 as i16,
@@ -90,6 +96,10 @@ impl EmtCodec for EvenParity {
         "parity"
     }
 
+    fn kind(&self) -> EmtKind {
+        EmtKind::Parity
+    }
+
     fn code_width(&self) -> u32 {
         17
     }
@@ -98,6 +108,10 @@ impl EmtCodec for EvenParity {
         0
     }
 
+    // Parity is already in mask/popcount form: encode and decode are one
+    // `count_ones` each over the (implicit all-ones) coverage mask — the
+    // shape the wider ECC kernels were rewritten into.
+    #[inline]
     fn encode(&self, word: i16) -> Encoded {
         let data = u32::from(word as u16);
         let parity = data.count_ones() & 1;
@@ -107,6 +121,7 @@ impl EmtCodec for EvenParity {
         }
     }
 
+    #[inline]
     fn decode(&self, code: u32, _side: u16) -> Decoded {
         let code = code & 0x1_FFFF;
         let word = (code & 0xFFFF) as u16 as i16;

@@ -215,26 +215,21 @@ impl BiomedicalApp for WaveletDelineation {
         highpass_fixed(mem, self.lp1(), self.w2(), n, 2);
         lowpass_fixed(mem, self.lp1(), self.lp2(), n, 2);
         // The detector re-reads the transformed buffers through the (possibly
-        // faulty) memory on every access, as the device would.
-        let (w2b, lp1b, lp2b) = (self.w2(), self.lp1(), self.lp2());
-        // Split-borrow workaround: detection needs three accessors into the
-        // same memory, so funnel all of them through one closure on `mem`.
-        let mut read = |base: usize, i: usize| f64::from(mem.read(base + i));
+        // faulty) memory on every access, as the device would — streamed in
+        // as one block load per buffer (same words, same access counts).
         let fiducials = {
-            let mut w2v = Vec::with_capacity(n);
-            let mut lp1v = Vec::with_capacity(n);
-            let mut lp2v = Vec::with_capacity(n);
-            for i in 0..n {
-                w2v.push(read(w2b, i));
-                lp1v.push(read(lp1b, i));
-                lp2v.push(read(lp2b, i));
-            }
+            let mut w2v = vec![0i16; n];
+            let mut lp1v = vec![0i16; n];
+            let mut lp2v = vec![0i16; n];
+            mem.read_block(self.w2(), &mut w2v);
+            mem.read_block(self.lp1(), &mut lp1v);
+            mem.read_block(self.lp2(), &mut lp2v);
             detect_fiducials(
                 n,
                 self.fs,
-                |i| w2v[i],
-                |i| lp1v[i],
-                |i| lp2v[i],
+                |i| f64::from(w2v[i]),
+                |i| f64::from(lp1v[i]),
+                |i| f64::from(lp2v[i]),
                 self.max_beats,
             )
         };

@@ -78,7 +78,36 @@ pub(crate) fn clamp_idx(i: isize, n: usize) -> usize {
     i.clamp(0, n as isize - 1) as usize
 }
 
-/// One à-trous low-pass pass in fixed point: `src` region → `dst` region.
+/// Loads the clamped-shifted tap `x[clamp_idx(i + off)]` for every `i`
+/// into `out`: one contiguous block read for the in-range span plus
+/// per-word reads of the edge words the clamping repeats — exactly the
+/// same source cells, read exactly the same number of times, as the
+/// word-at-a-time tap loop, but with per-block instead of per-word
+/// dispatch.
+pub(crate) fn read_shifted_tap(mem: &mut dyn WordStorage, src: usize, off: isize, out: &mut [i16]) {
+    let n = out.len();
+    debug_assert!(off.unsigned_abs() < n, "tap spread exceeds the window");
+    if off >= 0 {
+        // In-range span src+off..src+n, then `off` clamped reads of the
+        // last word.
+        let m = n - off as usize;
+        mem.read_block(src + off as usize, &mut out[..m]);
+        for slot in &mut out[m..] {
+            *slot = mem.read(src + n - 1);
+        }
+    } else {
+        // `-off` clamped reads of the first word, then the in-range span
+        // src..src+n+off.
+        let o = off.unsigned_abs();
+        for slot in &mut out[..o] {
+            *slot = mem.read(src);
+        }
+        mem.read_block(src, &mut out[o..]);
+    }
+}
+
+/// One à-trous low-pass pass in fixed point: `src` region → `dst` region
+/// (always disjoint), streamed tap by tap.
 pub(crate) fn lowpass_fixed(
     mem: &mut dyn WordStorage,
     src: usize,
@@ -87,23 +116,26 @@ pub(crate) fn lowpass_fixed(
     spacing: usize,
 ) {
     let s = spacing as isize;
-    for i in 0..n as isize {
-        let x0 = i32::from(mem.read(src + clamp_idx(i - 2 * s, n)));
-        let x1 = i32::from(mem.read(src + clamp_idx(i - s, n)));
-        let x2 = i32::from(mem.read(src + clamp_idx(i, n)));
-        let x3 = i32::from(mem.read(src + clamp_idx(i + s, n)));
-        // Integer accumulation: the un-normalized spline sum needs three
-        // bits of headroom beyond the sample width, so it runs in the MAC
-        // register (i32) and is renormalized by the /8 on the way out.
-        let sum = x0 + 3 * x1 + 3 * x2 + x3;
-        let v = Rounding::Nearest
+    let mut tap = vec![0i16; n];
+    let mut acc = vec![0i32; n];
+    for (off, weight) in [(-2 * s, 1i32), (-s, 3), (0, 3), (s, 1)] {
+        read_shifted_tap(mem, src, off, &mut tap);
+        for (a, &v) in acc.iter_mut().zip(&tap) {
+            *a += weight * i32::from(v);
+        }
+    }
+    // Integer accumulation: the un-normalized spline sum needs three
+    // bits of headroom beyond the sample width, so it runs in the MAC
+    // register (i32) and is renormalized by the /8 on the way out.
+    for (slot, &sum) in tap.iter_mut().zip(&acc) {
+        *slot = Rounding::Nearest
             .shift_right(i64::from(sum), 3)
             .clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16;
-        mem.write(dst + i as usize, v);
     }
+    mem.write_block(dst, &tap);
 }
 
-/// One à-trous high-pass pass in fixed point.
+/// One à-trous high-pass pass in fixed point, streamed tap by tap.
 pub(crate) fn highpass_fixed(
     mem: &mut dyn WordStorage,
     src: usize,
@@ -112,11 +144,14 @@ pub(crate) fn highpass_fixed(
     spacing: usize,
 ) {
     let s = spacing as isize;
-    for i in 0..n as isize {
-        let a = Q15::from_raw(mem.read(src + clamp_idx(i, n)));
-        let b = Q15::from_raw(mem.read(src + clamp_idx(i - s, n)));
-        mem.write(dst + i as usize, a.saturating_sub(b).raw());
+    let mut cur = vec![0i16; n];
+    let mut lag = vec![0i16; n];
+    read_shifted_tap(mem, src, 0, &mut cur);
+    read_shifted_tap(mem, src, -s, &mut lag);
+    for (a, &b) in cur.iter_mut().zip(&lag) {
+        *a = Q15::from_raw(*a).saturating_sub(Q15::from_raw(b)).raw();
     }
+    mem.write_block(dst, &cur);
 }
 
 /// Float reference of [`lowpass_fixed`].
@@ -184,11 +219,11 @@ impl BiomedicalApp for Dwt {
             };
         }
         // Final approximation: copied into the output region through the
-        // memory, like any other buffer-to-buffer move on the device.
-        for i in 0..n {
-            let v = mem.read(cur + i);
-            mem.write(self.output_base() + self.scales as usize * n + i, v);
-        }
+        // memory, like any other buffer-to-buffer move on the device —
+        // streamed as one block load + one block store over the same words.
+        let mut approx = vec![0i16; n];
+        mem.read_block(cur, &mut approx);
+        mem.write_block(self.output_base() + self.scales as usize * n, &approx);
         mem.load_slice(self.output_base(), self.output_len())
     }
 

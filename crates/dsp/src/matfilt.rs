@@ -28,11 +28,15 @@ use crate::WordStorage;
 /// let out = app.run(&input, &mut mem);
 /// assert_eq!(out.len(), 64);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MatrixFilter {
     dim: usize,
     windows: usize,
     iterations: u32,
+    /// The quantized `I − G` matrix, row-major. Fixed by `dim`, so it is
+    /// computed once at construction: the Gaussian row normalization is
+    /// O(dim³) in `exp` calls, which used to dominate every `run`.
+    coeffs: Vec<i16>,
 }
 
 /// Width parameter of the Gaussian transformation matrix (samples). Wide
@@ -53,10 +57,14 @@ impl MatrixFilter {
         assert!(dim >= 5, "matrix dimension must cover the kernel");
         assert!(windows > 0, "need at least one window");
         assert!(iterations > 0, "need at least one iteration");
+        let coeffs = (0..dim * dim)
+            .map(|i| compute_coefficient_q15(dim, i / dim, i % dim))
+            .collect();
         MatrixFilter {
             dim,
             windows,
             iterations,
+            coeffs,
         }
     }
 
@@ -66,13 +74,7 @@ impl MatrixFilter {
     /// column, exactly the dependency structure the paper blames for this
     /// application's low Fig. 2 curve.
     fn coefficient_q15(&self, r: usize, c: usize) -> i16 {
-        let w = gaussian_weight(r, c);
-        let row_sum: f64 = (0..self.dim).map(|k| gaussian_weight(r, k)).sum();
-        let smooth = w / row_sum;
-        let value = if r == c { 1.0 - smooth } else { -smooth };
-        (value * 32768.0)
-            .round()
-            .clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+        self.coeffs[r * self.dim + c]
     }
 
     // Memory layout: A, then B, then C.
@@ -91,6 +93,18 @@ impl MatrixFilter {
 fn gaussian_weight(r: usize, c: usize) -> f64 {
     let d = r as f64 - c as f64;
     (-d * d / (2.0 * KERNEL_SIGMA * KERNEL_SIGMA)).exp()
+}
+
+/// Quantizes one `I − G` coefficient (construction-time helper behind
+/// [`MatrixFilter::coefficient_q15`]).
+fn compute_coefficient_q15(dim: usize, r: usize, c: usize) -> i16 {
+    let w = gaussian_weight(r, c);
+    let row_sum: f64 = (0..dim).map(|k| gaussian_weight(r, k)).sum();
+    let smooth = w / row_sum;
+    let value = if r == c { 1.0 - smooth } else { -smooth };
+    (value * 32768.0)
+        .round()
+        .clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
 }
 
 impl BiomedicalApp for MatrixFilter {
@@ -118,32 +132,40 @@ impl BiomedicalApp for MatrixFilter {
         assert_eq!(input.len(), self.input_len(), "input length mismatch");
         assert!(mem.len() >= self.memory_words(), "memory too small");
         let (dim, cols) = (self.dim, self.windows);
-        // Store A (row-major) and B (column per window) through the memory.
+        // Store A (row-major, one block write per row) and B (column per
+        // window) through the memory.
+        let mut arow = vec![0i16; dim];
         for r in 0..dim {
-            for c in 0..dim {
-                mem.write(self.a_base() + r * dim + c, self.coefficient_q15(r, c));
+            for (c, slot) in arow.iter_mut().enumerate() {
+                *slot = self.coefficient_q15(r, c);
             }
+            mem.write_block(self.a_base() + r * dim, &arow);
         }
         mem.store_slice(self.b_base(), input);
         let (mut src, mut dst) = (self.b_base(), self.c_base());
+        let mut bcol = vec![0i16; dim];
+        let mut cres = vec![0i16; dim];
         for _ in 0..self.iterations {
             for col in 0..cols {
-                for r in 0..dim {
-                    let mut acc = Acc32::ZERO;
+                for (r, res) in cres.iter_mut().enumerate() {
                     // Full GEMM row traversal, exactly as the kernel runs
                     // on the node: every coefficient of row r — including
-                    // the stored zeros — is read from the faulty memory.
-                    // This is why the paper's Fig. 2 puts this application
-                    // below the others: a stuck bit in a "zero" of A turns
-                    // into a phantom coefficient that couples the output
-                    // to a whole column of B.
+                    // the stored zeros — is re-read from the faulty memory
+                    // (streamed in as blocks, same cells and access counts
+                    // as word-at-a-time reads). This is why the paper's
+                    // Fig. 2 puts this application below the others: a
+                    // stuck bit in a "zero" of A turns into a phantom
+                    // coefficient that couples the output to a whole
+                    // column of B.
+                    mem.read_block(self.a_base() + r * dim, &mut arow);
+                    mem.read_block(src + col * dim, &mut bcol);
+                    let mut acc = Acc32::ZERO;
                     for c in 0..dim {
-                        let a = Q15::from_raw(mem.read(self.a_base() + r * dim + c));
-                        let b = Q15::from_raw(mem.read(src + col * dim + c));
-                        acc = acc.mac(a, b);
+                        acc = acc.mac(Q15::from_raw(arow[c]), Q15::from_raw(bcol[c]));
                     }
-                    mem.write(dst + col * dim + r, acc.to_q15(Rounding::Nearest).raw());
+                    *res = acc.to_q15(Rounding::Nearest).raw();
                 }
+                mem.write_block(dst + col * dim, &cres);
             }
             std::mem::swap(&mut src, &mut dst);
         }

@@ -93,7 +93,10 @@ fn make_odd(v: usize) -> usize {
 
 /// Sliding-window extreme over a memory region (centered window of length
 /// `window`, clamped at the edges), using a monotonic wedge so every source
-/// word is read exactly once.
+/// word is read exactly once — streamed as one block load of the source
+/// window and one block store of the result (same cells, same access
+/// counts as the word-at-a-time formulation; `src` and `dst` are always
+/// disjoint regions).
 fn sliding_extreme(
     mem: &mut dyn WordStorage,
     src: usize,
@@ -103,15 +106,18 @@ fn sliding_extreme(
     take_max: bool,
 ) {
     let half = window / 2;
+    let mut x = vec![0i16; n];
+    mem.read_block(src, &mut x);
+    let mut out = vec![0i16; n];
     // Wedge of (index, value) with values monotonically worsening.
     let mut wedge: VecDeque<(usize, i16)> = VecDeque::new();
     let better = |a: i16, b: i16| if take_max { a >= b } else { a <= b };
     let mut next_in = 0usize;
-    for i in 0..n {
+    for (i, slot) in out.iter_mut().enumerate() {
         // Admit every sample whose window includes position i.
         let last_needed = (i + half).min(n - 1);
         while next_in <= last_needed {
-            let v = mem.read(src + next_in);
+            let v = x[next_in];
             while let Some(&(_, back)) = wedge.back() {
                 if better(v, back) {
                     wedge.pop_back();
@@ -131,8 +137,9 @@ fn sliding_extreme(
             }
         }
         let (_, v) = *wedge.front().expect("window is never empty");
-        mem.write(dst + i, v);
+        *slot = v;
     }
+    mem.write_block(dst, &out);
 }
 
 /// Float reference of [`sliding_extreme`].
@@ -194,12 +201,17 @@ impl BiomedicalApp for MorphologicalFilter {
         // Closing(x) -> t1 (via den as scratch): dilate then erode.
         sliding_extreme(mem, input_b, den, n, w, true);
         sliding_extreme(mem, den, t1, n, w, false);
-        // Denoised = (opening + closing) / 2, rounded to nearest.
+        // Denoised = (opening + closing) / 2, rounded to nearest — the
+        // operand windows stream in as blocks (same words and counts as
+        // word-at-a-time reads).
+        let mut wa = vec![0i16; n];
+        let mut wb = vec![0i16; n];
+        mem.read_block(t2, &mut wa);
+        mem.read_block(t1, &mut wb);
         for i in 0..n {
-            let a = i32::from(mem.read(t2 + i));
-            let b = i32::from(mem.read(t1 + i));
-            mem.write(den + i, ((a + b + 1) >> 1) as i16);
+            wa[i] = ((i32::from(wa[i]) + i32::from(wb[i]) + 1) >> 1) as i16;
         }
+        mem.write_block(den, &wa);
         // Baseline: opening with the short-beat SE, closing with the long
         // one — classic peak-then-pit suppression.
         sliding_extreme(mem, den, t1, n, self.open_len, false);
@@ -207,13 +219,13 @@ impl BiomedicalApp for MorphologicalFilter {
         sliding_extreme(mem, t2, t1, n, self.close_len, true);
         sliding_extreme(mem, t1, base, n, self.close_len, false);
         // Correction.
+        mem.read_block(den, &mut wa);
+        mem.read_block(base, &mut wb);
         for i in 0..n {
-            let s = i32::from(mem.read(den + i)) - i32::from(mem.read(base + i));
-            mem.write(
-                out + i,
-                s.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16,
-            );
+            let s = i32::from(wa[i]) - i32::from(wb[i]);
+            wa[i] = s.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16;
         }
+        mem.write_block(out, &wa);
         mem.load_slice(out, n)
     }
 

@@ -78,6 +78,15 @@ impl AddressScrambler {
         self.words
     }
 
+    /// True when this scrambler maps every address to itself.
+    ///
+    /// Storage layers cache this to skip the permutation on the hot
+    /// per-access path: campaigns that do not re-randomize (the default
+    /// after a trial re-arm) pay nothing for the scrambling capability.
+    pub fn is_identity(&self) -> bool {
+        self.xor_key == 0 && self.mul_key == 1 && self.rot == 0
+    }
+
     fn permute_pow2(&self, addr: u64) -> u64 {
         let x = (addr ^ self.xor_key) & self.mask;
         let x = x.wrapping_mul(self.mul_key) & self.mask;

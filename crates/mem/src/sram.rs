@@ -32,6 +32,9 @@ pub struct FaultySram {
     cells: Vec<u32>,
     faults: FaultMap,
     scrambler: AddressScrambler,
+    /// Cached `scrambler.is_identity()`: the overwhelmingly common case,
+    /// checked once per scrambler install instead of once per access.
+    identity_map: bool,
     width_mask: u32,
 }
 
@@ -67,6 +70,7 @@ impl FaultySram {
             cells: vec![0; geometry.words()],
             faults,
             scrambler: AddressScrambler::identity(geometry.words()),
+            identity_map: true,
             width_mask,
         }
     }
@@ -78,7 +82,18 @@ impl FaultySram {
             self.geometry.words(),
             "scrambler must cover the whole array"
         );
+        self.identity_map = scrambler.is_identity();
         self.scrambler = scrambler;
+    }
+
+    /// Logical→physical translation with the identity fast path.
+    #[inline]
+    fn phys(&self, addr: usize) -> usize {
+        if self.identity_map {
+            addr
+        } else {
+            self.scrambler.to_physical(addr)
+        }
     }
 
     /// The array geometry.
@@ -124,7 +139,7 @@ impl FaultySram {
     /// Panics if `addr` is out of range.
     #[inline]
     pub fn write(&mut self, addr: usize, bits: u32) {
-        let phys = self.scrambler.to_physical(addr);
+        let phys = self.phys(addr);
         self.cells[phys] = bits & self.width_mask;
     }
 
@@ -135,7 +150,7 @@ impl FaultySram {
     /// Panics if `addr` is out of range.
     #[inline]
     pub fn read(&self, addr: usize) -> u32 {
-        let phys = self.scrambler.to_physical(addr);
+        let phys = self.phys(addr);
         self.faults.apply(phys, self.cells[phys])
     }
 
@@ -143,14 +158,86 @@ impl FaultySram {
     /// no physical read port behaves like this on degraded silicon).
     #[inline]
     pub fn read_raw(&self, addr: usize) -> u32 {
-        self.cells[self.scrambler.to_physical(addr)]
+        self.cells[self.phys(addr)]
+    }
+
+    /// Reads `out.len()` consecutive logical words starting at `base`
+    /// through the fault overlay.
+    ///
+    /// Equivalent to `out.len()` calls of [`FaultySram::read`], but the
+    /// bounds and the scrambler identity check are paid once per block
+    /// instead of once per word — the streaming path for DSP windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overruns the array.
+    pub fn read_block(&self, base: usize, out: &mut [u32]) {
+        let end = base
+            .checked_add(out.len())
+            .expect("block end overflows usize");
+        assert!(end <= self.geometry.words(), "block out of range");
+        if self.identity_map {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let phys = base + i;
+                *slot = self.faults.apply(phys, self.cells[phys]);
+            }
+        } else {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let phys = self.scrambler.to_physical(base + i);
+                *slot = self.faults.apply(phys, self.cells[phys]);
+            }
+        }
+    }
+
+    /// Writes `vals` to consecutive logical addresses starting at `base`
+    /// (the block counterpart of [`FaultySram::write`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overruns the array.
+    pub fn write_block(&mut self, base: usize, vals: &[u32]) {
+        let end = base
+            .checked_add(vals.len())
+            .expect("block end overflows usize");
+        assert!(end <= self.geometry.words(), "block out of range");
+        if self.identity_map {
+            for (cell, &v) in self.cells[base..end].iter_mut().zip(vals) {
+                *cell = v & self.width_mask;
+            }
+        } else {
+            for (i, &v) in vals.iter().enumerate() {
+                let phys = self.scrambler.to_physical(base + i);
+                self.cells[phys] = v & self.width_mask;
+            }
+        }
+    }
+
+    /// True when no stuck cell touches the logical word `addr` — the read
+    /// of such a word returns exactly what was written, which is what the
+    /// protected-memory clean-word fast path keys on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn is_word_clean(&self, addr: usize) -> bool {
+        self.faults.stuck_mask(self.phys(addr)) == 0
+    }
+
+    /// The stuck-bit lanes seen by the logical word `addr` (the fault map
+    /// is physical; this resolves the scrambling for callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn stuck_mask_at(&self, addr: usize) -> u32 {
+        self.faults.stuck_mask(self.phys(addr))
     }
 
     /// Number of stuck bits affecting the logical word `addr`.
     pub fn stuck_bits_at(&self, addr: usize) -> u32 {
-        self.faults
-            .stuck_mask(self.scrambler.to_physical(addr))
-            .count_ones()
+        self.stuck_mask_at(addr).count_ones()
     }
 
     /// Fills the whole array with `bits` (e.g. to model a memory cleared at
@@ -230,5 +317,57 @@ mod tests {
     #[should_panic(expected = "fault map word width")]
     fn mismatched_fault_width_rejected() {
         let _ = FaultySram::with_faults(small(), FaultMap::empty(16, 22));
+    }
+
+    #[test]
+    fn clean_word_accessors_resolve_scrambling() {
+        let mut map = FaultMap::empty(16, 16);
+        map.inject(7, 3, StuckAt::One);
+        let mut sram = FaultySram::with_faults(small(), map);
+        assert!(!sram.is_word_clean(7));
+        assert_eq!(sram.stuck_mask_at(7), 0b1000);
+        assert!(sram.is_word_clean(6));
+        // After scrambling, exactly one *logical* address sees the fault,
+        // and the accessors must agree with the read path about which.
+        sram.set_scrambler(AddressScrambler::new(16, 0xFEED));
+        let dirty: Vec<usize> = (0..16).filter(|&a| !sram.is_word_clean(a)).collect();
+        assert_eq!(dirty.len(), 1);
+        for a in 0..16 {
+            sram.write(a, 0);
+            assert_eq!(sram.read(a) != 0, !sram.is_word_clean(a), "addr {a}");
+            assert_eq!(sram.stuck_mask_at(a) == 0, sram.is_word_clean(a));
+        }
+    }
+
+    #[test]
+    fn block_transfers_match_word_at_a_time() {
+        let mut map = FaultMap::empty(16, 16);
+        map.inject(4, 0, StuckAt::One);
+        map.inject(9, 15, StuckAt::Zero);
+        for key in [None, Some(0xABCD_u64)] {
+            let mut a = FaultySram::with_faults(small(), map.clone());
+            let mut b = FaultySram::with_faults(small(), map.clone());
+            if let Some(key) = key {
+                a.set_scrambler(AddressScrambler::new(16, key));
+                b.set_scrambler(AddressScrambler::new(16, key));
+            }
+            let vals: Vec<u32> = (0..12).map(|i| (i * 0x1111) as u32).collect();
+            for (i, &v) in vals.iter().enumerate() {
+                a.write(2 + i, v);
+            }
+            b.write_block(2, &vals);
+            let word_reads: Vec<u32> = (0..12).map(|i| a.read(2 + i)).collect();
+            let mut block_reads = vec![0u32; 12];
+            b.read_block(2, &mut block_reads);
+            assert_eq!(word_reads, block_reads, "scrambled={}", key.is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block out of range")]
+    fn overrunning_block_rejected() {
+        let sram = FaultySram::new(small());
+        let mut out = vec![0u32; 4];
+        sram.read_block(14, &mut out);
     }
 }

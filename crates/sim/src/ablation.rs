@@ -1,7 +1,7 @@
 //! Ablation studies on the design choices `DESIGN.md` calls out: how much
 //! each modelling decision contributes to the headline results.
 
-use dream_core::{Dream, EmtKind, EnergyModelBundle, ProtectedMemory};
+use dream_core::{Dream, EmtKind, EnergyModelBundle, NoProtection, ProtectedMemory};
 use dream_dsp::{samples_to_f64, snr_db, AppKind};
 use dream_ecg::Database;
 use dream_mem::{AddressScrambler, BerModel, FaultMap};
@@ -94,7 +94,8 @@ pub fn scrambler_ablation(window: usize, voltage: f64, runs: usize) -> Scrambler
         &trials,
         || (),
         |(), &scramble_key, _| {
-            let mut mem = ProtectedMemory::with_fault_map(EmtKind::None, geometry, &physical);
+            let mut mem =
+                ProtectedMemory::with_codec_and_fault_map(NoProtection::new(), geometry, &physical);
             if let Some(key) = scramble_key {
                 mem.set_scrambler(AddressScrambler::new(words, key));
             }
@@ -154,7 +155,7 @@ pub fn ber_sensitivity(window: usize, runs: usize, slopes: &[f64]) -> Vec<BerSen
     // Worker arena: a reusable DREAM memory and wide fault-map buffer.
     let scratch = || {
         (
-            ProtectedMemory::new(EmtKind::Dream, geometry),
+            ProtectedMemory::with_codec(Dream::new(), geometry),
             FaultMap::empty(words, 22),
         )
     };

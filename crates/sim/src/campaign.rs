@@ -1,10 +1,13 @@
 //! Shared campaign plumbing: seeds, storage adapters, SNR conventions,
 //! and the geometry/record-suite selection every figure runner shares.
 
-use dream_core::ProtectedMemory;
+use dream_core::{
+    AccessStats, AnyCodec, Dream, EccSecDed, EmtCodec, EmtKind, EvenParity, NoProtection,
+    ProtectedMemory,
+};
 use dream_dsp::{BiomedicalApp, WordStorage};
 use dream_ecg::{Database, Record};
-use dream_mem::MemGeometry;
+use dream_mem::{FaultMap, MemGeometry};
 
 use crate::exec;
 
@@ -72,28 +75,104 @@ pub fn reference_outputs(app: &dyn BiomedicalApp, records: &[Record]) -> Vec<Vec
 /// Adapter exposing a [`ProtectedMemory`] as application storage, without
 /// the tracing overhead of `dream-soc`'s ports — the SNR experiments only
 /// need values, not cycle counts.
-pub struct ProtectedStorage<'a> {
-    mem: &'a mut ProtectedMemory,
+///
+/// Generic over the memory's codec (defaulting to the [`AnyCodec`]
+/// facade): wrapping a monomorphized memory keeps the whole per-access
+/// path free of enum dispatch behind the one unavoidable `dyn
+/// WordStorage` call the applications make.
+pub struct ProtectedStorage<'a, C: EmtCodec = AnyCodec> {
+    mem: &'a mut ProtectedMemory<C>,
 }
 
-impl<'a> ProtectedStorage<'a> {
+impl<'a, C: EmtCodec> ProtectedStorage<'a, C> {
     /// Wraps a protected memory.
-    pub fn new(mem: &'a mut ProtectedMemory) -> Self {
+    pub fn new(mem: &'a mut ProtectedMemory<C>) -> Self {
         ProtectedStorage { mem }
     }
 }
 
-impl WordStorage for ProtectedStorage<'_> {
+impl<C: EmtCodec> WordStorage for ProtectedStorage<'_, C> {
     fn len(&self) -> usize {
         self.mem.words()
     }
 
+    #[inline]
     fn read(&mut self, addr: usize) -> i16 {
         self.mem.read(addr)
     }
 
+    #[inline]
     fn write(&mut self, addr: usize, value: i16) {
         self.mem.write(addr, value)
+    }
+
+    fn write_block(&mut self, base: usize, data: &[i16]) {
+        self.mem.write_block(base, data)
+    }
+
+    fn read_block(&mut self, base: usize, out: &mut [i16]) {
+        self.mem.read_block(base, out)
+    }
+}
+
+/// A protected memory monomorphized per technique: one enum dispatch when
+/// a trial *starts an app run*, zero dispatch per access — the arena type
+/// the voltage-sweep campaigns hold one of per EMT.
+#[allow(missing_docs)]
+pub enum EmtMemory {
+    None(ProtectedMemory<NoProtection>),
+    Parity(ProtectedMemory<EvenParity>),
+    Dream(ProtectedMemory<Dream>),
+    Ecc(ProtectedMemory<EccSecDed>),
+}
+
+impl EmtMemory {
+    /// Builds the fault-free monomorphized memory for `kind`.
+    pub fn new(kind: EmtKind, geometry: MemGeometry) -> Self {
+        match kind {
+            EmtKind::None => {
+                EmtMemory::None(ProtectedMemory::with_codec(NoProtection::new(), geometry))
+            }
+            EmtKind::Parity => {
+                EmtMemory::Parity(ProtectedMemory::with_codec(EvenParity::new(), geometry))
+            }
+            EmtKind::Dream => EmtMemory::Dream(ProtectedMemory::with_codec(Dream::new(), geometry)),
+            EmtKind::EccSecDed => {
+                EmtMemory::Ecc(ProtectedMemory::with_codec(EccSecDed::new(), geometry))
+            }
+        }
+    }
+
+    /// Re-arms for a fresh trial (see
+    /// [`ProtectedMemory::reset_with_fault_map`]).
+    pub fn reset_with_fault_map(&mut self, map: &FaultMap) {
+        match self {
+            EmtMemory::None(m) => m.reset_with_fault_map(map),
+            EmtMemory::Parity(m) => m.reset_with_fault_map(map),
+            EmtMemory::Dream(m) => m.reset_with_fault_map(map),
+            EmtMemory::Ecc(m) => m.reset_with_fault_map(map),
+        }
+    }
+
+    /// Access statistics of the last run.
+    pub fn stats(&self) -> AccessStats {
+        match self {
+            EmtMemory::None(m) => m.stats(),
+            EmtMemory::Parity(m) => m.stats(),
+            EmtMemory::Dream(m) => m.stats(),
+            EmtMemory::Ecc(m) => m.stats(),
+        }
+    }
+
+    /// Runs `app` with all buffers in this memory — the single dispatch
+    /// point behind which every access is monomorphized.
+    pub fn run_app(&mut self, app: &dyn BiomedicalApp, input: &[i16]) -> Vec<i16> {
+        match self {
+            EmtMemory::None(m) => app.run(input, &mut ProtectedStorage::new(m)),
+            EmtMemory::Parity(m) => app.run(input, &mut ProtectedStorage::new(m)),
+            EmtMemory::Dream(m) => app.run(input, &mut ProtectedStorage::new(m)),
+            EmtMemory::Ecc(m) => app.run(input, &mut ProtectedStorage::new(m)),
+        }
     }
 }
 
@@ -160,5 +239,31 @@ mod tests {
         s.write(3, -99);
         assert_eq!(s.read(3), -99);
         assert_eq!(s.len(), 32);
+        s.write_block(10, &[7, -8, 9]);
+        let mut out = vec![0i16; 3];
+        s.read_block(10, &mut out);
+        assert_eq!(out, vec![7, -8, 9]);
+    }
+
+    #[test]
+    fn emt_memory_matches_facade_memory() {
+        // The monomorphized arena wrapper must be observationally
+        // identical to the AnyCodec facade on the same fault map.
+        let app = dream_dsp::AppKind::Dwt.instantiate(256);
+        let geometry = banked_geometry(app.memory_words());
+        let map = dream_mem::FaultMap::generate(geometry.words(), 22, 0.003, 5);
+        let record: Vec<i16> = (0..256).map(|i| (i * 97 - 11_000) as i16).collect();
+        for kind in EmtKind::all() {
+            let mut typed = EmtMemory::new(kind, geometry);
+            typed.reset_with_fault_map(&map);
+            let typed_out = typed.run_app(&*app, &record);
+            let mut facade = ProtectedMemory::with_fault_map(kind, geometry, &map);
+            let facade_out = {
+                let mut storage = ProtectedStorage::new(&mut facade);
+                app.run(&record, &mut storage)
+            };
+            assert_eq!(typed_out, facade_out, "{kind}");
+            assert_eq!(typed.stats(), facade.stats(), "{kind}");
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Experiment E1: Fig. 2 — SNR versus the bit position of an injected
 //! permanent error.
 
-use dream_core::{EmtKind, ProtectedMemory};
+use dream_core::{NoProtection, ProtectedMemory};
 use dream_dsp::{samples_to_f64, snr_db, AppKind, BiomedicalApp};
 use dream_ecg::Database;
 use dream_mem::{FaultMap, StuckAt};
@@ -102,11 +102,13 @@ pub fn run_fig2(cfg: &Fig2Config) -> Vec<Fig2Row> {
         }
     }
 
-    // Worker arena: per app, a reusable unprotected memory and a fault-map
-    // buffer, plus the app's word count for fault placement.
+    // Worker arena: per app, a reusable unprotected memory (monomorphized
+    // over `NoProtection`, so the hot access path has no codec dispatch)
+    // and a fault-map buffer, plus the app's word count for fault
+    // placement.
     struct AppArena {
         app: Box<dyn BiomedicalApp>,
-        mem: ProtectedMemory,
+        mem: ProtectedMemory<NoProtection>,
         map: FaultMap,
         words: usize,
     }
@@ -119,7 +121,7 @@ pub fn run_fig2(cfg: &Fig2Config) -> Vec<Fig2Row> {
                 let geometry = banked_geometry(words);
                 AppArena {
                     app,
-                    mem: ProtectedMemory::new(EmtKind::None, geometry),
+                    mem: ProtectedMemory::with_codec(NoProtection::new(), geometry),
                     map: FaultMap::empty(geometry.words(), 16),
                     words,
                 }

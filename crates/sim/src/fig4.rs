@@ -1,12 +1,12 @@
 //! Experiments E2–E4: Fig. 4 — SNR versus memory supply voltage under the
 //! three protection schemes.
 
-use dream_core::{EmtKind, ProtectedMemory};
+use dream_core::EmtKind;
 use dream_dsp::{samples_to_f64, snr_db, AppKind, BiomedicalApp};
 use dream_mem::{BerModel, FaultMap};
 
 use crate::campaign::{
-    banked_geometry, cap_snr, fault_seed, record_suite, reference_outputs, ProtectedStorage,
+    banked_geometry, cap_snr, fault_seed, record_suite, reference_outputs, EmtMemory,
 };
 use crate::exec;
 
@@ -120,10 +120,12 @@ pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Point> {
         corrected: f64,
     }
     // Worker arena: per-worker app instances, one reusable protected
-    // memory per EMT, and the shared wide fault-map buffer.
+    // memory per EMT — monomorphized over its codec via [`EmtMemory`], so
+    // the technique dispatch happens once per app run, not once per
+    // access — and the shared wide fault-map buffer.
     struct Arena {
         apps: Vec<Box<dyn BiomedicalApp>>,
-        mems: Vec<ProtectedMemory>,
+        mems: Vec<EmtMemory>,
         map: FaultMap,
     }
     let scratch = || Arena {
@@ -135,7 +137,7 @@ pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Point> {
         mems: cfg
             .emts
             .iter()
-            .map(|&emt| ProtectedMemory::new(emt, geometry))
+            .map(|&emt| EmtMemory::new(emt, geometry))
             .collect(),
         map: FaultMap::empty(geometry.words(), SHARED_MAP_WIDTH),
     };
@@ -151,10 +153,7 @@ pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Point> {
         for mem in &mut arena.mems {
             for (ai, app) in arena.apps.iter().enumerate() {
                 mem.reset_with_fault_map(&arena.map);
-                let out = {
-                    let mut storage = ProtectedStorage::new(mem);
-                    app.run(&record.samples, &mut storage)
-                };
+                let out = mem.run_app(&**app, &record.samples);
                 let snr = cap_snr(snr_db(
                     &references[ai][t.run % records.len()],
                     &samples_to_f64(&out),
