@@ -1,109 +1,7 @@
-//! Ablation studies on the reproduction's design choices (beyond the
-//! paper's own tables): DREAM's protected-bits census, the address
-//! scrambler, the BER-slope sensitivity, and the mask-supply pinning.
-//!
-//! ```text
-//! cargo run --release -p dream-bench --bin ablation [--window N] [--runs N] [--threads N]
-//! ```
-
-use dream_bench::Args;
-use dream_sim::ablation::{
-    ber_sensitivity, mask_supply_ablation, mean_protected_bits, protected_bits_histogram,
-    scrambler_ablation,
-};
-use dream_sim::report;
+//! Shim over `dream run ablation` — kept so `cargo run --bin ablation`
+//! and its historical flags (`--window`, `--runs`, `--threads`) keep
+//! working; see [`dream_bench::cli`].
 
 fn main() {
-    let args = Args::from_env();
-    let window = args.number("window", 1024);
-    let runs = args.number("runs", 12);
-    let threads = dream_bench::apply_threads(&args);
-    eprintln!("ablation: window={window} runs={runs} threads={threads}");
-
-    // A1 — how much of each word DREAM can rebuild on real ECG data (§IV).
-    let histogram = protected_bits_histogram(window);
-    println!("\nA1 — DREAM protected bits per word over the ECG suite");
-    let total: u64 = histogram.iter().sum();
-    let rows: Vec<Vec<String>> = (2..=16)
-        .map(|k| {
-            let share = histogram[k] as f64 / total as f64;
-            vec![
-                k.to_string(),
-                histogram[k].to_string(),
-                report::pct(share),
-                "#".repeat((share * 60.0).round() as usize),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        report::format_table(&["bits", "samples", "share", ""], &rows)
-    );
-    println!(
-        "mean: {:.1} of 16 bits rebuildable",
-        mean_protected_bits(&histogram)
-    );
-
-    // A2 — the §V address scrambler: one die, many runs.
-    let scrambler = scrambler_ablation(window, 0.55, runs);
-    println!(
-        "\nA2 — address scrambling at 0.55 V (one physical die, {runs} runs, unprotected DWT)"
-    );
-    println!(
-        "  fixed logical mapping : std {:.2} dB (every run hits the same words)",
-        scrambler.fixed_mapping_std()
-    );
-    println!(
-        "  re-scrambled per run  : std {:.2} dB (fresh fault-location draw per run)",
-        scrambler.scrambled_std()
-    );
-
-    // A3 — BER-slope sensitivity of the DREAM DWT curve.
-    let slopes = [10.0, 13.0, 16.0];
-    let points = ber_sensitivity(window, runs.min(8), &slopes);
-    println!("\nA3 — Fig. 4b (DWT under DREAM) vs BER slope (decades/V; default 13.0)");
-    let voltages: Vec<f64> = dream_suite_voltages();
-    let rows: Vec<Vec<String>> = voltages
-        .iter()
-        .map(|&v| {
-            let mut row = vec![format!("{v:.2}")];
-            for &s in &slopes {
-                let p = points
-                    .iter()
-                    .find(|p| p.slope == s && (p.voltage - v).abs() < 1e-9)
-                    .expect("grid");
-                row.push(report::snr(p.mean_snr_db));
-            }
-            row
-        })
-        .collect();
-    println!(
-        "{}",
-        report::format_table(&["V", "slope 10", "slope 13", "slope 16"], &rows)
-    );
-
-    // A4 — pinning the mask-memory supply vs letting it track the rail.
-    println!("\nA4 — DREAM energy overhead: mask memory pinned at 0.9 V (paper) vs tracking the data rail");
-    let rows: Vec<Vec<String>> = mask_supply_ablation(window)
-        .into_iter()
-        .map(|(v, pinned, tracking)| {
-            vec![
-                format!("{v:.2}"),
-                report::pct(pinned),
-                report::pct(tracking),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        report::format_table(&["V", "pinned (paper)", "tracking"], &rows)
-    );
-    println!(
-        "pinning keeps the side array error-free but dominates DREAM's overhead at deep scaling —\n\
-         the trade the paper accepts to avoid protecting the protector."
-    );
-}
-
-fn dream_suite_voltages() -> Vec<f64> {
-    dream_mem::BerModel::paper_voltages()
+    dream_bench::cli::legacy_shim("ablation");
 }

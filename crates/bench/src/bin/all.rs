@@ -1,147 +1,41 @@
-//! Runs **every experiment** of the paper end to end and prints a compact
-//! paper-vs-measured summary (the source of `EXPERIMENTS.md`).
+//! Runs **every scenario in the registry** end to end and prints a
+//! compact per-scenario summary (the source of `EXPERIMENTS.md`).
 //!
 //! ```text
-//! cargo run --release -p dream-bench --bin all [--runs N] [--window N] [--trials N] [--threads N]
+//! cargo run --release -p dream-bench --bin all [--list] [--smoke]
+//!     [--threads N] [--format csv|jsonl|table] [--out DIR]
 //! ```
 //!
-//! Defaults reproduce the paper's scale (200 fault maps per voltage);
-//! `--runs 25` finishes in a few minutes on a laptop with the same shapes.
+//! `--list` prints the registry and exits. Defaults reproduce the paper's
+//! scale and drop one CSV per scenario into `results/`; `--smoke` runs the
+//! reduced variants in seconds.
 
-use dream_bench::{results_dir, Args};
-use dream_core::EmtKind;
-use dream_dsp::AppKind;
-use dream_sim::energy_table::{
-    area_table, average_overhead, ecc_vs_dream_area, run_energy_table, EnergyConfig,
-};
-use dream_sim::fig2::{cs_tolerance, run_fig2, Fig2Config};
-use dream_sim::fig4::{curve, run_fig4, Fig4Config};
-use dream_sim::report;
-use dream_sim::tradeoff::explore;
+use dream_bench::{cli, results_dir, Args};
 
 fn main() {
-    let args = Args::from_env();
-    let window = args.number("window", 1024);
-    let runs = args.number("runs", 200);
-    let trials = args.number("trials", 8);
-    let threads = dream_bench::apply_threads(&args);
-    eprintln!("all: window={window} runs={runs} trials={trials} threads={threads}");
-
-    // E1 / E9 — Fig. 2 and the CS tolerance thresholds.
-    eprintln!("[1/4] Fig. 2 characterization…");
-    let fig2_rows = run_fig2(&Fig2Config {
-        window,
-        fault_trials: trials,
-        ..Default::default()
-    });
-    let (sa0, sa1) = cs_tolerance(&fig2_rows, 35.0);
-    println!(
-        "E1/E9  Fig. 2: CS tolerates stuck-at-0 to bit {}, stuck-at-1 to bit {}  (paper: 10, 12)",
-        sa0.map_or("-".into(), |b| b.to_string()),
-        sa1.map_or("-".into(), |b| b.to_string())
-    );
-
-    // E2–E4 — Fig. 4 sweeps.
-    eprintln!("[2/4] Fig. 4 voltage sweeps ({runs} runs/voltage)…");
-    let fig4_points = run_fig4(&Fig4Config {
-        window,
-        runs,
-        ..Default::default()
-    });
-    for emt in EmtKind::paper_set() {
-        let c = curve(&fig4_points, AppKind::Dwt, emt);
-        let at = |v: f64| {
-            c.iter()
-                .find(|p| (p.voltage - v).abs() < 1e-9)
-                .map_or(f64::NAN, |p| p.mean_snr_db)
-        };
-        println!(
-            "E2-E4  Fig. 4 {emt:12} DWT SNR: 0.9V={}, 0.7V={}, 0.55V={}, 0.5V={}",
-            report::snr(at(0.9)),
-            report::snr(at(0.7)),
-            report::snr(at(0.55)),
-            report::snr(at(0.5)),
-        );
+    let base = Args::from_env();
+    if base.switch("list") {
+        cli::list();
+        return;
     }
-
-    // E5/E6/E8 — energy and area.
-    eprintln!("[3/4] Energy/area analysis…");
-    let energy_rows = run_energy_table(&EnergyConfig {
-        window,
-        ..Default::default()
-    });
-    let dream = average_overhead(&energy_rows, EmtKind::Dream);
-    let ecc = average_overhead(&energy_rows, EmtKind::EccSecDed);
-    println!(
-        "E5     energy overhead: DREAM {}, ECC {}  (paper: 34%, 55%)",
-        report::pct(dream),
-        report::pct(ecc)
-    );
-    let (enc, dec) = ecc_vs_dream_area(&area_table(&EmtKind::paper_set()));
-    println!(
-        "E6     ECC vs DREAM area: encoder {}, decoder {}  (paper: +28%, +120%)",
-        report::pct(enc),
-        report::pct(dec)
-    );
-    println!("E8     extra bits/word: DREAM 5, ECC 6  (Formula 2)");
-
-    // E7 — trade-off policy.
-    eprintln!("[4/4] §VI-C trade-off exploration…");
-    let policies = explore(AppKind::Dwt, 1.0, &fig4_points, &energy_rows);
-    for p in &policies {
-        println!(
-            "E7     {:12} min voltage {}, savings {}",
-            p.emt.to_string(),
-            p.min_voltage.map_or("-".into(), |v| format!("{v:.2} V")),
-            p.savings_vs_nominal.map_or("-".into(), report::pct)
-        );
+    let names = dream_sim::scenario::registry::names();
+    // Default artifact location/format mirror the historical binaries.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if base.value("out").is_none() {
+        raw.extend(["--out".to_string(), results_dir().display().to_string()]);
     }
-    println!("       (paper: none 0.85 V/12.7%, DREAM 0.65 V/30.6%, ECC 0.55 V/39.5%)");
-
-    // Drop the full grids as CSV for EXPERIMENTS.md and plotting.
-    let dir = results_dir();
-    report::write_csv(
-        &dir.join("fig2.csv"),
-        &["app", "stuck", "bit", "snr_db"],
-        &fig2_rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.app.to_string(),
-                    format!("{:?}", r.stuck),
-                    r.bit.to_string(),
-                    format!("{:.3}", r.snr_db),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    )
-    .expect("write fig2.csv");
-    report::write_csv(
-        &dir.join("fig4.csv"),
-        &[
-            "app",
-            "emt",
-            "voltage",
-            "mean_snr_db",
-            "min_snr_db",
-            "corrected_rate",
-            "uncorrectable_rate",
-        ],
-        &fig4_points
-            .iter()
-            .map(|p| {
-                vec![
-                    p.app.to_string(),
-                    p.emt.to_string(),
-                    format!("{:.2}", p.voltage),
-                    format!("{:.3}", p.mean_snr_db),
-                    format!("{:.3}", p.min_snr_db),
-                    format!("{:.6}", p.corrected_rate),
-                    format!("{:.6}", p.uncorrectable_rate),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    )
-    .expect("write fig4.csv");
-    eprintln!("wrote {}", dir.display());
+    if base.value("format").is_none() {
+        raw.extend(["--format".to_string(), "csv".to_string()]);
+    }
+    let args = Args::parse(raw.into_iter());
+    let mut summaries = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        eprintln!("[{}/{}] {name}…", i + 1, names.len());
+        let outcome = cli::run(name, &args);
+        summaries.push(format!("{name}: {}", outcome.summary()));
+    }
+    println!("\n=== registry summary ===");
+    for line in &summaries {
+        println!("{line}");
+    }
 }

@@ -1,0 +1,7 @@
+//! The `dream` CLI: `dream list` shows the scenario registry, `dream run
+//! <scenario|spec.json>` executes any campaign through any sink — see
+//! [`dream_bench::cli`] for the flag vocabulary.
+
+fn main() {
+    dream_bench::cli::main_from_env();
+}

@@ -1,116 +1,7 @@
-//! Regenerates the **§VI-B energy and area analysis**: per-voltage energy
-//! of one application run under each EMT, the sweep-averaged overheads
-//! (paper: ECC ≈ +55 %, DREAM ≈ +34 %), the codec area comparison (paper:
-//! ECC encoder +28 %, decoder +120 % vs DREAM) and the Formula 2 extra-bit
-//! counts.
-//!
-//! ```text
-//! cargo run --release -p dream-bench --bin energy [--window N] [--area] [--threads N]
-//! ```
-
-use dream_bench::{results_dir, Args};
-use dream_core::EmtKind;
-use dream_sim::energy_table::{
-    area_table, average_overhead, ecc_vs_dream_area, run_energy_table, EnergyConfig,
-};
-use dream_sim::report;
+//! Shim over `dream run energy` — kept so `cargo run --bin energy` and
+//! its historical flags (`--window`, `--area`, `--threads`) keep
+//! working; see [`dream_bench::cli`].
 
 fn main() {
-    let args = Args::from_env();
-    dream_bench::apply_threads(&args);
-    let area_rows = area_table(&EmtKind::paper_set());
-    println!("\n§VI-B — codec area (gate equivalents) and redundancy");
-    let table: Vec<Vec<String>> = area_rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.emt.to_string(),
-                format!("{:.1}", r.encoder_ge),
-                format!("{:.1}", r.decoder_ge),
-                r.extra_bits.to_string(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        report::format_table(
-            &["EMT", "encoder GE", "decoder GE", "extra bits/word"],
-            &table
-        )
-    );
-    let (enc, dec) = ecc_vs_dream_area(&area_rows);
-    println!(
-        "ECC vs DREAM area overhead: encoder {}, decoder {}   (paper: +28%, +120%)",
-        report::pct(enc),
-        report::pct(dec)
-    );
-    if args.switch("area") {
-        return;
-    }
-
-    let cfg = EnergyConfig {
-        window: args.number("window", 1024),
-        ..Default::default()
-    };
-    let rows = run_energy_table(&cfg);
-    println!(
-        "\n§VI-B — energy of one {} run (window {})",
-        cfg.app, cfg.window
-    );
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                format!("{:.2}", r.voltage),
-                r.emt.to_string(),
-                format!("{:.1}", r.energy.total_nj()),
-                format!("{:.1}", r.energy.data_dynamic_pj * 1e-3),
-                format!("{:.1}", r.energy.side_dynamic_pj * 1e-3),
-                format!("{:.1}", r.energy.codec_pj * 1e-3),
-                format!("{:.1}", r.energy.leakage_pj * 1e-3),
-                report::pct(r.overhead_vs_none),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        report::format_table(
-            &["V", "EMT", "total nJ", "data nJ", "mask nJ", "codec nJ", "leak nJ", "overhead"],
-            &table
-        )
-    );
-    let dream = average_overhead(&rows, EmtKind::Dream);
-    let ecc = average_overhead(&rows, EmtKind::EccSecDed);
-    println!(
-        "sweep-averaged overhead: DREAM {}, ECC SEC/DED {}, gap {:.1} points   (paper: 34%, 55%, 21 points)",
-        report::pct(dream),
-        report::pct(ecc),
-        (ecc - dream) * 100.0
-    );
-
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.emt.to_string(),
-                format!("{:.2}", r.voltage),
-                format!("{:.3}", r.energy.total_pj()),
-                format!("{:.3}", r.energy.data_dynamic_pj),
-                format!("{:.3}", r.energy.side_dynamic_pj),
-                format!("{:.3}", r.energy.codec_pj),
-                format!("{:.3}", r.energy.leakage_pj),
-                format!("{:.4}", r.overhead_vs_none),
-            ]
-        })
-        .collect();
-    let path = results_dir().join("energy.csv");
-    report::write_csv(
-        &path,
-        &[
-            "emt", "voltage", "total_pj", "data_pj", "mask_pj", "codec_pj", "leak_pj", "overhead",
-        ],
-        &csv,
-    )
-    .expect("write CSV");
-    eprintln!("wrote {}", path.display());
+    dream_bench::cli::legacy_shim("energy");
 }

@@ -1,81 +1,7 @@
-//! Regenerates **Fig. 2**: output SNR versus the bit position of an
-//! injected stuck-at error, for all five applications and both fault
-//! polarities, plus the §III compressed-sensing tolerance thresholds.
-//!
-//! ```text
-//! cargo run --release -p dream-bench --bin fig2 [--window N] [--records N] [--trials N] [--threads N]
-//! ```
-
-use dream_bench::{results_dir, Args};
-use dream_mem::StuckAt;
-use dream_sim::fig2::{cs_tolerance, run_fig2, Fig2Config};
-use dream_sim::report;
+//! Shim over `dream run fig2` — kept so `cargo run --bin fig2` and its
+//! historical flags (`--window`, `--records`, `--trials`, `--threads`)
+//! keep working; see [`dream_bench::cli`].
 
 fn main() {
-    let args = Args::from_env();
-    let cfg = Fig2Config {
-        window: args.number("window", 1024),
-        records: args.number("records", 10),
-        fault_trials: args.number("trials", 8),
-        ..Default::default()
-    };
-    let threads = dream_bench::apply_threads(&args);
-    eprintln!(
-        "fig2: window={} records={} trials={} threads={}",
-        cfg.window, cfg.records, cfg.fault_trials, threads
-    );
-    let rows = run_fig2(&cfg);
-
-    // One table per polarity: apps as columns, bits as rows (the x-axis of
-    // the figure).
-    for stuck in [StuckAt::Zero, StuckAt::One] {
-        let mut headers = vec!["bit".to_string()];
-        headers.extend(cfg.apps.iter().map(|a| a.to_string()));
-        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-        let mut table = Vec::new();
-        for bit in 0..16u32 {
-            let mut row = vec![bit.to_string()];
-            for app in &cfg.apps {
-                let point = rows
-                    .iter()
-                    .find(|r| r.app == *app && r.stuck == stuck && r.bit == bit)
-                    .expect("full grid");
-                row.push(report::snr(point.snr_db));
-            }
-            table.push(row);
-        }
-        println!(
-            "\nFig. 2 — SNR (dB) vs bit position, stuck-at-{}",
-            match stuck {
-                StuckAt::Zero => 0,
-                StuckAt::One => 1,
-            }
-        );
-        println!("{}", report::format_table(&header_refs, &table));
-    }
-
-    // §III footer: CS tolerance at the two thresholds from the paper.
-    for (threshold, label) in [(35.0, "multi-lead (35 dB)"), (40.0, "single-lead (40 dB)")] {
-        let (sa0, sa1) = cs_tolerance(&rows, threshold);
-        println!(
-            "CS tolerance at {label}: stuck-at-0 up to bit {}, stuck-at-1 up to bit {}   (paper at 35 dB: 10 and 12)",
-            sa0.map_or("-".into(), |b| b.to_string()),
-            sa1.map_or("-".into(), |b| b.to_string()),
-        );
-    }
-
-    let csv: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.app.to_string(),
-                format!("{:?}", r.stuck),
-                r.bit.to_string(),
-                format!("{:.3}", r.snr_db),
-            ]
-        })
-        .collect();
-    let path = results_dir().join("fig2.csv");
-    report::write_csv(&path, &["app", "stuck", "bit", "snr_db"], &csv).expect("write CSV");
-    eprintln!("wrote {}", path.display());
+    dream_bench::cli::legacy_shim("fig2");
 }

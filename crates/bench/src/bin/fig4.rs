@@ -1,92 +1,7 @@
-//! Regenerates **Fig. 4**: output SNR versus memory supply voltage for
-//! every application under (a) no protection, (b) DREAM, (c) ECC SEC/DED.
-//!
-//! ```text
-//! cargo run --release -p dream-bench --bin fig4 [--runs N] [--window N] [--smoke] [--emt none|dream|ecc] [--threads N]
-//! ```
-//!
-//! The full configuration (200 runs × 9 voltages × 5 apps × 3 EMTs) is the
-//! paper's; `--smoke` runs a reduced sweep in seconds.
-
-use dream_bench::{results_dir, Args};
-use dream_core::EmtKind;
-use dream_sim::fig4::{curve, run_fig4, Fig4Config};
-use dream_sim::report;
+//! Shim over `dream run fig4` — kept so `cargo run --bin fig4` and its
+//! historical flags (`--runs`, `--window`, `--smoke`, `--emt`,
+//! `--threads`) keep working; see [`dream_bench::cli`].
 
 fn main() {
-    let args = Args::from_env();
-    let mut cfg = if args.switch("smoke") {
-        Fig4Config::smoke()
-    } else {
-        Fig4Config::default()
-    };
-    cfg.runs = args.number("runs", cfg.runs);
-    cfg.window = args.number("window", cfg.window);
-    if let Some(emt) = args.value("emt") {
-        cfg.emts = vec![match emt {
-            "none" => EmtKind::None,
-            "dream" => EmtKind::Dream,
-            "ecc" => EmtKind::EccSecDed,
-            "parity" => EmtKind::Parity,
-            other => panic!("unknown --emt {other:?} (none|dream|ecc|parity)"),
-        }];
-    }
-    let threads = dream_bench::apply_threads(&args);
-    eprintln!(
-        "fig4: runs={} window={} voltages={:?} emts={:?} threads={}",
-        cfg.runs, cfg.window, cfg.voltages, cfg.emts, threads
-    );
-    let points = run_fig4(&cfg);
-
-    for &emt in &cfg.emts {
-        let mut headers = vec!["V".to_string()];
-        headers.extend(cfg.apps.iter().map(|a| a.to_string()));
-        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-        let mut table = Vec::new();
-        for &v in &cfg.voltages {
-            let mut row = vec![format!("{v:.2}")];
-            for &app in &cfg.apps {
-                let c = curve(&points, app, emt);
-                let p = c
-                    .iter()
-                    .find(|p| (p.voltage - v).abs() < 1e-9)
-                    .expect("full grid");
-                row.push(report::snr(p.mean_snr_db));
-            }
-            table.push(row);
-        }
-        println!("\nFig. 4 — mean SNR (dB) vs supply voltage, {emt}");
-        println!("{}", report::format_table(&header_refs, &table));
-    }
-
-    let csv: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                p.app.to_string(),
-                p.emt.to_string(),
-                format!("{:.2}", p.voltage),
-                format!("{:.3}", p.mean_snr_db),
-                format!("{:.3}", p.min_snr_db),
-                format!("{:.6}", p.corrected_rate),
-                format!("{:.6}", p.uncorrectable_rate),
-            ]
-        })
-        .collect();
-    let path = results_dir().join("fig4.csv");
-    report::write_csv(
-        &path,
-        &[
-            "app",
-            "emt",
-            "voltage",
-            "mean_snr_db",
-            "min_snr_db",
-            "corrected_rate",
-            "uncorrectable_rate",
-        ],
-        &csv,
-    )
-    .expect("write CSV");
-    eprintln!("wrote {}", path.display());
+    dream_bench::cli::legacy_shim("fig4");
 }

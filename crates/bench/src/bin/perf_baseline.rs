@@ -30,6 +30,7 @@ use dream_sim::energy_table::{run_energy_table, EnergyConfig};
 use dream_sim::exec;
 use dream_sim::fig2::{run_fig2, Fig2Config};
 use dream_sim::fig4::{run_fig4, Fig4Config};
+use dream_sim::scenario;
 use dream_sim::tradeoff::explore;
 
 struct Timing {
@@ -115,6 +116,31 @@ impl WordStorage for CountingStorage {
     }
     // Block transfers inherit the per-word defaults, so every streamed
     // word is counted exactly like a protected-memory access.
+}
+
+/// Runs a fig2-shaped spec through the scenario engine, returning the
+/// typed rows of the legacy entry point for equality checks.
+fn run_fig2_scenario(sc: &scenario::Scenario) -> Vec<dream_sim::fig2::Fig2Row> {
+    match scenario::run(sc).expect("valid fig2 scenario").data {
+        scenario::OutcomeData::Injection(rows) => rows
+            .into_iter()
+            .map(|r| dream_sim::fig2::Fig2Row {
+                app: r.app,
+                stuck: r.stuck,
+                bit: r.bit,
+                snr_db: r.snr_db,
+            })
+            .collect(),
+        other => unreachable!("fig2 scenarios yield injection rows, got {other:?}"),
+    }
+}
+
+/// Runs a fig4-shaped spec through the scenario engine.
+fn run_fig4_scenario(sc: &scenario::Scenario) -> Vec<dream_sim::fig4::Fig4Point> {
+    match scenario::run(sc).expect("valid fig4 scenario").data {
+        scenario::OutcomeData::Fig4(points) => points,
+        other => unreachable!("fig4 scenarios yield Fig. 4 points, got {other:?}"),
+    }
 }
 
 /// Clean-run access count of one `app` run over `input`.
@@ -284,16 +310,51 @@ fn main() {
         * fig4_cfg.emts.len() as u64
         * fig4_cfg.voltages.len() as u64;
 
+    // The scenario-engine path: the registry-preset-shaped specs compiled
+    // from the same configs. Timed alongside the legacy entry points (and
+    // checked for identical rows below) to prove the declarative layer
+    // adds no dispatch overhead.
+    let fig2_scenario = fig2_cfg.to_scenario();
+    let fig4_scenario = fig4_cfg.to_scenario();
+    {
+        let legacy = run_fig2(&fig2_cfg);
+        let via_engine = run_fig2_scenario(&fig2_scenario);
+        assert_eq!(
+            legacy, via_engine,
+            "preset-compiled fig2 diverged from the legacy entry point"
+        );
+        let legacy = run_fig4(&fig4_cfg);
+        let via_engine = run_fig4_scenario(&fig4_scenario);
+        assert_eq!(
+            legacy, via_engine,
+            "preset-compiled fig4 diverged from the legacy entry point"
+        );
+    }
+
     let timings = vec![
         time_campaign("fig2", fig2_trial_count, fig2_accesses, threads, || {
             run_fig2(&fig2_cfg)
         }),
+        time_campaign(
+            "fig2_scenario",
+            fig2_trial_count,
+            fig2_accesses,
+            threads,
+            || run_fig2_scenario(&fig2_scenario),
+        ),
         time_campaign(
             "fig4",
             fig4_trial_count,
             fig4_accesses_all_apps,
             threads,
             || run_fig4(&fig4_cfg),
+        ),
+        time_campaign(
+            "fig4_scenario",
+            fig4_trial_count,
+            fig4_accesses_all_apps,
+            threads,
+            || run_fig4_scenario(&fig4_scenario),
         ),
         time_campaign(
             "ablation",

@@ -1,81 +1,7 @@
-//! Regenerates the **§VI-C trade-off exploration**: for the DWT
-//! application and a −1 dB output-degradation tolerance, find the voltage
-//! range each EMT can serve and the energy saved against running
-//! unprotected at the nominal 0.9 V (paper: ~12.7 % with no protection at
-//! 0.85 V, ~30.6 % with DREAM at 0.65 V, ~39.5 % with ECC at 0.55 V).
-//!
-//! ```text
-//! cargo run --release -p dream-bench --bin tradeoff [--runs N] [--window N] [--tolerance DB] [--threads N]
-//! ```
-
-use dream_bench::{results_dir, Args};
-use dream_dsp::AppKind;
-use dream_sim::energy_table::{run_energy_table, EnergyConfig};
-use dream_sim::fig4::{run_fig4, Fig4Config};
-use dream_sim::report;
-use dream_sim::tradeoff::explore;
+//! Shim over `dream run tradeoff` — kept so `cargo run --bin tradeoff`
+//! and its historical flags (`--runs`, `--window`, `--tolerance`,
+//! `--threads`) keep working; see [`dream_bench::cli`].
 
 fn main() {
-    let args = Args::from_env();
-    let window = args.number("window", 1024);
-    let runs = args.number("runs", 100);
-    let tolerance_db = args
-        .value("tolerance")
-        .map(|v| v.parse::<f64>().expect("--tolerance expects dB"))
-        .unwrap_or(1.0);
-    let app = AppKind::Dwt;
-    let threads = dream_bench::apply_threads(&args);
-    eprintln!(
-        "tradeoff: app={app} window={window} runs={runs} tolerance={tolerance_db} dB threads={threads}"
-    );
-
-    let fig4_cfg = Fig4Config {
-        window,
-        runs,
-        apps: vec![app],
-        ..Default::default()
-    };
-    let points = run_fig4(&fig4_cfg);
-    let energy_cfg = EnergyConfig {
-        app,
-        window,
-        ..Default::default()
-    };
-    let energy = run_energy_table(&energy_cfg);
-    let policies = explore(app, tolerance_db, &points, &energy);
-
-    println!("\n§VI-C — {app} with a -{tolerance_db} dB tolerance (savings vs 0.9 V unprotected)");
-    let table: Vec<Vec<String>> = policies
-        .iter()
-        .map(|p| {
-            vec![
-                p.emt.to_string(),
-                p.min_voltage
-                    .map_or("unusable".into(), |v| format!("{v:.2} V")),
-                p.savings_vs_nominal.map_or("-".into(), report::pct),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        report::format_table(&["EMT", "min voltage", "energy savings"], &table)
-    );
-    println!(
-        "paper: no protection -> 0.85 V / 12.7%, DREAM -> 0.65 V / 30.6%, ECC -> 0.55 V / 39.5%"
-    );
-
-    let csv: Vec<Vec<String>> = policies
-        .iter()
-        .map(|p| {
-            vec![
-                p.emt.to_string(),
-                p.min_voltage.map_or(String::new(), |v| format!("{v:.2}")),
-                p.savings_vs_nominal
-                    .map_or(String::new(), |s| format!("{s:.4}")),
-            ]
-        })
-        .collect();
-    let path = results_dir().join("tradeoff.csv");
-    report::write_csv(&path, &["emt", "min_voltage", "savings"], &csv).expect("write CSV");
-    eprintln!("wrote {}", path.display());
+    dream_bench::cli::legacy_shim("tradeoff");
 }

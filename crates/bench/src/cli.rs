@@ -1,0 +1,326 @@
+//! The `dream` CLI: one front door for every campaign.
+//!
+//! ```text
+//! dream list
+//! dream run <scenario|spec.json> [--smoke] [--threads N]
+//!           [--format table|csv|jsonl] [--out DIR]
+//!           [--window N] [--records N] [--trials N] [--runs N]
+//!           [--seed N] [--tolerance DB] [--emt none|parity|dream|ecc]
+//! ```
+//!
+//! `run` resolves its target against the scenario registry first; a
+//! target containing a path separator or ending in `.json` is read as a
+//! spec file instead. Rows stream to the selected sink as grid points
+//! complete; with `--out` they stream to
+//! `DIR/<scenario>.<csv|jsonl|txt>` and an aligned table still prints to
+//! stdout.
+//!
+//! The historical per-figure binaries (`fig2`, `fig4`, `energy`,
+//! `tradeoff`, `ablation`) are shims over [`legacy_shim`], which maps
+//! their original flags onto the same path.
+
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+use dream_sim::report::{CsvSink, JsonlSink, TableSink};
+use dream_sim::scenario::{self, emt_from_token, registry, Scenario, ScenarioOutcome, SinkFormat};
+
+use crate::Args;
+
+/// Entry point of the `dream` binary: dispatches on the first positional
+/// argument.
+///
+/// # Panics
+///
+/// Panics with a readable message on unknown subcommands, unknown
+/// scenarios, malformed spec files, or I/O failures — the binary's error
+/// reporting.
+pub fn main_from_env() {
+    let args = Args::from_env();
+    match args.positional(0) {
+        Some("list") => list(),
+        Some("run") => {
+            let target = args
+                .positional(1)
+                .unwrap_or_else(|| panic!("usage: dream run <scenario|spec.json> [flags]"));
+            run(target, &args);
+        }
+        Some(other) => panic!("unknown subcommand {other:?} (expected `list` or `run`)"),
+        None => {
+            list();
+            eprintln!("\nusage: dream run <scenario|spec.json> [--smoke] [--threads N] [--format table|csv|jsonl] [--out DIR]");
+        }
+    }
+}
+
+/// Prints the scenario registry as an aligned table.
+pub fn list() {
+    let rows: Vec<Vec<String>> = registry::catalog()
+        .into_iter()
+        .map(|(name, kind, axis, points, title)| {
+            vec![
+                name,
+                kind.to_string(),
+                axis.to_string(),
+                points.to_string(),
+                title,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        dream_sim::report::format_table(
+            &["scenario", "kind", "axis", "points", "description"],
+            &rows
+        )
+    );
+    println!("run one with: dream run <scenario> [--smoke]   (or pass a spec.json)");
+}
+
+/// Resolves a `run` target: registry name first, then spec file.
+fn resolve(target: &str, smoke: bool) -> Scenario {
+    if let Some(sc) = registry::get(target, smoke) {
+        return sc;
+    }
+    let looks_like_path = target.ends_with(".json") || target.contains('/');
+    if !looks_like_path {
+        panic!(
+            "unknown scenario {target:?} — `dream list` shows the registry; spec files must end in .json"
+        );
+    }
+    if smoke {
+        panic!(
+            "--smoke only applies to registry scenarios; spec files are explicit about their scale"
+        );
+    }
+    let text = std::fs::read_to_string(target)
+        .unwrap_or_else(|e| panic!("cannot read spec file {target:?}: {e}"));
+    Scenario::from_json(&text).unwrap_or_else(|e| panic!("bad spec file {target:?}: {e}"))
+}
+
+/// Applies the CLI's override flags onto a resolved scenario.
+fn apply_overrides(sc: &mut Scenario, args: &Args) {
+    if let Some(w) = args.value("window") {
+        sc.window = w
+            .parse()
+            .unwrap_or_else(|_| panic!("--window expects a number, got {w:?}"));
+    }
+    if let Some(r) = args.value("records") {
+        sc.records = r
+            .parse()
+            .unwrap_or_else(|_| panic!("--records expects a number, got {r:?}"));
+    }
+    // `--trials` and `--runs` are synonyms: fig2 historically said trials,
+    // fig4 said runs.
+    for key in ["trials", "runs"] {
+        if let Some(t) = args.value(key) {
+            sc.trials = t
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a number, got {t:?}"));
+        }
+    }
+    if let Some(s) = args.value("seed") {
+        sc.seed = s
+            .parse()
+            .unwrap_or_else(|_| panic!("--seed expects a number, got {s:?}"));
+    }
+    if let Some(t) = args.value("tolerance") {
+        sc.tolerance_db = Some(
+            t.parse()
+                .unwrap_or_else(|_| panic!("--tolerance expects dB, got {t:?}")),
+        );
+    }
+    if let Some(token) = args.value("emt") {
+        let emt = emt_from_token(token)
+            .unwrap_or_else(|| panic!("unknown --emt {token:?} (none|parity|dream|ecc)"));
+        sc.emts = vec![emt];
+    }
+    if let Some(f) = args.value("format") {
+        sc.sink.format = SinkFormat::from_token(f)
+            .unwrap_or_else(|| panic!("unknown --format {f:?} (table|csv|jsonl)"));
+    }
+    if let Some(o) = args.value("out") {
+        sc.sink.out = Some(o.to_string());
+    }
+}
+
+/// Runs a resolved target with the standard flag vocabulary and prints
+/// the outcome. Returns the outcome for callers that post-process.
+pub fn run(target: &str, args: &Args) -> ScenarioOutcome {
+    let mut sc = resolve(target, args.switch("smoke"));
+    apply_overrides(&mut sc, args);
+    let threads = crate::apply_threads(args);
+    eprintln!(
+        "dream run {}: kind={} axis={} points={} trials={} window={} threads={threads}",
+        sc.name,
+        sc.kind.token(),
+        sc.grid.axis_token(),
+        sc.grid.len(),
+        sc.trials,
+        sc.window,
+    );
+    execute(&sc)
+}
+
+/// Executes a scenario against its configured sink, echoing a table to
+/// stdout when rows stream to a file.
+fn execute(sc: &Scenario) -> ScenarioOutcome {
+    let format = sc.sink.format;
+    let outcome = match &sc.sink.out {
+        None => {
+            // Stream straight to stdout.
+            let stdout = io::stdout();
+            let outcome = match format {
+                SinkFormat::Table => {
+                    let mut sink = TableSink::new(stdout.lock());
+                    scenario::run_with_sink(sc, &mut sink)
+                }
+                SinkFormat::Csv => {
+                    let mut sink = CsvSink::new(stdout.lock());
+                    scenario::run_with_sink(sc, &mut sink)
+                }
+                SinkFormat::Jsonl => {
+                    let mut sink = JsonlSink::new(stdout.lock());
+                    scenario::run_with_sink(sc, &mut sink)
+                }
+            };
+            outcome.unwrap_or_else(|e| panic!("scenario {}: {e}", sc.name))
+        }
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+            let path = dir.join(format!("{}.{}", sc.name, format.extension()));
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            let outcome = match format {
+                SinkFormat::Table => {
+                    let mut sink = TableSink::new(file);
+                    scenario::run_with_sink(sc, &mut sink)
+                }
+                SinkFormat::Csv => {
+                    let mut sink = CsvSink::new(file);
+                    scenario::run_with_sink(sc, &mut sink)
+                }
+                SinkFormat::Jsonl => {
+                    let mut sink = JsonlSink::new(file);
+                    scenario::run_with_sink(sc, &mut sink)
+                }
+            };
+            let outcome = outcome.unwrap_or_else(|e| panic!("scenario {}: {e}", sc.name));
+            // Humans still get the aligned table on stdout.
+            if format != SinkFormat::Table {
+                println!(
+                    "{}",
+                    dream_sim::report::format_table(&outcome.headers, &outcome.rows)
+                );
+            }
+            eprintln!("wrote {}", path.display());
+            outcome
+        }
+    };
+    let mut err = io::stderr();
+    let _ = writeln!(err, "{}: {}", sc.name, outcome.summary());
+    outcome
+}
+
+/// Entry point of the historical per-figure binaries: maps their original
+/// flag vocabulary onto `dream run <preset> --format csv --out results/`,
+/// preserving the CSV artifact location and the stdout table.
+pub fn legacy_shim(preset: &str) {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let base = Args::parse(raw.iter().cloned());
+    // `energy --area` printed the codec area table only; keep that exit.
+    if preset == "energy" && base.switch("area") {
+        print_area_table();
+        return;
+    }
+    // Historical defaults: CSV artifact in results/, table on stdout.
+    if base.value("out").is_none() {
+        raw.extend([
+            "--out".to_string(),
+            crate::results_dir().display().to_string(),
+        ]);
+    }
+    if base.value("format").is_none() {
+        raw.extend(["--format".to_string(), "csv".to_string()]);
+    }
+    run(preset, &Args::parse(raw.into_iter()));
+}
+
+/// The §VI-B codec area table (the `energy --area` fast path).
+fn print_area_table() {
+    use dream_sim::energy_table::{area_table, ecc_vs_dream_area};
+    let area_rows = area_table(&dream_core::EmtKind::paper_set());
+    println!("\n§VI-B — codec area (gate equivalents) and redundancy");
+    let table: Vec<Vec<String>> = area_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.emt.to_string(),
+                format!("{:.1}", r.encoder_ge),
+                format!("{:.1}", r.decoder_ge),
+                r.extra_bits.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        dream_sim::report::format_table(
+            &["EMT", "encoder GE", "decoder GE", "extra bits/word"],
+            &table
+        )
+    );
+    let (enc, dec) = ecc_vs_dream_area(&area_rows);
+    println!(
+        "ECC vs DREAM area overhead: encoder {}, decoder {}   (paper: +28%, +120%)",
+        dream_sim::report::pct(enc),
+        dream_sim::report::pct(dec)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_prefers_registry_names() {
+        let sc = resolve("fig2", true);
+        assert_eq!(sc.name, "fig2");
+        assert_eq!(sc.window, 512); // smoke variant
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn resolve_rejects_unknown_names() {
+        let _ = resolve("figure-nine", false);
+    }
+
+    #[test]
+    fn resolve_reads_spec_files() {
+        let dir = std::env::temp_dir().join("dream_cli_resolve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("custom.json");
+        let sc = registry::get("noise-sweep", true).unwrap();
+        std::fs::write(&path, sc.to_json()).unwrap();
+        let loaded = resolve(path.to_str().unwrap(), false);
+        assert_eq!(loaded, sc);
+    }
+
+    #[test]
+    fn overrides_rewrite_the_axes() {
+        let mut sc = registry::get("fig4", true).unwrap();
+        let args = Args::parse(
+            [
+                "--runs", "2", "--window", "768", "--emt", "dream", "--format", "jsonl",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        apply_overrides(&mut sc, &args);
+        assert_eq!(sc.trials, 2);
+        assert_eq!(sc.window, 768);
+        assert_eq!(sc.emts, vec![dream_core::EmtKind::Dream]);
+        assert_eq!(sc.sink.format, SinkFormat::Jsonl);
+    }
+}

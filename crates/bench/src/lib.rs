@@ -1,18 +1,24 @@
-//! Shared plumbing for the table/figure regeneration binaries.
+//! Shared plumbing for the `dream` CLI and the table/figure shims.
 //!
-//! The real content lives in `dream-sim`; this crate only parses the tiny
-//! command-line vocabulary the binaries share and decides where CSV output
-//! lands (`results/` at the workspace root).
+//! The real content lives in `dream-sim`; this crate parses the tiny
+//! command-line vocabulary the binaries share ([`Args`]), hosts the
+//! scenario-driving CLI ([`cli`]), and decides where artifacts land
+//! (`results/` at the workspace root).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use std::path::PathBuf;
 
-/// Minimal flag parser: `--key value` pairs and bare `--switch`es.
+/// Minimal flag parser: `--key value` pairs, bare `--switch`es, and
+/// positional arguments (subcommands and targets).
 ///
 /// ```
-/// let args = dream_bench::Args::parse(["--runs", "8", "--smoke"].iter().map(|s| s.to_string()));
+/// let args = dream_bench::Args::parse(["run", "fig2", "--runs", "8", "--smoke"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.positional(0), Some("run"));
+/// assert_eq!(args.positional(1), Some("fig2"));
 /// assert_eq!(args.value("runs"), Some("8"));
 /// assert!(args.switch("smoke"));
 /// assert!(!args.switch("area"));
@@ -20,12 +26,14 @@ use std::path::PathBuf;
 #[derive(Clone, Debug, Default)]
 pub struct Args {
     pairs: Vec<(String, Option<String>)>,
+    positionals: Vec<String>,
 }
 
 impl Args {
     /// Parses an iterator of raw arguments (without the program name).
     pub fn parse(raw: impl Iterator<Item = String>) -> Self {
         let mut pairs = Vec::new();
+        let mut positionals = Vec::new();
         let mut iter = raw.peekable();
         while let Some(a) = iter.next() {
             if let Some(key) = a.strip_prefix("--") {
@@ -34,9 +42,11 @@ impl Args {
                     _ => None,
                 };
                 pairs.push((key.to_string(), value));
+            } else {
+                positionals.push(a);
             }
         }
-        Args { pairs }
+        Args { pairs, positionals }
     }
 
     /// Parses the process arguments.
@@ -55,6 +65,11 @@ impl Args {
     /// True when `--key` was given (with or without a value).
     pub fn switch(&self, key: &str) -> bool {
         self.pairs.iter().any(|(k, _)| k == key)
+    }
+
+    /// The `i`-th positional argument (subcommand, target, …).
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
     }
 
     /// Parses `--key` as a number, falling back to `default`.

@@ -56,6 +56,27 @@ impl NoiseModel {
         }
     }
 
+    /// Scales every noise amplitude by `factor` (0.0 = clean, 1.0 =
+    /// unchanged) — the knob behind the `noise-sweep` scenario, which
+    /// stresses how input quality shifts each EMT's fault sensitivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "noise scale must be a non-negative finite number, got {factor}"
+        );
+        NoiseModel {
+            baseline_mv: self.baseline_mv * factor,
+            mains_mv: self.mains_mv * factor,
+            emg_rms_mv: self.emg_rms_mv * factor,
+            ..*self
+        }
+    }
+
     /// Returns `signal` plus noise, sampled at `fs` Hz.
     pub fn apply<R: Rng>(&self, signal: &[f64], fs: f64, rng: &mut R) -> Vec<f64> {
         let two_pi = 2.0 * std::f64::consts::PI;
@@ -124,6 +145,27 @@ mod tests {
         for pair in noisy.windows(2) {
             assert!((pair[1] - pair[0]).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn scaling_is_linear_and_zero_is_clean() {
+        let m = NoiseModel::date16();
+        let doubled = m.scaled(2.0);
+        assert_eq!(doubled.baseline_mv, m.baseline_mv * 2.0);
+        assert_eq!(doubled.mains_mv, m.mains_mv * 2.0);
+        assert_eq!(doubled.emg_rms_mv, m.emg_rms_mv * 2.0);
+        assert_eq!(doubled.baseline_hz, m.baseline_hz);
+        assert_eq!(m.scaled(1.0), m);
+        let zero = m.scaled(0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let signal: Vec<f64> = (0..64).map(|i| f64::from(i) * 0.01).collect();
+        assert_eq!(zero.apply(&signal, 360.0, &mut rng), signal);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scale_rejected() {
+        let _ = NoiseModel::date16().scaled(-1.0);
     }
 
     #[test]

@@ -65,6 +65,21 @@ impl BerModel {
         }
     }
 
+    /// Nominal supply voltage of this model (V).
+    pub fn nominal_v(&self) -> f64 {
+        self.nominal_v
+    }
+
+    /// `log10` of the BER at the nominal voltage.
+    pub fn log10_ber_at_nominal(&self) -> f64 {
+        self.log10_ber_at_nominal
+    }
+
+    /// Decades of BER growth per volt of down-scaling.
+    pub fn log10_slope_per_volt(&self) -> f64 {
+        self.log10_slope_per_volt
+    }
+
     /// Bit error rate at supply voltage `v` (clamped to `[0.0, 0.5]`;
     /// a fully random cell is wrong half the time).
     pub fn ber(&self, v: f64) -> f64 {

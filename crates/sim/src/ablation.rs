@@ -1,5 +1,9 @@
 //! Ablation studies on the design choices `DESIGN.md` calls out: how much
 //! each modelling decision contributes to the headline results.
+//!
+//! The four study kernels below execute on [`crate::exec::run_trials`];
+//! the scenario engine's `ablation` family (`dream run ablation`) bundles
+//! them into one streamed row set.
 
 use dream_core::{Dream, EmtKind, EnergyModelBundle, NoProtection, ProtectedMemory};
 use dream_dsp::{samples_to_f64, snr_db, AppKind};
@@ -126,13 +130,35 @@ pub struct BerSensitivityPoint {
 /// Sensitivity of the Fig. 4b DWT curve to the one free parameter of the
 /// substituted BER model (its slope): how far do the usable-voltage
 /// thresholds move per decade-per-volt of slope error?
+///
+/// Sweeps the paper's voltage grid under the date16 calibration; the
+/// scenario engine's `ablation` family uses [`ber_sensitivity_grid`] to
+/// honor a spec's own grid and calibration.
 pub fn ber_sensitivity(window: usize, runs: usize, slopes: &[f64]) -> Vec<BerSensitivityPoint> {
+    ber_sensitivity_grid(
+        window,
+        runs,
+        slopes,
+        &BerModel::paper_voltages(),
+        &BerModel::date16(),
+    )
+}
+
+/// [`ber_sensitivity`] over an explicit voltage grid and base calibration:
+/// each curve keeps `base`'s nominal point and substitutes its slope.
+pub fn ber_sensitivity_grid(
+    window: usize,
+    runs: usize,
+    slopes: &[f64],
+    voltages: &[f64],
+    base: &BerModel,
+) -> Vec<BerSensitivityPoint> {
     let app = AppKind::Dwt.instantiate(window);
     let geometry = banked_geometry(app.memory_words());
     let words = geometry.words();
     let record = Database::record(100, window);
     let reference = app.run_reference(&record.samples);
-    let voltages = BerModel::paper_voltages();
+    let (nominal_v, log10_at_nominal) = (base.nominal_v(), base.log10_ber_at_nominal());
     // Flattened (slope, voltage, run) sweep in historical nested-loop
     // order, so the per-point averages below reduce in the same sequence.
     struct Trial {
@@ -160,7 +186,7 @@ pub fn ber_sensitivity(window: usize, runs: usize, slopes: &[f64]) -> Vec<BerSen
         )
     };
     let snrs = exec::run_trials(&trials, scratch, |(mem, map), t, _| {
-        let ber = BerModel::new(0.9, -7.6, t.slope).ber(t.voltage);
+        let ber = BerModel::new(nominal_v, log10_at_nominal, t.slope).ber(t.voltage);
         map.regenerate(ber, 0xBE5 + t.run as u64);
         mem.reset_with_fault_map(map);
         let out = {

@@ -61,6 +61,16 @@ pub fn record_suite(window: usize, max_records: usize) -> Vec<Record> {
     suite
 }
 
+/// [`record_suite`] with the acquisition-noise amplitudes scaled by
+/// `noise_scale` (1.0 reproduces the standard suite bit for bit — the
+/// scenario engine's noise-sweep axis).
+pub fn record_suite_with_noise(window: usize, max_records: usize, noise_scale: f64) -> Vec<Record> {
+    let model = dream_ecg::NoiseModel::date16().scaled(noise_scale);
+    let mut suite = Database::date16_suite_with_noise(window, &model);
+    suite.truncate(max_records);
+    suite
+}
+
 /// Double-precision reference outputs (`x_theo` of Formula 1) of `app`
 /// over `records`, computed once per campaign — in parallel across
 /// records — and then shared read-only by every trial.
@@ -154,6 +164,18 @@ impl EmtMemory {
         }
     }
 
+    /// Installs a logical→physical address scrambler (the §V randomized
+    /// mapping); [`EmtMemory::reset_with_fault_map`] restores identity, so
+    /// call this after the per-trial reset.
+    pub fn set_scrambler(&mut self, scrambler: dream_mem::AddressScrambler) {
+        match self {
+            EmtMemory::None(m) => m.set_scrambler(scrambler),
+            EmtMemory::Parity(m) => m.set_scrambler(scrambler),
+            EmtMemory::Dream(m) => m.set_scrambler(scrambler),
+            EmtMemory::Ecc(m) => m.set_scrambler(scrambler),
+        }
+    }
+
     /// Access statistics of the last run.
     pub fn stats(&self) -> AccessStats {
         match self {
@@ -219,6 +241,16 @@ mod tests {
         assert_eq!(
             record_suite(256, usize::MAX).len(),
             dream_ecg::Database::SUITE_SIZE
+        );
+    }
+
+    #[test]
+    fn unit_noise_scale_matches_standard_suite() {
+        assert_eq!(record_suite_with_noise(256, 3, 1.0), record_suite(256, 3));
+        assert_ne!(
+            record_suite_with_noise(256, 3, 4.0),
+            record_suite(256, 3),
+            "a 4x noise floor must perturb the quantized samples"
         );
     }
 

@@ -1,4 +1,9 @@
 //! Experiments E5, E6, E8: the §VI-B energy and area analysis.
+//!
+//! [`run_energy_table`] is the pricing kernel behind the scenario
+//! engine's `energy-sweep` family (`dream run energy`); this module also
+//! keeps the row-typed post-processing ([`average_overhead`],
+//! [`area_table`], [`ecc_vs_dream_area`]) the summaries consume.
 
 use dream_core::{EmtCodec, EmtKind, EnergyModelBundle};
 use dream_dsp::AppKind;

@@ -1,15 +1,17 @@
 //! Experiment E1: Fig. 2 — SNR versus the bit position of an injected
 //! permanent error.
+//!
+//! Since the scenario engine landed this module is a thin preset
+//! constructor ([`Fig2Config::to_scenario`]) plus row-typed
+//! post-processing ([`Fig2Row`], [`cs_tolerance`]) over the engine's
+//! shared [`crate::scenario::ScenarioOutcome`]; the sweep itself executes
+//! in [`crate::scenario::engine`].
 
-use dream_core::{NoProtection, ProtectedMemory};
-use dream_dsp::{samples_to_f64, snr_db, AppKind, BiomedicalApp};
+use dream_dsp::AppKind;
 use dream_ecg::Database;
-use dream_mem::{FaultMap, StuckAt};
+use dream_mem::StuckAt;
 
-use crate::campaign::{
-    banked_geometry, cap_snr, fault_seed, record_suite, reference_outputs, ProtectedStorage,
-};
-use crate::exec;
+use crate::scenario::{self, registry, FaultSpec, Grid, Kind, OutcomeData, Scenario, SinkSpec};
 
 /// Configuration of the Fig. 2 characterization.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,6 +39,33 @@ impl Default for Fig2Config {
     }
 }
 
+impl Fig2Config {
+    /// Compiles this configuration to its scenario spec — the same
+    /// campaign `dream run fig2` executes, with the historical seed and
+    /// the unprotected-memory technique set.
+    pub fn to_scenario(&self) -> Scenario {
+        Scenario {
+            name: "fig2".into(),
+            title: String::new(),
+            kind: Kind::SnrSweep,
+            window: self.window,
+            records: self.records,
+            trials: self.fault_trials,
+            apps: self.apps.clone(),
+            emts: vec![dream_core::EmtKind::None],
+            grid: Grid::BitPosition((0..16).collect()),
+            fault: FaultSpec::date16(),
+            fixed_voltage: dream_mem::BerModel::NOMINAL_VOLTAGE,
+            noise_scale: 1.0,
+            scrambler_key: None,
+            tolerance_db: None,
+            ber_slopes: Vec::new(),
+            seed: registry::FIG2_SEED,
+            sink: SinkSpec::default(),
+        }
+    }
+}
+
 /// One point of Fig. 2.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Fig2Row {
@@ -60,114 +89,26 @@ pub struct Fig2Row {
 /// would swamp even LSB positions with error power and is inconsistent
 /// with the tolerances the paper reads off the figure — CS passing 35 dB
 /// with faults up to bit 10 requires the single-cell reading.)
+///
+/// # Panics
+///
+/// Panics if the configuration fails scenario validation (empty app list,
+/// window below 256).
 pub fn run_fig2(cfg: &Fig2Config) -> Vec<Fig2Row> {
-    let records = record_suite(cfg.window, cfg.records);
-    // Shared read-only state, hoisted out of the trial loop: one app
-    // instance per kind (for footprints and references) and the
-    // double-precision references per (app, record).
-    let apps: Vec<Box<dyn BiomedicalApp>> =
-        cfg.apps.iter().map(|k| k.instantiate(cfg.window)).collect();
-    let references: Vec<Vec<Vec<f64>>> = apps
-        .iter()
-        .map(|app| reference_outputs(&**app, &records))
-        .collect();
-
-    // Flatten the nested sweep into independent trial descriptors, one per
-    // (app, polarity, bit, record, fault location) — the order mirrors the
-    // historical nested loops so the merged aggregation below reproduces
-    // the serial results bit for bit.
-    struct Trial {
-        app: usize,
-        stuck: StuckAt,
-        bit: u32,
-        record: usize,
-        fault_trial: usize,
-    }
-    let mut trials = Vec::new();
-    for app in 0..cfg.apps.len() {
-        for stuck in [StuckAt::Zero, StuckAt::One] {
-            for bit in 0..16u32 {
-                for record in 0..records.len() {
-                    for fault_trial in 0..cfg.fault_trials {
-                        trials.push(Trial {
-                            app,
-                            stuck,
-                            bit,
-                            record,
-                            fault_trial,
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    // Worker arena: per app, a reusable unprotected memory (monomorphized
-    // over `NoProtection`, so the hot access path has no codec dispatch)
-    // and a fault-map buffer, plus the app's word count for fault
-    // placement.
-    struct AppArena {
-        app: Box<dyn BiomedicalApp>,
-        mem: ProtectedMemory<NoProtection>,
-        map: FaultMap,
-        words: usize,
-    }
-    let scratch = || -> Vec<AppArena> {
-        cfg.apps
-            .iter()
-            .map(|k| {
-                let app = k.instantiate(cfg.window);
-                let words = app.memory_words();
-                let geometry = banked_geometry(words);
-                AppArena {
-                    app,
-                    mem: ProtectedMemory::with_codec(NoProtection::new(), geometry),
-                    map: FaultMap::empty(geometry.words(), 16),
-                    words,
-                }
+    let outcome =
+        scenario::run(&cfg.to_scenario()).expect("fig2 config compiles to a valid scenario");
+    match outcome.data {
+        OutcomeData::Injection(rows) => rows
+            .into_iter()
+            .map(|r| Fig2Row {
+                app: r.app,
+                stuck: r.stuck,
+                bit: r.bit,
+                snr_db: r.snr_db,
             })
-            .collect()
-    };
-
-    let snrs = exec::run_trials(&trials, scratch, |arenas, t, _| {
-        let arena = &mut arenas[t.app];
-        // One faulty cell at a deterministic pseudo-random location in the
-        // app's buffer footprint. The location depends only on (record,
-        // trial) — *not* on the bit or polarity — so every point of the
-        // curve stresses the same cells and the bit axis is a paired
-        // comparison, as when profiling one physical die.
-        let seed = fault_seed(0xF162, t.record, t.fault_trial);
-        let word = (seed % arena.words as u64) as usize;
-        arena.map.clear();
-        arena.map.inject(word, t.bit, t.stuck);
-        arena.mem.reset_with_fault_map(&arena.map);
-        let out = {
-            let mut storage = ProtectedStorage::new(&mut arena.mem);
-            arena.app.run(&records[t.record].samples, &mut storage)
-        };
-        cap_snr(snr_db(&references[t.app][t.record], &samples_to_f64(&out)))
-    });
-
-    // Deterministic merge: trials of one curve point are contiguous, so
-    // each point averages its own chunk in trial order.
-    let runs_per_point = records.len() * cfg.fault_trials;
-    let mut rows = Vec::new();
-    let mut next = 0usize;
-    for &app_kind in &cfg.apps {
-        for stuck in [StuckAt::Zero, StuckAt::One] {
-            for bit in 0..16u32 {
-                let point = &snrs[next..next + runs_per_point];
-                next += runs_per_point;
-                rows.push(Fig2Row {
-                    app: app_kind,
-                    stuck,
-                    bit,
-                    snr_db: point.iter().sum::<f64>() / runs_per_point as f64,
-                });
-            }
-        }
+            .collect(),
+        other => unreachable!("bit-position scenarios yield injection rows, got {other:?}"),
     }
-    rows
 }
 
 /// The §III claim for compressed sensing: the highest bit position whose
@@ -274,5 +215,20 @@ mod tests {
     fn row_count_is_apps_by_polarity_by_bits() {
         let rows = run_fig2(&small_cfg(vec![AppKind::Dwt, AppKind::CompressedSensing]));
         assert_eq!(rows.len(), 2 * 2 * 16);
+    }
+
+    #[test]
+    fn config_scenario_matches_registry_preset() {
+        // The registry's full-scale fig2 preset and the historical config
+        // default must compile to the same campaign (modulo the bin's
+        // higher default trial count and the registry title).
+        let mut from_cfg = Fig2Config {
+            fault_trials: 8,
+            ..Default::default()
+        }
+        .to_scenario();
+        let preset = registry::get("fig2", false).unwrap();
+        from_cfg.title.clone_from(&preset.title);
+        assert_eq!(from_cfg, preset);
     }
 }

@@ -1,18 +1,18 @@
 //! Experiments E2–E4: Fig. 4 — SNR versus memory supply voltage under the
 //! three protection schemes.
+//!
+//! Since the scenario engine landed this module is a thin preset
+//! constructor ([`Fig4Config::to_scenario`]) plus row-typed
+//! post-processing ([`Fig4Point`], [`curve`]) over the engine's shared
+//! [`crate::scenario::ScenarioOutcome`]; the sweep itself executes in
+//! [`crate::scenario::engine`].
 
 use dream_core::EmtKind;
-use dream_dsp::{samples_to_f64, snr_db, AppKind, BiomedicalApp};
-use dream_mem::{BerModel, FaultMap};
+use dream_dsp::AppKind;
+use dream_ecg::Database;
+use dream_mem::BerModel;
 
-use crate::campaign::{
-    banked_geometry, cap_snr, fault_seed, record_suite, reference_outputs, EmtMemory,
-};
-use crate::exec;
-
-/// Width of the shared fault maps: covers the widest codeword of the EMT
-/// set so one map serves every technique (§V).
-const SHARED_MAP_WIDTH: u32 = 22;
+use crate::scenario::{self, registry, FaultSpec, Grid, Kind, OutcomeData, Scenario, SinkSpec};
 
 /// Configuration of the Fig. 4 voltage sweep.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,7 +42,7 @@ impl Default for Fig4Config {
             emts: EmtKind::paper_set().to_vec(),
             apps: AppKind::all().to_vec(),
             ber: BerModel::date16(),
-            seed: 0xF1641,
+            seed: registry::FIG4_SEED,
         }
     }
 }
@@ -55,6 +55,30 @@ impl Fig4Config {
             runs: 8,
             voltages: vec![0.5, 0.6, 0.7, 0.8, 0.9],
             ..Default::default()
+        }
+    }
+
+    /// Compiles this configuration to its scenario spec — the same
+    /// campaign `dream run fig4` executes.
+    pub fn to_scenario(&self) -> Scenario {
+        Scenario {
+            name: "fig4".into(),
+            title: String::new(),
+            kind: Kind::SnrSweep,
+            window: self.window,
+            records: Database::SUITE_SIZE,
+            trials: self.runs,
+            apps: self.apps.clone(),
+            emts: self.emts.clone(),
+            grid: Grid::Voltage(self.voltages.clone()),
+            fault: FaultSpec::from_model(&self.ber),
+            fixed_voltage: BerModel::NOMINAL_VOLTAGE,
+            noise_scale: 1.0,
+            scrambler_key: None,
+            tolerance_db: None,
+            ber_slopes: Vec::new(),
+            seed: self.seed,
+            sink: SinkSpec::default(),
         }
     }
 }
@@ -83,133 +107,18 @@ pub struct Fig4Point {
 /// at the model BER, reuse **the same map** across all EMTs (§V: "all the
 /// EMTs are tested reusing the same set of error locations/mappings"), run
 /// every application, and average the per-run SNRs in dB.
+///
+/// # Panics
+///
+/// Panics if the configuration fails scenario validation (empty app or
+/// EMT list, empty voltage grid, window below 256).
 pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Point> {
-    let records = record_suite(cfg.window, usize::MAX);
-    let apps: Vec<Box<dyn BiomedicalApp>> = cfg
-        .apps
-        .iter()
-        .map(|&k| k.instantiate(cfg.window))
-        .collect();
-    // Geometry sized to the largest footprint, shared by all apps so one
-    // fault map serves every application in a run.
-    let max_words = apps.iter().map(|a| a.memory_words()).max().unwrap();
-    let geometry = banked_geometry(max_words);
-    // References are input-dependent only: compute once per (app, record),
-    // shared read-only by every trial.
-    let references: Vec<Vec<Vec<f64>>> = apps
-        .iter()
-        .map(|app| reference_outputs(&**app, &records))
-        .collect();
-
-    // One trial = one (voltage, run) pair: the fault map is drawn once and
-    // reused across every EMT and application, exactly the paper's "same
-    // set of error locations/mappings" methodology — and a ×(EMTs × apps)
-    // saving on map generation over the historical per-cell loop.
-    struct Trial {
-        voltage_idx: usize,
-        run: usize,
+    let outcome =
+        scenario::run(&cfg.to_scenario()).expect("fig4 config compiles to a valid scenario");
+    match outcome.data {
+        OutcomeData::Fig4(points) => points,
+        other => unreachable!("voltage SNR scenarios yield Fig. 4 points, got {other:?}"),
     }
-    let trials: Vec<Trial> = (0..cfg.voltages.len())
-        .flat_map(|voltage_idx| (0..cfg.runs).map(move |run| Trial { voltage_idx, run }))
-        .collect();
-
-    /// Per-trial observation of one (EMT, app) cell.
-    struct Cell {
-        snr_db: f64,
-        uncorrectable: f64,
-        corrected: f64,
-    }
-    // Worker arena: per-worker app instances, one reusable protected
-    // memory per EMT — monomorphized over its codec via [`EmtMemory`], so
-    // the technique dispatch happens once per app run, not once per
-    // access — and the shared wide fault-map buffer.
-    struct Arena {
-        apps: Vec<Box<dyn BiomedicalApp>>,
-        mems: Vec<EmtMemory>,
-        map: FaultMap,
-    }
-    let scratch = || Arena {
-        apps: cfg
-            .apps
-            .iter()
-            .map(|&k| k.instantiate(cfg.window))
-            .collect(),
-        mems: cfg
-            .emts
-            .iter()
-            .map(|&emt| EmtMemory::new(emt, geometry))
-            .collect(),
-        map: FaultMap::empty(geometry.words(), SHARED_MAP_WIDTH),
-    };
-
-    let results = exec::run_trials(&trials, scratch, |arena, t, _| {
-        let ber = cfg.ber.ber(cfg.voltages[t.voltage_idx]);
-        // Same seed across EMTs and apps => same fault map, as in the
-        // paper; the wide map covers the widest codeword.
-        let seed = fault_seed(cfg.seed, t.voltage_idx, t.run);
-        arena.map.regenerate(ber, seed);
-        let record = &records[t.run % records.len()];
-        let mut cells = Vec::with_capacity(cfg.emts.len() * arena.apps.len());
-        for mem in &mut arena.mems {
-            for (ai, app) in arena.apps.iter().enumerate() {
-                mem.reset_with_fault_map(&arena.map);
-                let out = mem.run_app(&**app, &record.samples);
-                let snr = cap_snr(snr_db(
-                    &references[ai][t.run % records.len()],
-                    &samples_to_f64(&out),
-                ));
-                let stats = mem.stats();
-                let (uncorrectable, corrected) = if stats.reads > 0 {
-                    (
-                        stats.uncorrectable_reads as f64 / stats.reads as f64,
-                        stats.corrected_reads as f64 / stats.reads as f64,
-                    )
-                } else {
-                    (0.0, 0.0)
-                };
-                cells.push(Cell {
-                    snr_db: snr,
-                    uncorrectable,
-                    corrected,
-                });
-            }
-        }
-        cells
-    });
-
-    // Deterministic merge: aggregate each (voltage, EMT, app) curve point
-    // over its runs in ascending run order — the historical reduction
-    // order, so the sums are bit-identical to the serial nested loops.
-    let mut points = Vec::new();
-    for (vi, &voltage) in cfg.voltages.iter().enumerate() {
-        for (ei, &emt) in cfg.emts.iter().enumerate() {
-            for (ai, &app_kind) in cfg.apps.iter().enumerate() {
-                let cell_idx = ei * cfg.apps.len() + ai;
-                let mut snr_sum = 0.0;
-                let mut snr_min = f64::INFINITY;
-                let mut uncorrectable = 0.0;
-                let mut corrected = 0.0;
-                for run in 0..cfg.runs {
-                    let cell = &results[vi * cfg.runs + run][cell_idx];
-                    snr_sum += cell.snr_db;
-                    snr_min = snr_min.min(cell.snr_db);
-                    uncorrectable += cell.uncorrectable;
-                    corrected += cell.corrected;
-                }
-                let n = cfg.runs as f64;
-                points.push(Fig4Point {
-                    app: app_kind,
-                    emt,
-                    voltage,
-                    mean_snr_db: snr_sum / n,
-                    min_snr_db: snr_min,
-                    uncorrectable_rate: uncorrectable / n,
-                    corrected_rate: corrected / n,
-                });
-            }
-        }
-    }
-    points
 }
 
 /// Looks up the curve of one (app, EMT) pair, sorted by voltage ascending.
@@ -282,5 +191,13 @@ mod tests {
         let points = run_fig4(&tiny());
         let c = curve(&points, AppKind::Dwt, EmtKind::Dream);
         assert!(c.windows(2).all(|w| w[0].voltage < w[1].voltage));
+    }
+
+    #[test]
+    fn default_config_matches_registry_preset() {
+        let mut from_cfg = Fig4Config::default().to_scenario();
+        let preset = registry::get("fig4", false).unwrap();
+        from_cfg.title.clone_from(&preset.title);
+        assert_eq!(from_cfg, preset);
     }
 }

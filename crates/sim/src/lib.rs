@@ -1,7 +1,9 @@
-//! Experiment harness: one driver per table/figure of the paper.
+//! Experiment harness: a declarative scenario engine with one thin,
+//! row-typed driver per table/figure of the paper.
 //!
 //! | Module | Paper artifact |
 //! |---|---|
+//! | [`scenario`] | the engine: serializable campaign specs, the preset registry, and execution with streaming sinks |
 //! | [`fig2`] | Fig. 2 — output SNR vs position of an injected stuck-at bit, per application, plus the §III compressed-sensing tolerance thresholds |
 //! | [`fig4`] | Fig. 4a/b/c — output SNR vs memory supply voltage, per application, for no protection / DREAM / ECC SEC/DED (200 random fault maps per voltage, shared across EMTs) |
 //! | [`energy_table`] | §VI-B — energy overhead of each EMT vs the unprotected baseline, and the codec area comparison |
@@ -9,12 +11,12 @@
 //! | [`ablation`] | extensions: protected-bits census, address-scrambling ablation, BER-slope sensitivity, mask-supply ablation |
 //! | [`campaign`] | shared plumbing: seed discipline, the storage adapter onto protected memories, SNR capping, geometry/record-suite selection |
 //! | [`exec`] | the deterministic parallel trial executor behind every campaign (`DREAM_THREADS`) |
-//! | [`report`] | ASCII tables and CSV emission for the `dream-bench` binaries |
+//! | [`report`] | streaming row sinks (ASCII table, CSV, JSONL) for the `dream` CLI |
 //!
 //! The experiment functions are deterministic: every random choice derives
 //! from explicit seeds, and the [`exec`] scheduler merges trial results in
-//! trial order, so `cargo run -p dream-bench --bin fig4` prints the same
-//! series on every machine **at every thread count**.
+//! trial order, so `cargo run -p dream-bench --bin dream -- run fig4`
+//! prints the same series on every machine **at every thread count**.
 //!
 //! # Example
 //!
@@ -38,4 +40,5 @@ pub mod exec;
 pub mod fig2;
 pub mod fig4;
 pub mod report;
+pub mod scenario;
 pub mod tradeoff;

@@ -1,0 +1,980 @@
+//! The declarative scenario spec: one serializable description of a full
+//! campaign — sweep axes, fault-model knobs, and sink options — that the
+//! engine compiles into flattened trial descriptors.
+
+use dream_core::EmtKind;
+use dream_dsp::AppKind;
+use dream_mem::{BerModel, StuckAt};
+
+use super::json::Json;
+
+/// What a scenario measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Output-SNR Monte-Carlo sweep (Fig. 2, Fig. 4, noise sweeps).
+    SnrSweep,
+    /// Energy pricing of fault-free characterization runs (§VI-B,
+    /// geometry sweeps).
+    EnergySweep,
+    /// SNR sweep + energy table + the §VI-C minimum-voltage policy.
+    Tradeoff,
+    /// The fixed four-study ablation bundle (protected bits, scrambler,
+    /// BER slope, mask supply).
+    Ablation,
+}
+
+impl Kind {
+    /// The spec-file token.
+    pub fn token(self) -> &'static str {
+        match self {
+            Kind::SnrSweep => "snr-sweep",
+            Kind::EnergySweep => "energy-sweep",
+            Kind::Tradeoff => "tradeoff",
+            Kind::Ablation => "ablation",
+        }
+    }
+
+    /// Parses a spec-file token.
+    pub fn from_token(token: &str) -> Option<Kind> {
+        Some(match token {
+            "snr-sweep" => Kind::SnrSweep,
+            "energy-sweep" => Kind::EnergySweep,
+            "tradeoff" => Kind::Tradeoff,
+            "ablation" => Kind::Ablation,
+            _ => return None,
+        })
+    }
+}
+
+/// The swept axis of a scenario grid.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Grid {
+    /// Memory supply voltages (V), the Fig. 4 x-axis.
+    Voltage(Vec<f64>),
+    /// Stuck-at bit positions (both polarities), the Fig. 2 x-axis.
+    BitPosition(Vec<u32>),
+    /// Input-noise amplitude multipliers (1.0 = the standard suite),
+    /// evaluated at [`Scenario::fixed_voltage`].
+    NoiseScale(Vec<f64>),
+    /// Data-memory sizes in words (16 banks), priced at
+    /// [`Scenario::fixed_voltage`].
+    MemoryWords(Vec<usize>),
+}
+
+impl Grid {
+    /// The spec-file token of this axis.
+    pub fn axis_token(&self) -> &'static str {
+        match self {
+            Grid::Voltage(_) => "voltage",
+            Grid::BitPosition(_) => "bit",
+            Grid::NoiseScale(_) => "noise",
+            Grid::MemoryWords(_) => "words",
+        }
+    }
+
+    /// Number of grid points (bit-position grids count both polarities).
+    pub fn len(&self) -> usize {
+        match self {
+            Grid::Voltage(v) => v.len(),
+            Grid::BitPosition(b) => 2 * b.len(),
+            Grid::NoiseScale(n) => n.len(),
+            Grid::MemoryWords(w) => w.len(),
+        }
+    }
+
+    /// True when the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The BER-vs-voltage fault model of a scenario — [`BerModel`] in spec
+/// form.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Nominal supply voltage (V).
+    pub nominal_v: f64,
+    /// `log10` BER at nominal.
+    pub log10_ber_at_nominal: f64,
+    /// Decades of BER per volt of down-scaling.
+    pub log10_slope_per_volt: f64,
+}
+
+impl FaultSpec {
+    /// The calibration every paper experiment uses.
+    pub fn date16() -> Self {
+        Self::from_model(&BerModel::date16())
+    }
+
+    /// Captures an existing model.
+    pub fn from_model(model: &BerModel) -> Self {
+        FaultSpec {
+            nominal_v: model.nominal_v(),
+            log10_ber_at_nominal: model.log10_ber_at_nominal(),
+            log10_slope_per_volt: model.log10_slope_per_volt(),
+        }
+    }
+
+    /// Instantiates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid calibration (see [`BerModel::new`]).
+    pub fn to_model(self) -> BerModel {
+        BerModel::new(
+            self.nominal_v,
+            self.log10_ber_at_nominal,
+            self.log10_slope_per_volt,
+        )
+    }
+}
+
+/// Output format of a sink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SinkFormat {
+    /// Aligned ASCII table.
+    #[default]
+    Table,
+    /// RFC-4180 CSV.
+    Csv,
+    /// JSON Lines.
+    Jsonl,
+}
+
+impl SinkFormat {
+    /// The spec-file / CLI token.
+    pub fn token(self) -> &'static str {
+        match self {
+            SinkFormat::Table => "table",
+            SinkFormat::Csv => "csv",
+            SinkFormat::Jsonl => "jsonl",
+        }
+    }
+
+    /// Parses a spec-file / CLI token.
+    pub fn from_token(token: &str) -> Option<SinkFormat> {
+        Some(match token {
+            "table" => SinkFormat::Table,
+            "csv" => SinkFormat::Csv,
+            "jsonl" => SinkFormat::Jsonl,
+            _ => return None,
+        })
+    }
+
+    /// File extension for `--out` artifacts.
+    pub fn extension(self) -> &'static str {
+        match self {
+            SinkFormat::Table => "txt",
+            SinkFormat::Csv => "csv",
+            SinkFormat::Jsonl => "jsonl",
+        }
+    }
+}
+
+/// Default sink options baked into a spec (the CLI can override both).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SinkSpec {
+    /// Row format.
+    pub format: SinkFormat,
+    /// Output directory (`None` = stdout).
+    pub out: Option<String>,
+}
+
+/// A declarative campaign: every sweep of the paper — and every new
+/// workload — is one of these.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Registry name / artifact stem (`fig4`, `noise-sweep`, …).
+    pub name: String,
+    /// One-line description for `dream list`.
+    pub title: String,
+    /// What the campaign measures.
+    pub kind: Kind,
+    /// Input window length in samples.
+    pub window: usize,
+    /// Records of the evaluation suite to average over (capped at the
+    /// suite size).
+    pub records: usize,
+    /// Monte-Carlo runs per grid point (fault-map draws, or fault
+    /// locations per record for bit-position grids).
+    pub trials: usize,
+    /// Applications under test.
+    pub apps: Vec<AppKind>,
+    /// Protection techniques under test.
+    pub emts: Vec<EmtKind>,
+    /// The swept axis.
+    pub grid: Grid,
+    /// BER-vs-voltage calibration.
+    pub fault: FaultSpec,
+    /// Operating voltage for grids that don't sweep voltage (noise,
+    /// memory-words).
+    pub fixed_voltage: f64,
+    /// Input-noise multiplier applied to the record suite (1.0 = the
+    /// standard date16 noise; [`Grid::NoiseScale`] sweeps override this
+    /// per point).
+    pub noise_scale: f64,
+    /// When set, re-scrambles logical→physical address mapping per run
+    /// with keys derived from this base (the §V "small logic to randomize
+    /// the mapping").
+    pub scrambler_key: Option<u64>,
+    /// Output-degradation tolerance (dB) for the §VI-C policy extraction
+    /// ([`Kind::Tradeoff`] only).
+    pub tolerance_db: Option<f64>,
+    /// BER-slope grid of the ablation bundle's sensitivity study
+    /// ([`Kind::Ablation`] only).
+    pub ber_slopes: Vec<f64>,
+    /// Base seed all per-trial fault seeds derive from.
+    pub seed: u64,
+    /// Default sink options.
+    pub sink: SinkSpec,
+}
+
+/// A spec-level validation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid scenario: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One flattened trial descriptor — the unit of work the engine hands to
+/// [`crate::exec::run_trials`]. Compiling a spec to this list is pure, so
+/// round-tripping a scenario through JSON must reproduce it exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlatTrial {
+    /// One single-cell stuck-at injection run (bit-position grids).
+    Injection {
+        /// Index into [`Scenario::apps`].
+        app: usize,
+        /// Index into [`Scenario::emts`].
+        emt: usize,
+        /// Fault polarity.
+        stuck: StuckAt,
+        /// Stuck bit position.
+        bit: u32,
+        /// Index into the record suite.
+        record: usize,
+        /// Fault-location trial within the record.
+        trial: usize,
+    },
+    /// One Monte-Carlo fault-map draw, shared across every EMT and app
+    /// (voltage and noise grids; also the dominant ablation campaign).
+    Draw {
+        /// Grid-point index.
+        point: usize,
+        /// Run within the point.
+        run: usize,
+    },
+    /// One fault-free characterization run to be priced by the energy
+    /// model (energy and memory-words grids).
+    Price {
+        /// Grid-point index (0 for voltage grids, which share one
+        /// characterization per EMT).
+        point: usize,
+        /// Index into [`Scenario::emts`].
+        emt: usize,
+    },
+}
+
+impl Scenario {
+    /// Checks the spec for internal consistency; every entry point of the
+    /// engine calls this first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first problem found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let err = |m: String| Err(SpecError(m));
+        if self.name.is_empty() {
+            return err("name must not be empty".into());
+        }
+        if self.window < 256 {
+            return err(format!(
+                "window {} is below the app minimum of 256",
+                self.window
+            ));
+        }
+        if self.records == 0 || self.trials == 0 {
+            return err("records and trials must be at least 1".into());
+        }
+        if self.apps.is_empty() {
+            return err("at least one app is required".into());
+        }
+        if self.emts.is_empty() {
+            return err("at least one EMT is required".into());
+        }
+        if self.grid.is_empty() {
+            return err("the grid must have at least one point".into());
+        }
+        if !(self.noise_scale.is_finite() && self.noise_scale >= 0.0) {
+            return err(format!(
+                "noise_scale {} must be non-negative",
+                self.noise_scale
+            ));
+        }
+        match &self.grid {
+            Grid::Voltage(vs) => {
+                if vs.iter().any(|v| !(v.is_finite() && *v > 0.0)) {
+                    return err("voltages must be positive and finite".into());
+                }
+            }
+            Grid::BitPosition(bits) => {
+                // Unprotected sweeps inject into the 16-bit data word;
+                // protected ones into the shared 22-bit codeword space.
+                // The engine sizes its fault maps accordingly, so the
+                // admissible bit range depends on the technique set.
+                let width = if self.emts.contains(&EmtKind::None) {
+                    16
+                } else {
+                    22
+                };
+                if let Some(&bad) = bits.iter().find(|&&b| b >= width) {
+                    return err(format!(
+                        "bit position {bad} is outside the {width}-bit injection space of this technique set"
+                    ));
+                }
+            }
+            Grid::NoiseScale(scales) => {
+                if scales.iter().any(|s| !(s.is_finite() && *s >= 0.0)) {
+                    return err("noise scales must be non-negative and finite".into());
+                }
+            }
+            Grid::MemoryWords(words) => {
+                if words.iter().any(|&w| w == 0 || w % 16 != 0) {
+                    return err("memory sizes must be positive multiples of 16 words".into());
+                }
+            }
+        }
+        let needs_fixed_voltage = matches!(self.grid, Grid::NoiseScale(_) | Grid::MemoryWords(_));
+        if needs_fixed_voltage && !(self.fixed_voltage.is_finite() && self.fixed_voltage > 0.0) {
+            return err(format!(
+                "fixed_voltage {} must be positive for {} grids",
+                self.fixed_voltage,
+                self.grid.axis_token()
+            ));
+        }
+        match self.kind {
+            Kind::SnrSweep => {
+                if matches!(self.grid, Grid::MemoryWords(_)) {
+                    return err("snr-sweep does not support the words axis (no fault model ties faults to array size)".into());
+                }
+            }
+            Kind::EnergySweep => {
+                if matches!(self.grid, Grid::BitPosition(_) | Grid::NoiseScale(_)) {
+                    return err(format!(
+                        "energy-sweep requires a voltage or words grid, got {}",
+                        self.grid.axis_token()
+                    ));
+                }
+                if !self.emts.contains(&EmtKind::None) {
+                    return err("energy sweeps need the unprotected baseline (emt \"none\") to price overheads".into());
+                }
+                if self.apps.len() != 1 {
+                    return err(
+                        "energy sweeps price one application at a time (its access pattern sets the table)".into(),
+                    );
+                }
+            }
+            Kind::Tradeoff => {
+                if !matches!(self.grid, Grid::Voltage(_)) {
+                    return err("tradeoff requires a voltage grid".into());
+                }
+                if self.apps.len() != 1 {
+                    return err("tradeoff explores one application at a time".into());
+                }
+                if !self.emts.contains(&EmtKind::None) {
+                    return err("tradeoff needs the unprotected baseline (emt \"none\")".into());
+                }
+                if let Grid::Voltage(vs) = &self.grid {
+                    if !vs.iter().any(|v| (v - self.fault.nominal_v).abs() < 1e-9) {
+                        return err(format!(
+                            "tradeoff grid must include the nominal voltage {} V (the savings baseline)",
+                            self.fault.nominal_v
+                        ));
+                    }
+                }
+            }
+            Kind::Ablation => {
+                if !matches!(self.grid, Grid::Voltage(_)) {
+                    return err(
+                        "ablation requires a voltage grid (the BER-slope study sweeps it)".into(),
+                    );
+                }
+                if self.ber_slopes.is_empty() {
+                    return err("ablation needs at least one BER slope".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The record-suite size this scenario actually averages over.
+    pub fn effective_records(&self) -> usize {
+        self.records.min(dream_ecg::Database::SUITE_SIZE)
+    }
+
+    /// Compiles the spec to its flattened trial descriptors, in execution
+    /// order. This is the engine's exact work list: `flatten().len()`
+    /// trials run through [`crate::exec::run_trials`].
+    pub fn flatten(&self) -> Vec<FlatTrial> {
+        let records = self.effective_records();
+        let mut trials = Vec::new();
+        match (&self.kind, &self.grid) {
+            (Kind::SnrSweep, Grid::BitPosition(bits)) => {
+                for app in 0..self.apps.len() {
+                    for emt in 0..self.emts.len() {
+                        for stuck in [StuckAt::Zero, StuckAt::One] {
+                            for &bit in bits {
+                                for record in 0..records {
+                                    for trial in 0..self.trials {
+                                        trials.push(FlatTrial::Injection {
+                                            app,
+                                            emt,
+                                            stuck,
+                                            bit,
+                                            record,
+                                            trial,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (Kind::SnrSweep | Kind::Tradeoff, Grid::Voltage(vs)) => {
+                for point in 0..vs.len() {
+                    for run in 0..self.trials {
+                        trials.push(FlatTrial::Draw { point, run });
+                    }
+                }
+                if self.kind == Kind::Tradeoff {
+                    // The policy also needs the energy table's fault-free
+                    // characterizations.
+                    for emt in 0..self.emts.len() {
+                        trials.push(FlatTrial::Price { point: 0, emt });
+                    }
+                }
+            }
+            (Kind::SnrSweep, Grid::NoiseScale(scales)) => {
+                for point in 0..scales.len() {
+                    for run in 0..self.trials {
+                        trials.push(FlatTrial::Draw { point, run });
+                    }
+                }
+            }
+            (Kind::EnergySweep, Grid::Voltage(_)) => {
+                // Access/cycle counts are voltage-independent: one
+                // characterization per EMT prices the whole grid.
+                for emt in 0..self.emts.len() {
+                    trials.push(FlatTrial::Price { point: 0, emt });
+                }
+            }
+            (Kind::EnergySweep, Grid::MemoryWords(words)) => {
+                for point in 0..words.len() {
+                    for emt in 0..self.emts.len() {
+                        trials.push(FlatTrial::Price { point, emt });
+                    }
+                }
+            }
+            (Kind::Ablation, Grid::Voltage(vs)) => {
+                // The ablation bundle's dominant campaigns: the scrambler
+                // study (fixed + re-scrambled runs) then the BER-slope
+                // sensitivity grid.
+                for run in 0..2 * self.trials {
+                    trials.push(FlatTrial::Draw { point: 0, run });
+                }
+                let ber_runs = self.trials.min(8);
+                for (si, _) in self.ber_slopes.iter().enumerate() {
+                    for (vi, _) in vs.iter().enumerate() {
+                        for run in 0..ber_runs {
+                            trials.push(FlatTrial::Draw {
+                                point: 1 + si * vs.len() + vi,
+                                run,
+                            });
+                        }
+                    }
+                }
+            }
+            // Every other combination is rejected by `validate`.
+            _ => {}
+        }
+        trials
+    }
+
+    /// Serializes to the canonical pretty-printed spec document.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().pretty()
+    }
+
+    fn to_json_value(&self) -> Json {
+        let grid_values = match &self.grid {
+            Grid::Voltage(v) => v.iter().map(|&x| Json::Num(x)).collect(),
+            Grid::BitPosition(b) => b.iter().map(|&x| Json::Num(f64::from(x))).collect(),
+            Grid::NoiseScale(n) => n.iter().map(|&x| Json::Num(x)).collect(),
+            Grid::MemoryWords(w) => w.iter().map(|&x| Json::Num(x as f64)).collect(),
+        };
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("title".into(), Json::Str(self.title.clone())),
+            ("kind".into(), Json::Str(self.kind.token().into())),
+            ("window".into(), Json::Num(self.window as f64)),
+            ("records".into(), Json::Num(self.records as f64)),
+            ("trials".into(), Json::Num(self.trials as f64)),
+            (
+                "apps".into(),
+                Json::Arr(
+                    self.apps
+                        .iter()
+                        .map(|&a| Json::Str(app_token(a).into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "emts".into(),
+                Json::Arr(
+                    self.emts
+                        .iter()
+                        .map(|&e| Json::Str(emt_token(e).into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "grid".into(),
+                Json::Obj(vec![
+                    ("axis".into(), Json::Str(self.grid.axis_token().into())),
+                    ("values".into(), Json::Arr(grid_values)),
+                ]),
+            ),
+            (
+                "fault".into(),
+                Json::Obj(vec![
+                    ("nominal_v".into(), Json::Num(self.fault.nominal_v)),
+                    (
+                        "log10_ber_at_nominal".into(),
+                        Json::Num(self.fault.log10_ber_at_nominal),
+                    ),
+                    (
+                        "log10_slope_per_volt".into(),
+                        Json::Num(self.fault.log10_slope_per_volt),
+                    ),
+                ]),
+            ),
+            ("fixed_voltage".into(), Json::Num(self.fixed_voltage)),
+            ("noise_scale".into(), Json::Num(self.noise_scale)),
+            (
+                "scrambler_key".into(),
+                self.scrambler_key.map_or(Json::Null, u64_json),
+            ),
+            (
+                "tolerance_db".into(),
+                self.tolerance_db.map_or(Json::Null, Json::Num),
+            ),
+            (
+                "ber_slopes".into(),
+                Json::Arr(self.ber_slopes.iter().map(|&s| Json::Num(s)).collect()),
+            ),
+            ("seed".into(), u64_json(self.seed)),
+            (
+                "sink".into(),
+                Json::Obj(vec![
+                    ("format".into(), Json::Str(self.sink.format.token().into())),
+                    (
+                        "out".into(),
+                        self.sink
+                            .out
+                            .as_ref()
+                            .map_or(Json::Null, |o| Json::Str(o.clone())),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses and validates a spec document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the first malformed or missing
+    /// field (JSON syntax errors included).
+    pub fn from_json(text: &str) -> Result<Scenario, SpecError> {
+        let doc = Json::parse(text).map_err(|e| SpecError(e.to_string()))?;
+        let str_field = |key: &str| -> Result<String, SpecError> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| SpecError(format!("missing or non-string field {key:?}")))
+        };
+        let usize_field = |key: &str| -> Result<usize, SpecError> {
+            doc.get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| SpecError(format!("missing or non-integer field {key:?}")))
+        };
+        let f64_field = |obj: &Json, key: &str| -> Result<f64, SpecError> {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| SpecError(format!("missing or non-numeric field {key:?}")))
+        };
+
+        let name = str_field("name")?;
+        let title = doc
+            .get("title")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let kind_token = str_field("kind")?;
+        let kind = Kind::from_token(&kind_token)
+            .ok_or_else(|| SpecError(format!("unknown kind {kind_token:?}")))?;
+
+        let apps = doc
+            .get("apps")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| SpecError("missing array field \"apps\"".into()))?
+            .iter()
+            .map(|v| {
+                let token = v
+                    .as_str()
+                    .ok_or_else(|| SpecError("app entries must be strings".into()))?;
+                app_from_token(token).ok_or_else(|| SpecError(format!("unknown app {token:?}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let emts = doc
+            .get("emts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| SpecError("missing array field \"emts\"".into()))?
+            .iter()
+            .map(|v| {
+                let token = v
+                    .as_str()
+                    .ok_or_else(|| SpecError("emt entries must be strings".into()))?;
+                emt_from_token(token).ok_or_else(|| SpecError(format!("unknown emt {token:?}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let grid_obj = doc
+            .get("grid")
+            .ok_or_else(|| SpecError("missing object field \"grid\"".into()))?;
+        let axis = grid_obj
+            .get("axis")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError("grid needs a string \"axis\"".into()))?;
+        let values = grid_obj
+            .get("values")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| SpecError("grid needs an array \"values\"".into()))?;
+        let nums = values
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| SpecError("grid values must be numbers".into()))
+            })
+            .collect::<Result<Vec<f64>, _>>()?;
+        let grid = match axis {
+            "voltage" => Grid::Voltage(nums),
+            "noise" => Grid::NoiseScale(nums),
+            "bit" => Grid::BitPosition(
+                nums.iter()
+                    .map(|&n| {
+                        if n >= 0.0 && n.fract() == 0.0 && n < 32.0 {
+                            Ok(n as u32)
+                        } else {
+                            Err(SpecError(format!(
+                                "bit position {n} must be a small integer"
+                            )))
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            "words" => Grid::MemoryWords(
+                nums.iter()
+                    .map(|&n| {
+                        if n >= 1.0 && n.fract() == 0.0 {
+                            Ok(n as usize)
+                        } else {
+                            Err(SpecError(format!(
+                                "memory size {n} must be a positive integer"
+                            )))
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            other => return Err(SpecError(format!("unknown grid axis {other:?}"))),
+        };
+
+        let fault = match doc.get("fault") {
+            None => FaultSpec::date16(),
+            Some(obj) => FaultSpec {
+                nominal_v: f64_field(obj, "nominal_v")?,
+                log10_ber_at_nominal: f64_field(obj, "log10_ber_at_nominal")?,
+                log10_slope_per_volt: f64_field(obj, "log10_slope_per_volt")?,
+            },
+        };
+        let sink = match doc.get("sink") {
+            None => SinkSpec::default(),
+            Some(obj) => {
+                let format_token = obj.get("format").and_then(Json::as_str).unwrap_or("table");
+                SinkSpec {
+                    format: SinkFormat::from_token(format_token).ok_or_else(|| {
+                        SpecError(format!("unknown sink format {format_token:?}"))
+                    })?,
+                    out: obj.get("out").and_then(Json::as_str).map(str::to_string),
+                }
+            }
+        };
+
+        let scenario = Scenario {
+            name,
+            title,
+            kind,
+            window: usize_field("window")?,
+            records: usize_field("records")?,
+            trials: usize_field("trials")?,
+            apps,
+            emts,
+            grid,
+            fault,
+            fixed_voltage: doc
+                .get("fixed_voltage")
+                .and_then(Json::as_f64)
+                .unwrap_or(BerModel::NOMINAL_VOLTAGE),
+            noise_scale: doc.get("noise_scale").and_then(Json::as_f64).unwrap_or(1.0),
+            scrambler_key: match doc.get("scrambler_key") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(json_u64(v).ok_or_else(|| {
+                    SpecError("scrambler_key must be an unsigned 64-bit integer".into())
+                })?),
+            },
+            tolerance_db: doc.get("tolerance_db").and_then(Json::as_f64),
+            ber_slopes: match doc.get("ber_slopes").and_then(Json::as_arr) {
+                None => Vec::new(),
+                Some(items) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| SpecError("ber_slopes must be numbers".into()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            seed: doc
+                .get("seed")
+                .and_then(json_u64)
+                .ok_or_else(|| SpecError("missing or non-integer field \"seed\"".into()))?,
+            sink,
+        };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+}
+
+/// Serializes a `u64` losslessly: as a JSON number when `f64` can carry
+/// it exactly, as a decimal string otherwise (seeds and scrambler keys
+/// routinely use all 64 bits).
+fn u64_json(value: u64) -> Json {
+    if value <= (1u64 << 53) {
+        Json::Num(value as f64)
+    } else {
+        Json::Str(value.to_string())
+    }
+}
+
+/// Parses a `u64` from either encoding produced by [`u64_json`].
+fn json_u64(value: &Json) -> Option<u64> {
+    match value {
+        Json::Str(s) => s.parse().ok(),
+        other => other.as_u64(),
+    }
+}
+
+/// Spec-file token of an application.
+pub fn app_token(app: AppKind) -> &'static str {
+    match app {
+        AppKind::Dwt => "dwt",
+        AppKind::MatrixFilter => "matfilt",
+        AppKind::CompressedSensing => "cs",
+        AppKind::MorphologicalFilter => "morpho",
+        AppKind::WaveletDelineation => "delineate",
+        AppKind::HeartbeatClassifier => "classifier",
+    }
+}
+
+/// Parses an application token.
+pub fn app_from_token(token: &str) -> Option<AppKind> {
+    Some(match token {
+        "dwt" => AppKind::Dwt,
+        "matfilt" => AppKind::MatrixFilter,
+        "cs" => AppKind::CompressedSensing,
+        "morpho" => AppKind::MorphologicalFilter,
+        "delineate" => AppKind::WaveletDelineation,
+        "classifier" => AppKind::HeartbeatClassifier,
+        _ => return None,
+    })
+}
+
+/// Spec-file token of a protection technique.
+pub fn emt_token(emt: EmtKind) -> &'static str {
+    match emt {
+        EmtKind::None => "none",
+        EmtKind::Parity => "parity",
+        EmtKind::Dream => "dream",
+        EmtKind::EccSecDed => "ecc",
+    }
+}
+
+/// Parses a protection-technique token.
+pub fn emt_from_token(token: &str) -> Option<EmtKind> {
+    Some(match token {
+        "none" => EmtKind::None,
+        "parity" => EmtKind::Parity,
+        "dream" => EmtKind::Dream,
+        "ecc" => EmtKind::EccSecDed,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::registry;
+
+    #[test]
+    fn every_preset_round_trips_through_json() {
+        for name in registry::names() {
+            for smoke in [false, true] {
+                let sc = registry::get(name, smoke).expect("preset exists");
+                sc.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+                let parsed =
+                    Scenario::from_json(&sc.to_json()).unwrap_or_else(|e| panic!("{name}: {e}"));
+                assert_eq!(parsed, sc, "{name} smoke={smoke}");
+                assert_eq!(parsed.flatten(), sc.flatten(), "{name} smoke={smoke}");
+                assert!(!sc.flatten().is_empty(), "{name} compiles to no trials");
+            }
+        }
+    }
+
+    #[test]
+    fn app_and_emt_tokens_round_trip() {
+        for app in AppKind::extended() {
+            assert_eq!(app_from_token(app_token(app)), Some(app));
+        }
+        for emt in EmtKind::all() {
+            assert_eq!(emt_from_token(emt_token(emt)), Some(emt));
+        }
+        assert_eq!(app_from_token("nope"), None);
+        assert_eq!(emt_from_token("nope"), None);
+    }
+
+    #[test]
+    fn fig2_flatten_matches_historical_nested_loop_order() {
+        let sc = registry::get("fig2", true).unwrap();
+        let flat = sc.flatten();
+        // app × emt × polarity × bit × record × trial, all contiguous.
+        assert_eq!(flat.len(), sc.apps.len() * 2 * 16 * 2 * 2);
+        assert_eq!(
+            flat[0],
+            FlatTrial::Injection {
+                app: 0,
+                emt: 0,
+                stuck: StuckAt::Zero,
+                bit: 0,
+                record: 0,
+                trial: 0
+            }
+        );
+        assert_eq!(
+            flat[1],
+            FlatTrial::Injection {
+                app: 0,
+                emt: 0,
+                stuck: StuckAt::Zero,
+                bit: 0,
+                record: 0,
+                trial: 1
+            }
+        );
+        let per_app = 2 * 16 * 2 * 2;
+        match flat[per_app] {
+            FlatTrial::Injection { app, .. } => assert_eq!(app, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn large_seeds_and_scrambler_keys_survive_the_json_round_trip() {
+        // f64 carries only 53 bits; seeds and scrambler keys use 64.
+        let mut sc = registry::get("fig4", true).unwrap();
+        sc.seed = 0xDEAD_BEEF_CAFE_F00D;
+        sc.scrambler_key = Some(u64::MAX - 12345);
+        let parsed = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(parsed.seed, sc.seed);
+        assert_eq!(parsed.scrambler_key, sc.scrambler_key);
+    }
+
+    #[test]
+    fn bit_grid_is_bounded_by_the_technique_injection_space() {
+        // Unprotected sweeps inject into the 16-bit data word…
+        let mut sc = registry::get("fig2", true).unwrap();
+        sc.grid = Grid::BitPosition(vec![16]);
+        assert!(
+            sc.validate().is_err(),
+            "bit 16 must be rejected with emt none"
+        );
+        // …protected-only sweeps reach the full 22-bit codeword.
+        sc.emts = vec![EmtKind::EccSecDed];
+        sc.grid = Grid::BitPosition(vec![21]);
+        sc.validate().expect("bit 21 is valid for ECC-only sweeps");
+        sc.grid = Grid::BitPosition(vec![22]);
+        assert!(sc.validate().is_err());
+    }
+
+    #[test]
+    fn energy_sweeps_take_exactly_one_app() {
+        let mut sc = registry::get("energy", true).unwrap();
+        sc.apps = vec![AppKind::Dwt, AppKind::CompressedSensing];
+        let err = sc.validate().unwrap_err();
+        assert!(err.to_string().contains("one application"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_specs() {
+        let mut sc = registry::get("fig4", true).unwrap();
+        sc.apps.clear();
+        assert!(sc.validate().is_err());
+
+        let mut sc = registry::get("fig4", true).unwrap();
+        sc.grid = Grid::Voltage(vec![]);
+        assert!(sc.validate().is_err());
+
+        let mut sc = registry::get("tradeoff", true).unwrap();
+        sc.grid = Grid::BitPosition(vec![0, 1]);
+        assert!(sc.validate().is_err());
+
+        let mut sc = registry::get("geometry-sweep", true).unwrap();
+        sc.grid = Grid::MemoryWords(vec![100]); // not a multiple of 16
+        assert!(sc.validate().is_err());
+
+        let mut sc = registry::get("noise-sweep", true).unwrap();
+        sc.fixed_voltage = 0.0;
+        assert!(sc.validate().is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_field() {
+        let err = Scenario::from_json("{}").unwrap_err();
+        assert!(err.to_string().contains("name"), "{err}");
+        let err = Scenario::from_json("not json").unwrap_err();
+        assert!(err.to_string().contains("parse error"), "{err}");
+        let mut spec = registry::get("fig4", true).unwrap().to_json();
+        spec = spec.replace("\"dwt\"", "\"warp-drive\"");
+        let err = Scenario::from_json(&spec).unwrap_err();
+        assert!(err.to_string().contains("warp-drive"), "{err}");
+    }
+
+    #[test]
+    fn fault_spec_reconstructs_the_date16_model() {
+        assert_eq!(FaultSpec::date16().to_model(), BerModel::date16());
+    }
+}

@@ -1,4 +1,8 @@
 //! Experiment E7: the §VI-C quality-vs-energy trade-off exploration.
+//!
+//! Pure row-typed post-processing: [`explore`] and [`mixed_policy`]
+//! consume the Fig. 4 points and energy rows the scenario engine
+//! produces (`dream run tradeoff` wires them together).
 
 use dream_core::EmtKind;
 use dream_dsp::AppKind;

@@ -1,0 +1,86 @@
+//! Golden-output differential test for the scenario engine.
+//!
+//! The five paper presets (`fig2`, `fig4`, `energy`, `tradeoff`,
+//! `ablation`) must produce **byte-identical** rows to the pre-refactor
+//! per-figure runners. The files under `tests/golden/` were captured from
+//! the historical code (PR 3 tree) at the presets' smoke scales; this
+//! test replays each preset through the engine's CSV sink at 1 and at 4
+//! worker threads and compares the full byte stream.
+
+use std::sync::Mutex;
+
+use dream_suite::sim::exec;
+use dream_suite::sim::report::CsvSink;
+use dream_suite::sim::scenario::{registry, run_with_sink};
+
+/// Serializes tests that pin the global thread override.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn csv_at_threads(preset: &str, threads: usize) -> String {
+    let sc = registry::get(preset, true).expect("preset exists");
+    exec::set_thread_override(Some(threads));
+    let mut sink = CsvSink::new(Vec::new());
+    let outcome = run_with_sink(&sc, &mut sink);
+    exec::set_thread_override(None);
+    let outcome = outcome.expect("preset runs");
+    assert!(!outcome.rows.is_empty(), "{preset} produced no rows");
+    String::from_utf8(sink.into_inner()).expect("CSV is UTF-8")
+}
+
+fn golden(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
+}
+
+fn assert_matches_golden(preset: &str, file: &str) {
+    let _guard = THREAD_LOCK.lock().expect("thread lock");
+    let want = golden(file);
+    for threads in [1, 4] {
+        let got = csv_at_threads(preset, threads);
+        assert!(
+            got == want,
+            "{preset} at {threads} thread(s) diverged from the pre-refactor golden {file}\n\
+             --- first differing line ---\n{}",
+            got.lines()
+                .zip(want.lines())
+                .enumerate()
+                .find(|(_, (g, w))| g != w)
+                .map_or_else(
+                    || format!(
+                        "line counts differ: got {}, want {}",
+                        got.lines().count(),
+                        want.lines().count()
+                    ),
+                    |(i, (g, w))| format!("line {}: got  {g:?}\n         want {w:?}", i + 1)
+                )
+        );
+    }
+}
+
+#[test]
+fn fig2_preset_is_byte_identical_to_the_pre_refactor_runner() {
+    assert_matches_golden("fig2", "fig2_smoke.csv");
+}
+
+#[test]
+fn fig4_preset_is_byte_identical_to_the_pre_refactor_runner() {
+    assert_matches_golden("fig4", "fig4_smoke.csv");
+}
+
+#[test]
+fn energy_preset_is_byte_identical_to_the_pre_refactor_runner() {
+    assert_matches_golden("energy", "energy_smoke.csv");
+}
+
+#[test]
+fn tradeoff_preset_is_byte_identical_to_the_pre_refactor_runner() {
+    assert_matches_golden("tradeoff", "tradeoff_smoke.csv");
+}
+
+#[test]
+fn ablation_preset_is_byte_identical_to_the_pre_refactor_runner() {
+    assert_matches_golden("ablation", "ablation_smoke.csv");
+}

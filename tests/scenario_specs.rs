@@ -1,0 +1,88 @@
+//! End-to-end spec-file coverage for the two post-paper scenarios:
+//! `noise-sweep` and `geometry-sweep` must run from a registry name *and*
+//! from a JSON spec file, through every sink format, with identical rows.
+
+use dream_suite::sim::report::{CsvSink, JsonlSink, TableSink};
+use dream_suite::sim::scenario::{registry, run_with_sink, Grid, Scenario};
+
+/// Shrinks a smoke preset to seconds-scale for the differential runs.
+fn tiny(preset: &str) -> Scenario {
+    let mut sc = registry::get(preset, true).expect("preset exists");
+    sc.records = 1;
+    sc.trials = 1;
+    sc.apps.truncate(1);
+    match &mut sc.grid {
+        Grid::NoiseScale(scales) => scales.truncate(2),
+        Grid::MemoryWords(words) => words.truncate(2),
+        _ => {}
+    }
+    sc
+}
+
+fn run_all_sinks(sc: &Scenario) -> (String, String, String) {
+    let mut csv = CsvSink::new(Vec::new());
+    run_with_sink(sc, &mut csv).expect("csv run");
+    let mut jsonl = JsonlSink::new(Vec::new());
+    run_with_sink(sc, &mut jsonl).expect("jsonl run");
+    let mut table = TableSink::new(Vec::new());
+    run_with_sink(sc, &mut table).expect("table run");
+    (
+        String::from_utf8(csv.into_inner()).unwrap(),
+        String::from_utf8(jsonl.into_inner()).unwrap(),
+        String::from_utf8(table.into_inner()).unwrap(),
+    )
+}
+
+#[test]
+fn new_scenarios_run_from_name_and_from_spec_file_identically() {
+    for preset in ["noise-sweep", "geometry-sweep"] {
+        let sc = tiny(preset);
+
+        // Path A: the in-memory scenario (stand-in for `dream run <name>`).
+        let (csv_a, jsonl_a, table_a) = run_all_sinks(&sc);
+        assert!(!table_a.is_empty(), "{preset}: table sink rendered nothing");
+
+        // Path B: serialize to a spec file on disk, re-parse, re-run —
+        // the `dream run spec.json` path.
+        let dir = std::env::temp_dir().join("dream_scenario_spec_e2e");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{preset}.json"));
+        std::fs::write(&path, sc.to_json()).unwrap();
+        let reparsed =
+            Scenario::from_json(&std::fs::read_to_string(&path).unwrap()).expect("spec parses");
+        assert_eq!(reparsed, sc, "{preset}: disk round-trip must be lossless");
+        let (csv_b, jsonl_b, table_b) = run_all_sinks(&reparsed);
+
+        assert_eq!(csv_a, csv_b, "{preset}: name-run and spec-run CSV differ");
+        assert_eq!(
+            jsonl_a, jsonl_b,
+            "{preset}: name-run and spec-run JSONL differ"
+        );
+        assert_eq!(
+            table_a, table_b,
+            "{preset}: name-run and spec-run table differ"
+        );
+
+        // Sanity on the emitted formats.
+        let expected_rows = sc.grid.len() * sc.emts.len() * sc.apps.len().max(1);
+        assert_eq!(csv_a.lines().count(), 1 + expected_rows, "{preset} csv");
+        assert_eq!(jsonl_a.lines().count(), expected_rows, "{preset} jsonl");
+        for line in jsonl_a.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "{preset}: malformed JSONL line {line:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn table_sink_renders_scenario_rows() {
+    let sc = tiny("geometry-sweep");
+    let mut table = TableSink::new(Vec::new());
+    let outcome = run_with_sink(&sc, &mut table).expect("table run");
+    // The table is written to the underlying buffer on finish(); verify
+    // through the outcome's row view instead of poking at the sink.
+    assert!(!outcome.rows.is_empty());
+    assert_eq!(outcome.headers[0], "words");
+}
