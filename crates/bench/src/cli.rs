@@ -3,9 +3,10 @@
 //! ```text
 //! dream list
 //! dream run <scenario|spec.json> [--smoke] [--threads N]
-//!           [--format table|csv|jsonl] [--out DIR]
+//!           [--format table|csv|jsonl] [--out DIR] [--append]
 //!           [--window N] [--records N] [--trials N] [--runs N]
 //!           [--seed N] [--tolerance DB] [--emt none|parity|dream|ecc]
+//!           [--fault-model iid|burst[:LEN]|column[:WEIGHT]|bank-voltage[:AMP]]
 //! ```
 //!
 //! `run` resolves its target against the scenario registry first; a
@@ -23,7 +24,9 @@ use std::io::{self, Write};
 use std::path::PathBuf;
 
 use dream_sim::report::{CsvSink, JsonlSink, TableSink};
-use dream_sim::scenario::{self, emt_from_token, registry, Scenario, ScenarioOutcome, SinkFormat};
+use dream_sim::scenario::{
+    self, emt_from_token, registry, FaultModelSpec, Scenario, ScenarioOutcome, SinkFormat,
+};
 
 use crate::Args;
 
@@ -135,12 +138,55 @@ fn apply_overrides(sc: &mut Scenario, args: &Args) {
             .unwrap_or_else(|| panic!("unknown --emt {token:?} (none|parity|dream|ecc)"));
         sc.emts = vec![emt];
     }
+    if let Some(token) = args.value("fault-model") {
+        sc.fault.model = parse_fault_model(token);
+    }
     if let Some(f) = args.value("format") {
         sc.sink.format = SinkFormat::from_token(f)
             .unwrap_or_else(|| panic!("unknown --format {f:?} (table|csv|jsonl)"));
     }
     if let Some(o) = args.value("out") {
         sc.sink.out = Some(o.to_string());
+    }
+    if args.switch("append") {
+        sc.sink.append = true;
+    }
+}
+
+/// Parses the `--fault-model` token: a kind name with an optional `:`
+/// parameter — `iid`, `burst[:mean_run_len]` (default 8),
+/// `column[:weight]` (default 0.5), `bank-voltage[:ramp_amplitude_v]`
+/// (default 0.05, the registry preset's ±50 mV ramp).
+///
+/// # Panics
+///
+/// Panics with a readable message on unknown kinds or malformed
+/// parameters.
+fn parse_fault_model(token: &str) -> FaultModelSpec {
+    let (kind, param) = match token.split_once(':') {
+        Some((k, p)) => {
+            let value: f64 = p
+                .parse()
+                .unwrap_or_else(|_| panic!("--fault-model {token:?}: {p:?} is not a number"));
+            (k, Some(value))
+        }
+        None => (token, None),
+    };
+    match kind {
+        "iid" => {
+            assert!(param.is_none(), "--fault-model iid takes no parameter");
+            FaultModelSpec::Iid
+        }
+        "burst" => FaultModelSpec::Burst {
+            mean_run_len: param.unwrap_or(8.0),
+        },
+        "column" => FaultModelSpec::ColumnCorrelated {
+            column_weight: param.unwrap_or(0.5),
+        },
+        "bank-voltage" => FaultModelSpec::PerBankVoltage {
+            bank_offsets: FaultModelSpec::bank_ramp(param.unwrap_or(0.05)),
+        },
+        other => panic!("unknown --fault-model {other:?} (iid|burst|column|bank-voltage)"),
     }
 }
 
@@ -151,13 +197,14 @@ pub fn run(target: &str, args: &Args) -> ScenarioOutcome {
     apply_overrides(&mut sc, args);
     let threads = crate::apply_threads(args);
     eprintln!(
-        "dream run {}: kind={} axis={} points={} trials={} window={} threads={threads}",
+        "dream run {}: kind={} axis={} points={} trials={} window={} fault-model={} threads={threads}",
         sc.name,
         sc.kind.token(),
         sc.grid.axis_token(),
         sc.grid.len(),
         sc.trials,
         sc.window,
+        sc.fault.model.kind_token(),
     );
     execute(&sc)
 }
@@ -165,6 +212,11 @@ pub fn run(target: &str, args: &Args) -> ScenarioOutcome {
 /// Executes a scenario against its configured sink, echoing a table to
 /// stdout when rows stream to a file.
 fn execute(sc: &Scenario) -> ScenarioOutcome {
+    // Validate before any artifact is opened: a bad flag combination
+    // (e.g. `--append` without jsonl) must not truncate the very file a
+    // resumed campaign was accumulating.
+    sc.validate()
+        .unwrap_or_else(|e| panic!("scenario {}: {e}", sc.name));
     let format = sc.sink.format;
     let outcome = match &sc.sink.out {
         None => {
@@ -191,20 +243,31 @@ fn execute(sc: &Scenario) -> ScenarioOutcome {
             std::fs::create_dir_all(&dir)
                 .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
             let path = dir.join(format!("{}.{}", sc.name, format.extension()));
-            let file = std::fs::File::create(&path)
-                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
             let outcome = match format {
-                SinkFormat::Table => {
-                    let mut sink = TableSink::new(file);
+                // `--append` is jsonl-only (spec validation enforces it),
+                // so the header-writing formats always truncate.
+                SinkFormat::Jsonl if sc.sink.append => {
+                    let mut sink = JsonlSink::append(&path)
+                        .unwrap_or_else(|e| panic!("cannot append to {}: {e}", path.display()));
                     scenario::run_with_sink(sc, &mut sink)
                 }
-                SinkFormat::Csv => {
-                    let mut sink = CsvSink::new(file);
-                    scenario::run_with_sink(sc, &mut sink)
-                }
-                SinkFormat::Jsonl => {
-                    let mut sink = JsonlSink::new(file);
-                    scenario::run_with_sink(sc, &mut sink)
+                _ => {
+                    let file = std::fs::File::create(&path)
+                        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+                    match format {
+                        SinkFormat::Table => {
+                            let mut sink = TableSink::new(file);
+                            scenario::run_with_sink(sc, &mut sink)
+                        }
+                        SinkFormat::Csv => {
+                            let mut sink = CsvSink::new(file);
+                            scenario::run_with_sink(sc, &mut sink)
+                        }
+                        SinkFormat::Jsonl => {
+                            let mut sink = JsonlSink::new(file);
+                            scenario::run_with_sink(sc, &mut sink)
+                        }
+                    }
                 }
             };
             let outcome = outcome.unwrap_or_else(|e| panic!("scenario {}: {e}", sc.name));
@@ -322,5 +385,52 @@ mod tests {
         assert_eq!(sc.window, 768);
         assert_eq!(sc.emts, vec![dream_core::EmtKind::Dream]);
         assert_eq!(sc.sink.format, SinkFormat::Jsonl);
+    }
+
+    #[test]
+    fn fault_model_and_append_flags_rewrite_the_sink_and_model() {
+        let mut sc = registry::get("fig4", true).unwrap();
+        let args = Args::parse(
+            [
+                "--fault-model",
+                "burst:4",
+                "--format",
+                "jsonl",
+                "--out",
+                "results/x",
+                "--append",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        apply_overrides(&mut sc, &args);
+        assert_eq!(sc.fault.model, FaultModelSpec::Burst { mean_run_len: 4.0 });
+        assert!(sc.sink.append);
+        sc.validate().expect("append+jsonl+out validates");
+    }
+
+    #[test]
+    fn fault_model_tokens_parse_with_and_without_parameters() {
+        assert_eq!(parse_fault_model("iid"), FaultModelSpec::Iid);
+        assert_eq!(
+            parse_fault_model("burst"),
+            FaultModelSpec::Burst { mean_run_len: 8.0 }
+        );
+        assert_eq!(
+            parse_fault_model("column:0.9"),
+            FaultModelSpec::ColumnCorrelated { column_weight: 0.9 }
+        );
+        assert_eq!(
+            parse_fault_model("bank-voltage:0.03"),
+            FaultModelSpec::PerBankVoltage {
+                bank_offsets: FaultModelSpec::bank_ramp(0.03)
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown --fault-model")]
+    fn unknown_fault_model_is_rejected() {
+        let _ = parse_fault_model("gamma-ray");
     }
 }

@@ -1,0 +1,717 @@
+//! Pluggable fault models: how stuck-at cells are *distributed* over an
+//! array.
+//!
+//! The paper's Monte-Carlo campaigns draw every cell independently at the
+//! voltage-derived BER ([`FaultMap::regenerate`]), but real near-threshold
+//! SRAM fails in structure: shared wordline defects produce runs of bad
+//! cells along the physical word order, process variation concentrates
+//! failures in weak columns shared by every word of a bank, and per-bank
+//! voltage-domain drift makes whole banks systematically leakier than
+//! their neighbours. A [`FaultModel`] is one such distribution: it draws
+//! deterministically from a trial seed into an existing [`FaultMap`]
+//! without allocating, mirroring the `clear`/`regenerate` re-arm contract
+//! campaign workers rely on.
+//!
+//! [`FaultModel::Iid`] is **bit-identical** to [`FaultMap::regenerate`]
+//! at the same `(ber, seed)` — the scenario engine's golden differential
+//! tests depend on that equivalence.
+//!
+//! ```
+//! use dream_mem::{BerModel, FaultMap, FaultModel, MemGeometry};
+//!
+//! let geometry = MemGeometry::new(4096, 16, 16);
+//! let mut map = FaultMap::empty(geometry.words(), 22);
+//! let model = FaultModel::Burst { ber: 1e-3, mean_run_len: 8.0 };
+//! model.arm(&mut map, &geometry, &BerModel::date16(), 7);
+//! assert!(map.fault_count() > 0);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ber::BerModel;
+use crate::fault::{FaultMap, StuckAt};
+use crate::geometry::MemGeometry;
+
+/// A spatial distribution of stuck-at faults over a memory array.
+///
+/// Every variant is deterministic in `(parameters, seed)` and re-arms an
+/// existing [`FaultMap`] in place (no allocation), so campaign workers can
+/// reuse one map across thousands of trials exactly as they do with
+/// [`FaultMap::regenerate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultModel {
+    /// Every cell fails independently at `ber` — the paper's §V model.
+    /// Drawing is bit-identical to [`FaultMap::regenerate`].
+    Iid {
+        /// Per-cell failure probability.
+        ber: f64,
+    },
+    /// Faults arrive in geometric run-length clusters along the physical
+    /// word order (shared wordline / write-driver defects): burst starts
+    /// are placed so the *mean* cell failure rate stays `ber`, and each
+    /// burst extends over a geometrically distributed number of
+    /// consecutive cells with mean `mean_run_len`.
+    Burst {
+        /// Target mean per-cell failure probability.
+        ber: f64,
+        /// Mean burst length in cells (`>= 1`; `1` degenerates to
+        /// independent draws, statistically).
+        mean_run_len: f64,
+    },
+    /// A fraction of the fault budget concentrates in one *weak column*
+    /// per bank — a bit lane shared by every word the bank serves
+    /// (column-mux / sense-amp defects). `column_weight` of the expected
+    /// faults land on the weak columns; the rest stay i.i.d. background.
+    ColumnCorrelated {
+        /// Target mean per-cell failure probability (weak columns
+        /// included).
+        ber: f64,
+        /// Fraction of the fault budget on the weak columns (`0.0` =
+        /// pure i.i.d., `1.0` = every fault on a weak column).
+        column_weight: f64,
+    },
+    /// Each bank sits in its own voltage domain that drifts from the
+    /// array supply: bank `b` operates at `nominal_v + bank_offsets[b %
+    /// len]` volts, and its cells fail independently at the BER the
+    /// supplied [`BerModel`] assigns to that effective voltage.
+    PerBankVoltage {
+        /// Supply voltage of the array's nominal domain (V).
+        nominal_v: f64,
+        /// Per-bank voltage offsets (V), cycled over the bank index when
+        /// shorter than the bank count.
+        bank_offsets: Vec<f64>,
+    },
+}
+
+impl FaultModel {
+    /// A short token naming the variant (diagnostics and display).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultModel::Iid { .. } => "iid",
+            FaultModel::Burst { .. } => "burst",
+            FaultModel::ColumnCorrelated { .. } => "column",
+            FaultModel::PerBankVoltage { .. } => "bank-voltage",
+        }
+    }
+
+    /// Checks the parameters, returning a message naming the first
+    /// problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let prob = |name: &str, p: f64| {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("{name} {p} must be a probability in [0, 1]"))
+            }
+        };
+        match self {
+            FaultModel::Iid { ber } => prob("ber", *ber),
+            FaultModel::Burst { ber, mean_run_len } => {
+                prob("ber", *ber)?;
+                if !(mean_run_len.is_finite() && *mean_run_len >= 1.0) {
+                    return Err(format!("mean_run_len {mean_run_len} must be at least 1"));
+                }
+                Ok(())
+            }
+            FaultModel::ColumnCorrelated { ber, column_weight } => {
+                prob("ber", *ber)?;
+                prob("column_weight", *column_weight)
+            }
+            FaultModel::PerBankVoltage {
+                nominal_v,
+                bank_offsets,
+            } => {
+                if !(nominal_v.is_finite() && *nominal_v > 0.0) {
+                    return Err(format!("nominal_v {nominal_v} must be positive"));
+                }
+                if bank_offsets.is_empty() {
+                    return Err("bank_offsets must not be empty".into());
+                }
+                if let Some(bad) = bank_offsets.iter().find(|o| !o.is_finite()) {
+                    return Err(format!("bank offset {bad} must be finite"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Redraws `map` in place according to this model, deterministically
+    /// from `seed`.
+    ///
+    /// `geometry` supplies the banking (its word count must match the
+    /// map's; the map may be wider than the geometry's word width, as the
+    /// campaigns' shared 22-bit maps are). `ber_model` maps effective
+    /// voltages to BERs — only [`FaultModel::PerBankVoltage`] consults it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`FaultModel::validate`] rejects the parameters or the
+    /// geometry's word count differs from the map's.
+    pub fn arm(&self, map: &mut FaultMap, geometry: &MemGeometry, ber_model: &BerModel, seed: u64) {
+        self.validate()
+            .unwrap_or_else(|e| panic!("fault model: {e}"));
+        assert_eq!(
+            geometry.words(),
+            map.words(),
+            "geometry and fault map must cover the same words"
+        );
+        match self {
+            FaultModel::Iid { ber } => map.regenerate(*ber, seed),
+            FaultModel::Burst { ber, mean_run_len } => {
+                arm_burst(map, *ber, *mean_run_len, seed);
+            }
+            FaultModel::ColumnCorrelated { ber, column_weight } => {
+                arm_column(map, geometry, *ber, *column_weight, seed);
+            }
+            FaultModel::PerBankVoltage {
+                nominal_v,
+                bank_offsets,
+            } => {
+                arm_per_bank(map, geometry, ber_model, *nominal_v, bank_offsets, seed);
+            }
+        }
+    }
+
+    /// The model's expected mean cell failure probability (exact for
+    /// `Iid`/`Burst`/`ColumnCorrelated`; the bank-offset average of the
+    /// per-bank BERs for `PerBankVoltage`, assuming the offsets tile the
+    /// banks evenly).
+    pub fn mean_ber(&self, ber_model: &BerModel) -> f64 {
+        match self {
+            FaultModel::Iid { ber }
+            | FaultModel::Burst { ber, .. }
+            | FaultModel::ColumnCorrelated { ber, .. } => *ber,
+            FaultModel::PerBankVoltage {
+                nominal_v,
+                bank_offsets,
+            } => {
+                let sum: f64 = bank_offsets
+                    .iter()
+                    .map(|dv| ber_model.ber(nominal_v + dv))
+                    .sum();
+                sum / bank_offsets.len() as f64
+            }
+        }
+    }
+}
+
+/// Draws a uniform in `[f64::MIN_POSITIVE, 1.0)` — the open-interval
+/// variate the geometric inversions below need (matches
+/// [`FaultMap::regenerate`]'s convention).
+fn open_unit(rng: &mut StdRng) -> f64 {
+    rng.gen_range(f64::MIN_POSITIVE..1.0)
+}
+
+/// Geometric gap to the next event at per-cell probability `p`
+/// (`log1m = ln(1 - p)` precomputed): `floor(ln(U) / ln(1 - p))` cells.
+fn geometric_gap(rng: &mut StdRng, log1m: f64) -> u64 {
+    (open_unit(rng).ln() / log1m).floor() as u64
+}
+
+/// Draws a 50/50 stuck polarity — the one place the models' polarity
+/// stream convention (`gen::<bool>()`, true = stuck-at-1) lives, matching
+/// [`FaultMap::regenerate`].
+fn draw_stuck(rng: &mut StdRng) -> StuckAt {
+    if rng.gen::<bool>() {
+        StuckAt::One
+    } else {
+        StuckAt::Zero
+    }
+}
+
+/// Injects cell index `pos` (word-major: `word * width + bit`) with a
+/// 50/50 polarity.
+fn inject_cell(map: &mut FaultMap, rng: &mut StdRng, pos: u64) {
+    let width = u64::from(map.width());
+    let stuck = draw_stuck(rng);
+    map.inject((pos / width) as usize, (pos % width) as u32, stuck);
+}
+
+/// Skip-samples an i.i.d. Bernoulli process at probability `p` over
+/// `total` cells, calling `visit` on each hit cell — generation cost is
+/// proportional to the number of faults, as in [`FaultMap::regenerate`].
+fn skip_sample(
+    rng: &mut StdRng,
+    total: u64,
+    p: f64,
+    mut visit: impl FnMut(&mut StdRng, u64),
+) -> bool {
+    if p <= 0.0 || total == 0 {
+        return true;
+    }
+    if p >= 1.0 {
+        return false; // caller handles the saturated case
+    }
+    let log1m = (1.0 - p).ln();
+    let mut pos: u64 = 0;
+    loop {
+        let gap = geometric_gap(rng, log1m);
+        pos = match pos.checked_add(gap) {
+            Some(p) => p,
+            None => break,
+        };
+        if pos >= total {
+            break;
+        }
+        visit(rng, pos);
+        pos += 1;
+        if pos >= total {
+            break;
+        }
+    }
+    true
+}
+
+/// Sticks every cell of `map` (the saturated `ber >= 1` case), with the
+/// same polarity stream [`FaultMap::regenerate`] uses.
+fn saturate(map: &mut FaultMap, rng: &mut StdRng) {
+    for w in 0..map.words() {
+        for b in 0..map.width() {
+            let stuck = draw_stuck(rng);
+            map.inject(w, b, stuck);
+        }
+    }
+}
+
+fn arm_burst(map: &mut FaultMap, ber: f64, mean_run_len: f64, seed: u64) {
+    map.clear();
+    let total = map.words() as u64 * u64::from(map.width());
+    if ber == 0.0 || total == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if ber >= 1.0 {
+        saturate(map, &mut rng);
+        return;
+    }
+    // Alternating-renewal process: gaps between bursts are geometric at
+    // `p_start` (support {0, 1, …}, mean (1-p)/p), bursts are geometric
+    // runs with mean L. The long-run stuck fraction is
+    // L·p / (L·p + 1 - p); solving it for `ber` gives
+    // p_start = ber / (L·(1 - ber) + ber), exact for every L >= 1.
+    let p_start = (ber / (mean_run_len * (1.0 - ber) + ber)).min(1.0);
+    let run_log1m = if mean_run_len > 1.0 {
+        (1.0 - 1.0 / mean_run_len).ln()
+    } else {
+        f64::NEG_INFINITY // run length pinned to 1
+    };
+    let mut pos: u64 = 0;
+    loop {
+        if p_start < 1.0 {
+            let gap = geometric_gap(&mut rng, (1.0 - p_start).ln());
+            pos = match pos.checked_add(gap) {
+                Some(p) => p,
+                None => return,
+            };
+        }
+        if pos >= total {
+            return;
+        }
+        let run_len = if run_log1m.is_finite() {
+            1 + geometric_gap(&mut rng, run_log1m)
+        } else {
+            1
+        };
+        let end = pos.saturating_add(run_len).min(total);
+        while pos < end {
+            inject_cell(map, &mut rng, pos);
+            pos += 1;
+        }
+        if pos >= total {
+            return;
+        }
+    }
+}
+
+fn arm_column(map: &mut FaultMap, geometry: &MemGeometry, ber: f64, weight: f64, seed: u64) {
+    map.clear();
+    let words = map.words();
+    let width = map.width();
+    let total = words as u64 * u64::from(width);
+    if ber == 0.0 || total == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Background: the un-concentrated share of the budget, i.i.d.
+    let background = ber * (1.0 - weight);
+    if !skip_sample(&mut rng, total, background, |rng, pos| {
+        inject_cell(map, rng, pos)
+    }) {
+        saturate(map, &mut rng);
+        return;
+    }
+    // Weak columns: one bit lane per bank, shared by every word the bank
+    // serves (low-order interleaving: bank b serves words b, b+banks, …).
+    // Spreading `weight * ber * bank_cells` expected faults over the
+    // column's `rows` cells amplifies the per-cell rate by the width.
+    let banks = geometry.banks();
+    let rows = words / banks;
+    let p_col = (ber * weight * f64::from(width)).min(1.0);
+    for bank in 0..banks {
+        let lane = rng.gen_range(0..width);
+        if p_col >= 1.0 {
+            for row in 0..rows {
+                let stuck = draw_stuck(&mut rng);
+                map.inject(bank + row * banks, lane, stuck);
+            }
+            continue;
+        }
+        skip_sample(&mut rng, rows as u64, p_col, |rng, row| {
+            let stuck = draw_stuck(rng);
+            map.inject(bank + (row as usize) * banks, lane, stuck);
+        });
+    }
+}
+
+fn arm_per_bank(
+    map: &mut FaultMap,
+    geometry: &MemGeometry,
+    ber_model: &BerModel,
+    nominal_v: f64,
+    offsets: &[f64],
+    seed: u64,
+) {
+    map.clear();
+    let words = map.words();
+    let width = map.width();
+    if words == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let banks = geometry.banks();
+    let rows = words / banks;
+    let bank_cells = rows as u64 * u64::from(width);
+    for bank in 0..banks {
+        let ber = ber_model.ber(nominal_v + offsets[bank % offsets.len()]);
+        let full = !skip_sample(&mut rng, bank_cells, ber, |rng, cell| {
+            let row = (cell / u64::from(width)) as usize;
+            let bit = (cell % u64::from(width)) as u32;
+            let stuck = draw_stuck(rng);
+            map.inject(bank + row * banks, bit, stuck);
+        });
+        if !full {
+            continue;
+        }
+        for row in 0..rows {
+            for bit in 0..width {
+                let stuck = draw_stuck(&mut rng);
+                map.inject(bank + row * banks, bit, stuck);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry(words: usize) -> MemGeometry {
+        MemGeometry::new(words, 16, 16)
+    }
+
+    fn armed(model: &FaultModel, words: usize, width: u32, seed: u64) -> FaultMap {
+        let mut map = FaultMap::empty(words, width);
+        model.arm(&mut map, &geometry(words), &BerModel::date16(), seed);
+        map
+    }
+
+    /// Sorted word-major cell positions of every stuck cell.
+    fn positions(map: &FaultMap) -> Vec<u64> {
+        map.iter_faults()
+            .map(|(w, b, _)| w as u64 * u64::from(map.width()) + u64::from(b))
+            .collect()
+    }
+
+    /// Mean length of maximal runs of consecutive stuck cells.
+    fn mean_run_len(map: &FaultMap) -> f64 {
+        let pos = positions(map);
+        if pos.is_empty() {
+            return 0.0;
+        }
+        let mut runs = 1usize;
+        for pair in pos.windows(2) {
+            if pair[1] != pair[0] + 1 {
+                runs += 1;
+            }
+        }
+        pos.len() as f64 / runs as f64
+    }
+
+    #[test]
+    fn iid_matches_regenerate_bit_for_bit() {
+        // Exhaustive over a grid of (ber, seed) on a small array,
+        // including the degenerate endpoints.
+        for &ber in &[0.0, 1e-4, 1e-3, 0.05, 0.5, 1.0] {
+            for seed in 0..64 {
+                let armed = armed(&FaultModel::Iid { ber }, 64, 22, seed);
+                let direct = FaultMap::generate(64, 22, ber, seed);
+                assert_eq!(armed, direct, "ber={ber} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_model_is_deterministic_in_seed_and_params() {
+        let models = [
+            FaultModel::Iid { ber: 1e-3 },
+            FaultModel::Burst {
+                ber: 1e-3,
+                mean_run_len: 8.0,
+            },
+            FaultModel::ColumnCorrelated {
+                ber: 1e-3,
+                column_weight: 0.7,
+            },
+            FaultModel::PerBankVoltage {
+                nominal_v: 0.55,
+                bank_offsets: vec![-0.05, 0.0, 0.05],
+            },
+        ];
+        for model in &models {
+            let a = armed(model, 4096, 22, 9);
+            let b = armed(model, 4096, 22, 9);
+            let c = armed(model, 4096, 22, 10);
+            assert_eq!(a, b, "{}", model.kind());
+            assert_ne!(a, c, "{} must vary with the seed", model.kind());
+        }
+    }
+
+    #[test]
+    fn re_arm_reuses_the_map_without_stale_faults() {
+        // A dirty map re-armed in place must equal a fresh draw — the
+        // campaign workers' allocation-free contract.
+        let model = FaultModel::Burst {
+            ber: 2e-3,
+            mean_run_len: 4.0,
+        };
+        let mut reused = armed(
+            &FaultModel::ColumnCorrelated {
+                ber: 0.05,
+                column_weight: 1.0,
+            },
+            2048,
+            22,
+            1,
+        );
+        model.arm(&mut reused, &geometry(2048), &BerModel::date16(), 33);
+        assert_eq!(reused, armed(&model, 2048, 22, 33));
+        assert_eq!(reused.words(), 2048);
+        assert_eq!(reused.width(), 22);
+    }
+
+    #[test]
+    fn burst_hits_its_target_mean_ber() {
+        let (words, width, ber) = (262_144usize, 16u32, 5e-3);
+        let map = armed(
+            &FaultModel::Burst {
+                ber,
+                mean_run_len: 8.0,
+            },
+            words,
+            width,
+            77,
+        );
+        let expected = words as f64 * f64::from(width) * ber;
+        let got = map.fault_count() as f64;
+        // Burst counts have ~L× the variance of binomial; 20% is > 6σ here.
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn burst_clusters_along_word_order() {
+        let iid = armed(&FaultModel::Iid { ber: 2e-3 }, 65_536, 16, 5);
+        let burst = armed(
+            &FaultModel::Burst {
+                ber: 2e-3,
+                mean_run_len: 8.0,
+            },
+            65_536,
+            16,
+            5,
+        );
+        let iid_runs = mean_run_len(&iid);
+        let burst_runs = mean_run_len(&burst);
+        assert!(
+            burst_runs > 4.0 * iid_runs,
+            "burst runs {burst_runs} must dwarf iid runs {iid_runs}"
+        );
+        assert!(
+            (burst_runs - 8.0).abs() < 2.5,
+            "mean run length {burst_runs} should sit near the parameter 8"
+        );
+    }
+
+    #[test]
+    fn column_model_concentrates_on_one_lane_per_bank() {
+        let (words, width, ber, weight) = (16_384usize, 22u32, 2e-3, 0.8);
+        let map = armed(
+            &FaultModel::ColumnCorrelated {
+                ber,
+                column_weight: weight,
+            },
+            words,
+            width,
+            3,
+        );
+        // Overall budget still lands near ber.
+        let expected = words as f64 * f64::from(width) * ber;
+        let got = map.fault_count() as f64;
+        assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "got {got}, expected {expected}"
+        );
+        // Per bank, one lane carries the concentrated share: its count
+        // dwarfs the mean over the other lanes.
+        let banks = 16usize;
+        let mut lane_counts = vec![vec![0usize; width as usize]; banks];
+        for (w, b, _) in map.iter_faults() {
+            lane_counts[w % banks][b as usize] += 1;
+        }
+        for (bank, counts) in lane_counts.iter().enumerate() {
+            let max = *counts.iter().max().unwrap();
+            let rest: usize = counts.iter().sum::<usize>() - max;
+            let rest_mean = rest as f64 / (width as f64 - 1.0);
+            assert!(
+                max as f64 > 8.0 * rest_mean.max(0.5),
+                "bank {bank}: weak column {max} vs background mean {rest_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_bank_voltage_tracks_the_ber_gradient() {
+        // Offsets cycle [-0.05, +0.05] over 16 banks: even banks run
+        // 0.05 V lower, so the date16 model gives them ~4.5× the BER.
+        let model = FaultModel::PerBankVoltage {
+            nominal_v: 0.55,
+            bank_offsets: vec![-0.05, 0.05],
+        };
+        let map = armed(&model, 65_536, 22, 21);
+        let mut low_v = 0usize; // even banks (offset -0.05)
+        let mut high_v = 0usize;
+        for (w, _, _) in map.iter_faults() {
+            if w % 2 == 0 {
+                low_v += 1;
+            } else {
+                high_v += 1;
+            }
+        }
+        assert!(
+            low_v > 2 * high_v,
+            "banks at lower voltage must fail more: {low_v} vs {high_v}"
+        );
+        // And the aggregate stays near the offset-averaged BER.
+        let expected = 65_536.0 * 22.0 * model.mean_ber(&BerModel::date16());
+        let got = map.fault_count() as f64;
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_ber_clears_every_model() {
+        for model in [
+            FaultModel::Iid { ber: 0.0 },
+            FaultModel::Burst {
+                ber: 0.0,
+                mean_run_len: 8.0,
+            },
+            FaultModel::ColumnCorrelated {
+                ber: 0.0,
+                column_weight: 0.5,
+            },
+        ] {
+            let map = armed(&model, 1024, 16, 1);
+            assert_eq!(map.fault_count(), 0, "{}", model.kind());
+        }
+    }
+
+    #[test]
+    fn high_ber_short_bursts_do_not_saturate() {
+        // The renewal start rate is exact for every L >= 1: at the BER
+        // clamp ceiling (0.5) with unit runs, half the cells stick — the
+        // naive ber/(L·(1-ber)) rate would have stuck all of them.
+        let map = armed(
+            &FaultModel::Burst {
+                ber: 0.5,
+                mean_run_len: 1.0,
+            },
+            4096,
+            16,
+            11,
+        );
+        let total = 4096.0 * 16.0;
+        let frac = map.fault_count() as f64 / total;
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "stuck fraction {frac} should sit near the 0.5 target"
+        );
+    }
+
+    #[test]
+    fn saturated_burst_sticks_everything() {
+        let map = armed(
+            &FaultModel::Burst {
+                ber: 1.0,
+                mean_run_len: 4.0,
+            },
+            64,
+            16,
+            1,
+        );
+        assert_eq!(map.fault_count(), 64 * 16);
+    }
+
+    #[test]
+    fn validation_names_the_offending_parameter() {
+        let cases: [(FaultModel, &str); 4] = [
+            (FaultModel::Iid { ber: 1.5 }, "ber"),
+            (
+                FaultModel::Burst {
+                    ber: 0.1,
+                    mean_run_len: 0.5,
+                },
+                "mean_run_len",
+            ),
+            (
+                FaultModel::ColumnCorrelated {
+                    ber: 0.1,
+                    column_weight: -0.1,
+                },
+                "column_weight",
+            ),
+            (
+                FaultModel::PerBankVoltage {
+                    nominal_v: 0.6,
+                    bank_offsets: vec![],
+                },
+                "bank_offsets",
+            ),
+        ];
+        for (model, needle) in cases {
+            let err = model.validate().unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same words")]
+    fn arm_rejects_mismatched_geometry() {
+        let mut map = FaultMap::empty(64, 16);
+        FaultModel::Iid { ber: 0.0 }.arm(
+            &mut map,
+            &MemGeometry::new(128, 16, 16),
+            &BerModel::date16(),
+            0,
+        );
+    }
+}

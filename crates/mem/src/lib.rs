@@ -13,6 +13,9 @@
 //!   cheap to generate. The paper regenerates one map per simulation run
 //!   (200 runs per voltage) and reuses it across all EMTs for fairness;
 //!   [`FaultMap::generate`] is deterministic in the seed to support that.
+//! * [`FaultModel`] — pluggable spatial fault distributions over a
+//!   [`FaultMap`]: i.i.d. (bit-identical to `regenerate`), geometric burst
+//!   clusters, per-bank weak columns, and per-bank voltage-domain drift.
 //! * [`FaultySram`] — a bit-accurate word array combining clean storage with
 //!   a fault overlay: writes store the true bits, reads see the stuck bits.
 //! * [`AddressScrambler`] — the small logic the paper assumes for
@@ -39,12 +42,14 @@
 
 mod ber;
 mod fault;
+mod fault_model;
 mod geometry;
 mod scramble;
 mod sram;
 
 pub use ber::BerModel;
 pub use fault::{FaultMap, StuckAt};
+pub use fault_model::FaultModel;
 pub use geometry::MemGeometry;
 pub use scramble::AddressScrambler;
 pub use sram::FaultySram;

@@ -222,6 +222,24 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
+impl JsonlSink<std::fs::File> {
+    /// Opens `path` for appending (creating it if absent) — the
+    /// resumable-campaign sink: JSONL carries its keys on every row, so a
+    /// re-run continues the artifact instead of truncating the rows a
+    /// previous (interrupted) campaign already paid for.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be opened.
+    pub fn append(path: &Path) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink::new(file))
+    }
+}
+
 impl<W: Write> Sink for JsonlSink<W> {
     fn begin(&mut self, headers: &[&str]) -> io::Result<()> {
         self.headers = headers.iter().map(|h| (*h).to_string()).collect();

@@ -16,7 +16,7 @@ use dream_core::EmtKind;
 use dream_dsp::{samples_to_f64, snr_db, AppKind, BiomedicalApp};
 use dream_ecg::Record;
 use dream_energy::EnergyBreakdown;
-use dream_mem::{AddressScrambler, FaultMap, MemGeometry, StuckAt};
+use dream_mem::{AddressScrambler, BerModel, FaultMap, FaultModel, MemGeometry, StuckAt};
 use dream_soc::{Soc, SocConfig};
 
 use crate::ablation;
@@ -331,13 +331,19 @@ struct Cell {
     corrected: f64,
 }
 
-/// Runs the draws of one grid point: `sc.trials` maps at `ber`, each
-/// shared across every EMT and app (§V methodology), returning the cells
-/// in (run, emt, app) order.
+/// Runs the draws of one grid point: `sc.trials` maps drawn by
+/// `fault_model`, each shared across every EMT and app (§V methodology),
+/// returning the cells in (run, emt, app) order.
+///
+/// `fault_model` is the point-resolved [`FaultModel`]
+/// ([`crate::scenario::FaultModelSpec::resolve`] at the point's operating
+/// voltage); `ber_model` feeds the per-bank-voltage model's ΔV→BER
+/// mapping.
 fn draw_point(
     sc: &Scenario,
     point: usize,
-    ber: f64,
+    fault_model: &FaultModel,
+    ber_model: &BerModel,
     records: &[Record],
     references: &[Vec<Vec<f64>>],
     geometry: MemGeometry,
@@ -356,9 +362,10 @@ fn draw_point(
     };
     exec::run_trials(&runs, scratch, |(apps, mems, map), &run, _| {
         // Same seed across EMTs and apps => same fault map, as in the
-        // paper; the wide map covers the widest codeword.
+        // paper; the wide map covers the widest codeword. `Iid` draws are
+        // bit-identical to the historical `regenerate` call.
         let seed = fault_seed(sc.seed, point, run);
-        map.regenerate(ber, seed);
+        fault_model.arm(map, &geometry, ber_model, seed);
         let record = &records[run % records.len()];
         let mut cells = Vec::with_capacity(sc.emts.len() * apps.len());
         for mem in mems.iter_mut() {
@@ -489,7 +496,16 @@ fn voltage_points(
     let model = sc.fault.to_model();
     let mut points = Vec::new();
     for (vi, &voltage) in voltages.iter().enumerate() {
-        let results = draw_point(sc, vi, model.ber(voltage), &records, &references, geometry);
+        let fault_model = sc.fault.model.resolve(&model, voltage);
+        let results = draw_point(
+            sc,
+            vi,
+            &fault_model,
+            &model,
+            &records,
+            &references,
+            geometry,
+        );
         let batch: Vec<Fig4Point> = aggregate_point(sc, &results)
             .into_iter()
             .map(|(emt, app, mean, min)| Fig4Point {
@@ -545,15 +561,37 @@ fn run_noise(
     ];
     sink.begin(&headers)?;
     let model = sc.fault.to_model();
-    let ber = model.ber(sc.fixed_voltage);
+    // The whole sweep operates at one voltage, so one resolved model
+    // serves every point.
+    let fault_model = sc.fault.model.resolve(&model, sc.fixed_voltage);
     let mut typed = Vec::new();
     let mut rendered = Vec::new();
+    // The apps (and hence the geometry) are scale-independent; the record
+    // suite and per-(app, record) references depend on the scale — and
+    // only on it. Keeping the most recent suite means consecutive grid
+    // points at one scale pay for the reference computation exactly once,
+    // without holding every suite of a long sweep in memory at once.
+    let apps: Vec<Box<dyn BiomedicalApp>> =
+        sc.apps.iter().map(|&k| k.instantiate(sc.window)).collect();
+    let geometry = banked_geometry(
+        apps.iter()
+            .map(|a| a.memory_words())
+            .max()
+            .expect("validated: at least one app"),
+    );
+    let mut suite: Option<(u64, Vec<Record>, References)> = None;
     for (si, &scale) in scales.iter().enumerate() {
-        // The noise scale changes the input suite itself, so records and
-        // references regenerate per grid point.
-        let records = record_suite_with_noise(sc.window, sc.effective_records(), scale);
-        let (_apps, geometry, references) = draw_shared(sc, &records);
-        let results = draw_point(sc, si, ber, &records, &references, geometry);
+        let key = scale.to_bits();
+        if suite.as_ref().is_none_or(|(k, ..)| *k != key) {
+            let records = record_suite_with_noise(sc.window, sc.effective_records(), scale);
+            let references: References = apps
+                .iter()
+                .map(|app| reference_outputs(&**app, &records))
+                .collect();
+            suite = Some((key, records, references));
+        }
+        let (_, records, references) = suite.as_ref().expect("just populated");
+        let results = draw_point(sc, si, &fault_model, &model, records, references, geometry);
         let mut batch = Vec::new();
         for (emt, app, mean, min) in aggregate_point(sc, &results) {
             let row = NoisePoint {

@@ -47,6 +47,6 @@ pub use engine::{
     OutcomeData, ScenarioOutcome,
 };
 pub use spec::{
-    app_from_token, app_token, emt_from_token, emt_token, FaultSpec, FlatTrial, Grid, Kind,
-    Scenario, SinkFormat, SinkSpec, SpecError,
+    app_from_token, app_token, emt_from_token, emt_token, FaultModelSpec, FaultSpec, FlatTrial,
+    Grid, Kind, Scenario, SinkFormat, SinkSpec, SpecError,
 };

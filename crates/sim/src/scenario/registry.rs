@@ -10,7 +10,7 @@ use dream_dsp::AppKind;
 use dream_ecg::Database;
 use dream_mem::BerModel;
 
-use super::spec::{FaultSpec, Grid, Kind, Scenario, SinkSpec};
+use super::spec::{FaultModelSpec, FaultSpec, Grid, Kind, Scenario, SinkSpec};
 
 /// Base seed of the Fig. 2 injection campaign (historical constant).
 pub const FIG2_SEED: u64 = 0xF162;
@@ -18,12 +18,18 @@ pub const FIG2_SEED: u64 = 0xF162;
 pub const FIG4_SEED: u64 = 0xF1641;
 /// Base seed of the noise sweep.
 pub const NOISE_SEED: u64 = 0x0153E;
+/// Base seed of the burst fault-model sweep.
+pub const BURST_SEED: u64 = 0xB0257;
+/// Base seed of the per-bank voltage-domain sweep.
+pub const BANK_SEED: u64 = 0xBA2C5;
 /// Operating voltage of the noise and geometry sweeps: deep in the faulty
 /// region (Fig. 4 shows ~0.6 V is where protection starts to matter).
 pub const SWEEP_VOLTAGE: f64 = 0.6;
+/// Amplitude of the `bank-voltage` preset's per-bank ΔV ramp (V).
+pub const BANK_RAMP_V: f64 = 0.05;
 
 /// The preset names, in `dream list` order.
-pub fn names() -> [&'static str; 7] {
+pub fn names() -> [&'static str; 9] {
     [
         "fig2",
         "fig4",
@@ -32,6 +38,8 @@ pub fn names() -> [&'static str; 7] {
         "ablation",
         "noise-sweep",
         "geometry-sweep",
+        "burst-sweep",
+        "bank-voltage",
     ]
 }
 
@@ -174,6 +182,42 @@ pub fn get(name: &str, smoke: bool) -> Option<Scenario> {
             if smoke {
                 sc.window = 512;
                 sc.grid = Grid::MemoryWords(vec![4096, 16384, 65536]);
+            }
+            sc
+        }
+        "burst-sweep" => {
+            let mut sc = base(
+                "burst-sweep",
+                "Fig. 4 sweep under burst faults — geometric run-length clusters (mean 8)",
+                Kind::SnrSweep,
+                Grid::Voltage(BerModel::paper_voltages()),
+            );
+            sc.fault.model = FaultModelSpec::Burst { mean_run_len: 8.0 };
+            sc.trials = 100;
+            sc.seed = BURST_SEED;
+            if smoke {
+                sc.window = 512;
+                sc.trials = 4;
+                sc.grid = Grid::Voltage(vec![0.5, 0.6, 0.7, 0.8, 0.9]);
+            }
+            sc
+        }
+        "bank-voltage" => {
+            let mut sc = base(
+                "bank-voltage",
+                "Fig. 4 sweep under per-bank voltage-domain drift (±50 mV ramp)",
+                Kind::SnrSweep,
+                Grid::Voltage(BerModel::paper_voltages()),
+            );
+            sc.fault.model = FaultModelSpec::PerBankVoltage {
+                bank_offsets: FaultModelSpec::bank_ramp(BANK_RAMP_V),
+            };
+            sc.trials = 100;
+            sc.seed = BANK_SEED;
+            if smoke {
+                sc.window = 512;
+                sc.trials = 4;
+                sc.grid = Grid::Voltage(vec![0.5, 0.6, 0.7, 0.8, 0.9]);
             }
             sc
         }

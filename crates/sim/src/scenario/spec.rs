@@ -4,7 +4,7 @@
 
 use dream_core::EmtKind;
 use dream_dsp::AppKind;
-use dream_mem::{BerModel, StuckAt};
+use dream_mem::{BerModel, FaultModel, StuckAt};
 
 use super::json::Json;
 
@@ -88,9 +88,149 @@ impl Grid {
     }
 }
 
-/// The BER-vs-voltage fault model of a scenario — [`BerModel`] in spec
-/// form.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// The spatial fault distribution of a scenario, in voltage-parametric
+/// spec form: the grid supplies the operating voltage per point, and
+/// [`FaultModelSpec::resolve`] maps it (through the scenario's
+/// [`BerModel`] calibration) to a concrete [`dream_mem::FaultModel`].
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum FaultModelSpec {
+    /// Independent per-cell failures at the voltage-derived BER — the
+    /// paper's §V model, bit-identical to the historical
+    /// `FaultMap::regenerate` path.
+    #[default]
+    Iid,
+    /// Geometric run-length clusters along physical word order.
+    Burst {
+        /// Mean burst length in cells (`>= 1`).
+        mean_run_len: f64,
+    },
+    /// Weak columns: one bit lane per bank carries `column_weight` of the
+    /// fault budget, shared across every word the bank serves.
+    ColumnCorrelated {
+        /// Fraction of the fault budget on the weak columns (`[0, 1]`).
+        column_weight: f64,
+    },
+    /// Per-bank voltage domains: bank `b` drifts `bank_offsets[b % len]`
+    /// volts from the grid voltage, and its BER follows the calibration.
+    PerBankVoltage {
+        /// Per-bank voltage offsets (V), cycled over the bank index.
+        bank_offsets: Vec<f64>,
+    },
+}
+
+impl FaultModelSpec {
+    /// The spec-file / CLI token of this model kind.
+    pub fn kind_token(&self) -> &'static str {
+        match self {
+            FaultModelSpec::Iid => "iid",
+            FaultModelSpec::Burst { .. } => "burst",
+            FaultModelSpec::ColumnCorrelated { .. } => "column",
+            FaultModelSpec::PerBankVoltage { .. } => "bank-voltage",
+        }
+    }
+
+    /// A symmetric per-bank voltage ramp of the given amplitude (V): the
+    /// four-step cycle `[-a, -a/3, +a/3, +a]`, tiling any bank count.
+    /// The registry's `bank-voltage` preset and the CLI's
+    /// `--fault-model bank-voltage[:amplitude]` both use this shape.
+    pub fn bank_ramp(amplitude: f64) -> Vec<f64> {
+        vec![-amplitude, -amplitude / 3.0, amplitude / 3.0, amplitude]
+    }
+
+    /// Resolves this spec at one grid point: `voltage` is the operating
+    /// voltage of the point, `ber_model` the scenario's calibration.
+    pub fn resolve(&self, ber_model: &BerModel, voltage: f64) -> FaultModel {
+        match self {
+            FaultModelSpec::Iid => FaultModel::Iid {
+                ber: ber_model.ber(voltage),
+            },
+            FaultModelSpec::Burst { mean_run_len } => FaultModel::Burst {
+                ber: ber_model.ber(voltage),
+                mean_run_len: *mean_run_len,
+            },
+            FaultModelSpec::ColumnCorrelated { column_weight } => FaultModel::ColumnCorrelated {
+                ber: ber_model.ber(voltage),
+                column_weight: *column_weight,
+            },
+            FaultModelSpec::PerBankVoltage { bank_offsets } => FaultModel::PerBankVoltage {
+                nominal_v: voltage,
+                bank_offsets: bank_offsets.clone(),
+            },
+        }
+    }
+
+    /// Parameter validation (delegates to the resolved model's checks at
+    /// a representative voltage).
+    fn validate(&self) -> Result<(), SpecError> {
+        self.resolve(&BerModel::date16(), BerModel::NOMINAL_VOLTAGE)
+            .validate()
+            .map_err(|e| SpecError(format!("fault model: {e}")))
+    }
+
+    fn to_json_value(&self) -> Json {
+        let mut fields = vec![("kind".into(), Json::Str(self.kind_token().into()))];
+        match self {
+            FaultModelSpec::Iid => {}
+            FaultModelSpec::Burst { mean_run_len } => {
+                fields.push(("mean_run_len".into(), Json::Num(*mean_run_len)));
+            }
+            FaultModelSpec::ColumnCorrelated { column_weight } => {
+                fields.push(("column_weight".into(), Json::Num(*column_weight)));
+            }
+            FaultModelSpec::PerBankVoltage { bank_offsets } => {
+                fields.push((
+                    "bank_offsets".into(),
+                    Json::Arr(bank_offsets.iter().map(|&o| Json::Num(o)).collect()),
+                ));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(value: &Json) -> Result<FaultModelSpec, SpecError> {
+        let kind = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| SpecError("fault model needs a string \"kind\"".into()))?;
+        let num = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| SpecError(format!("fault model {kind:?} needs numeric {key:?}")))
+        };
+        Ok(match kind {
+            "iid" => FaultModelSpec::Iid,
+            "burst" => FaultModelSpec::Burst {
+                mean_run_len: num("mean_run_len")?,
+            },
+            "column" => FaultModelSpec::ColumnCorrelated {
+                column_weight: num("column_weight")?,
+            },
+            "bank-voltage" => FaultModelSpec::PerBankVoltage {
+                bank_offsets: value
+                    .get("bank_offsets")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| {
+                        SpecError(
+                            "fault model \"bank-voltage\" needs an array \"bank_offsets\"".into(),
+                        )
+                    })?
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| SpecError("bank_offsets must be numbers".into()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            other => return Err(SpecError(format!("unknown fault model kind {other:?}"))),
+        })
+    }
+}
+
+/// The fault layer of a scenario: the BER-vs-voltage calibration
+/// ([`BerModel`] in spec form) plus the spatial [`FaultModelSpec`] that
+/// decides *where* the voltage-derived fault budget lands.
+#[derive(Clone, Debug, PartialEq)]
 pub struct FaultSpec {
     /// Nominal supply voltage (V).
     pub nominal_v: f64,
@@ -98,6 +238,9 @@ pub struct FaultSpec {
     pub log10_ber_at_nominal: f64,
     /// Decades of BER per volt of down-scaling.
     pub log10_slope_per_volt: f64,
+    /// Spatial fault distribution (defaults to [`FaultModelSpec::Iid`],
+    /// the paper's model).
+    pub model: FaultModelSpec,
 }
 
 impl FaultSpec {
@@ -106,21 +249,22 @@ impl FaultSpec {
         Self::from_model(&BerModel::date16())
     }
 
-    /// Captures an existing model.
+    /// Captures an existing calibration (with the default i.i.d. model).
     pub fn from_model(model: &BerModel) -> Self {
         FaultSpec {
             nominal_v: model.nominal_v(),
             log10_ber_at_nominal: model.log10_ber_at_nominal(),
             log10_slope_per_volt: model.log10_slope_per_volt(),
+            model: FaultModelSpec::Iid,
         }
     }
 
-    /// Instantiates the model.
+    /// Instantiates the calibration.
     ///
     /// # Panics
     ///
     /// Panics on an invalid calibration (see [`BerModel::new`]).
-    pub fn to_model(self) -> BerModel {
+    pub fn to_model(&self) -> BerModel {
         BerModel::new(
             self.nominal_v,
             self.log10_ber_at_nominal,
@@ -171,13 +315,17 @@ impl SinkFormat {
     }
 }
 
-/// Default sink options baked into a spec (the CLI can override both).
+/// Default sink options baked into a spec (the CLI can override all).
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct SinkSpec {
     /// Row format.
     pub format: SinkFormat,
     /// Output directory (`None` = stdout).
     pub out: Option<String>,
+    /// Append to the output artifact instead of truncating it —
+    /// resumable long campaigns. Requires the header-free
+    /// [`SinkFormat::Jsonl`] format and an `out` directory.
+    pub append: bool,
 }
 
 /// A declarative campaign: every sweep of the paper — and every new
@@ -315,6 +463,38 @@ impl Scenario {
                 "noise_scale {} must be non-negative",
                 self.noise_scale
             ));
+        }
+        self.fault.model.validate()?;
+        if self.fault.model != FaultModelSpec::Iid {
+            // Only the Monte-Carlo draw families actually sample a fault
+            // distribution; rejecting the rest keeps a non-default model
+            // from silently doing nothing.
+            let draws = matches!(
+                (&self.kind, &self.grid),
+                (Kind::SnrSweep | Kind::Tradeoff, Grid::Voltage(_))
+                    | (Kind::SnrSweep, Grid::NoiseScale(_))
+            );
+            if !draws {
+                return err(format!(
+                    "fault model {:?} only applies to Monte-Carlo draw campaigns \
+                     (snr-sweep/tradeoff over voltage, snr-sweep over noise); {} over {} \
+                     does not draw fault maps",
+                    self.fault.model.kind_token(),
+                    self.kind.token(),
+                    self.grid.axis_token()
+                ));
+            }
+        }
+        if self.sink.append {
+            if self.sink.format != SinkFormat::Jsonl {
+                return err(format!(
+                    "append sinks require the header-free jsonl format, got {}",
+                    self.sink.format.token()
+                ));
+            }
+            if self.sink.out.is_none() {
+                return err("append sinks require an output directory (\"out\")".into());
+            }
         }
         match &self.grid {
             Grid::Voltage(vs) => {
@@ -562,6 +742,7 @@ impl Scenario {
                         "log10_slope_per_volt".into(),
                         Json::Num(self.fault.log10_slope_per_volt),
                     ),
+                    ("model".into(), self.fault.model.to_json_value()),
                 ]),
             ),
             ("fixed_voltage".into(), Json::Num(self.fixed_voltage)),
@@ -590,6 +771,7 @@ impl Scenario {
                             .as_ref()
                             .map_or(Json::Null, |o| Json::Str(o.clone())),
                     ),
+                    ("append".into(), Json::Bool(self.sink.append)),
                 ]),
             ),
         ])
@@ -597,131 +779,236 @@ impl Scenario {
 
     /// Parses and validates a spec document.
     ///
+    /// A document may open with `"extends": "<preset>"` to inherit every
+    /// field from the registry's full-scale preset of that name and
+    /// override only what it restates — fault-model variants of `fig4`
+    /// need not repeat the whole spec. Without `extends`, the structural
+    /// fields (`name`, `kind`, `window`, `records`, `trials`, `apps`,
+    /// `emts`, `grid`, `seed`) are required, as before.
+    ///
     /// # Errors
     ///
     /// Returns a [`SpecError`] describing the first malformed or missing
     /// field (JSON syntax errors included).
     pub fn from_json(text: &str) -> Result<Scenario, SpecError> {
         let doc = Json::parse(text).map_err(|e| SpecError(e.to_string()))?;
-        let str_field = |key: &str| -> Result<String, SpecError> {
-            doc.get(key)
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| SpecError(format!("missing or non-string field {key:?}")))
-        };
-        let usize_field = |key: &str| -> Result<usize, SpecError> {
-            doc.get(key)
-                .and_then(Json::as_usize)
-                .ok_or_else(|| SpecError(format!("missing or non-integer field {key:?}")))
-        };
-        let f64_field = |obj: &Json, key: &str| -> Result<f64, SpecError> {
-            obj.get(key)
-                .and_then(Json::as_f64)
-                .ok_or_else(|| SpecError(format!("missing or non-numeric field {key:?}")))
-        };
 
-        let name = str_field("name")?;
-        let title = doc
-            .get("title")
-            .and_then(Json::as_str)
-            .unwrap_or_default()
-            .to_string();
-        let kind_token = str_field("kind")?;
-        let kind = Kind::from_token(&kind_token)
-            .ok_or_else(|| SpecError(format!("unknown kind {kind_token:?}")))?;
-
-        let apps = doc
-            .get("apps")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| SpecError("missing array field \"apps\"".into()))?
-            .iter()
-            .map(|v| {
-                let token = v
+        let base: Option<Scenario> = match doc.get("extends") {
+            None => None,
+            Some(v) => {
+                let preset = v
                     .as_str()
-                    .ok_or_else(|| SpecError("app entries must be strings".into()))?;
-                app_from_token(token).ok_or_else(|| SpecError(format!("unknown app {token:?}")))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        let emts = doc
-            .get("emts")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| SpecError("missing array field \"emts\"".into()))?
-            .iter()
-            .map(|v| {
-                let token = v
-                    .as_str()
-                    .ok_or_else(|| SpecError("emt entries must be strings".into()))?;
-                emt_from_token(token).ok_or_else(|| SpecError(format!("unknown emt {token:?}")))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+                    .ok_or_else(|| SpecError("\"extends\" must name a registry preset".into()))?;
+                Some(super::registry::get(preset, false).ok_or_else(|| {
+                    SpecError(format!(
+                        "\"extends\" names unknown preset {preset:?} (see `dream list`)"
+                    ))
+                })?)
+            }
+        };
+        // A variant that overrides anything must name itself: artifacts
+        // are keyed by name, and a burst variant silently inheriting
+        // "fig4" would overwrite the genuine fig4 rows. A bare
+        // `{"extends": ...}` (no overrides) is the preset itself, so the
+        // inherited name is correct there.
+        if base.is_some() && doc.get("name").is_none() {
+            if let Json::Obj(fields) = &doc {
+                if fields.iter().any(|(k, _)| k != "extends") {
+                    return Err(SpecError(
+                        "spec documents that extend a preset and override fields must set \
+                         their own \"name\" (artifacts are keyed by it)"
+                            .into(),
+                    ));
+                }
+            }
+        }
 
-        let grid_obj = doc
-            .get("grid")
-            .ok_or_else(|| SpecError("missing object field \"grid\"".into()))?;
-        let axis = grid_obj
-            .get("axis")
-            .and_then(Json::as_str)
-            .ok_or_else(|| SpecError("grid needs a string \"axis\"".into()))?;
-        let values = grid_obj
-            .get("values")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| SpecError("grid needs an array \"values\"".into()))?;
-        let nums = values
-            .iter()
-            .map(|v| {
-                v.as_f64()
-                    .ok_or_else(|| SpecError("grid values must be numbers".into()))
-            })
-            .collect::<Result<Vec<f64>, _>>()?;
-        let grid = match axis {
-            "voltage" => Grid::Voltage(nums),
-            "noise" => Grid::NoiseScale(nums),
-            "bit" => Grid::BitPosition(
-                nums.iter()
-                    .map(|&n| {
-                        if n >= 0.0 && n.fract() == 0.0 && n < 32.0 {
-                            Ok(n as u32)
-                        } else {
-                            Err(SpecError(format!(
-                                "bit position {n} must be a small integer"
-                            )))
-                        }
+        let name = match doc.get("name").and_then(Json::as_str) {
+            Some(s) => s.to_string(),
+            None => base
+                .as_ref()
+                .map(|b| b.name.clone())
+                .ok_or_else(|| SpecError("missing or non-string field \"name\"".into()))?,
+        };
+        let title = match doc.get("title").and_then(Json::as_str) {
+            Some(s) => s.to_string(),
+            None => base.as_ref().map(|b| b.title.clone()).unwrap_or_default(),
+        };
+        let kind = match doc.get("kind").and_then(Json::as_str) {
+            Some(token) => Kind::from_token(token)
+                .ok_or_else(|| SpecError(format!("unknown kind {token:?}")))?,
+            None => base
+                .as_ref()
+                .map(|b| b.kind)
+                .ok_or_else(|| SpecError("missing or non-string field \"kind\"".into()))?,
+        };
+        let usize_field = |key: &str, inherited: Option<usize>| -> Result<usize, SpecError> {
+            match doc.get(key) {
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| SpecError(format!("missing or non-integer field {key:?}"))),
+                None => inherited
+                    .ok_or_else(|| SpecError(format!("missing or non-integer field {key:?}"))),
+            }
+        };
+        let window = usize_field("window", base.as_ref().map(|b| b.window))?;
+        let records = usize_field("records", base.as_ref().map(|b| b.records))?;
+        let trials = usize_field("trials", base.as_ref().map(|b| b.trials))?;
+
+        let apps = match doc.get("apps") {
+            None => base
+                .as_ref()
+                .map(|b| b.apps.clone())
+                .ok_or_else(|| SpecError("missing array field \"apps\"".into()))?,
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| SpecError("missing array field \"apps\"".into()))?
+                .iter()
+                .map(|v| {
+                    let token = v
+                        .as_str()
+                        .ok_or_else(|| SpecError("app entries must be strings".into()))?;
+                    app_from_token(token).ok_or_else(|| SpecError(format!("unknown app {token:?}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let emts = match doc.get("emts") {
+            None => base
+                .as_ref()
+                .map(|b| b.emts.clone())
+                .ok_or_else(|| SpecError("missing array field \"emts\"".into()))?,
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| SpecError("missing array field \"emts\"".into()))?
+                .iter()
+                .map(|v| {
+                    let token = v
+                        .as_str()
+                        .ok_or_else(|| SpecError("emt entries must be strings".into()))?;
+                    emt_from_token(token).ok_or_else(|| SpecError(format!("unknown emt {token:?}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+
+        let grid = match doc.get("grid") {
+            None => base
+                .as_ref()
+                .map(|b| b.grid.clone())
+                .ok_or_else(|| SpecError("missing object field \"grid\"".into()))?,
+            Some(grid_obj) => {
+                let axis = grid_obj
+                    .get("axis")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| SpecError("grid needs a string \"axis\"".into()))?;
+                let values = grid_obj
+                    .get("values")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| SpecError("grid needs an array \"values\"".into()))?;
+                let nums = values
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| SpecError("grid values must be numbers".into()))
                     })
-                    .collect::<Result<Vec<_>, _>>()?,
-            ),
-            "words" => Grid::MemoryWords(
-                nums.iter()
-                    .map(|&n| {
-                        if n >= 1.0 && n.fract() == 0.0 {
-                            Ok(n as usize)
-                        } else {
-                            Err(SpecError(format!(
-                                "memory size {n} must be a positive integer"
-                            )))
-                        }
-                    })
-                    .collect::<Result<Vec<_>, _>>()?,
-            ),
-            other => return Err(SpecError(format!("unknown grid axis {other:?}"))),
+                    .collect::<Result<Vec<f64>, _>>()?;
+                match axis {
+                    "voltage" => Grid::Voltage(nums),
+                    "noise" => Grid::NoiseScale(nums),
+                    "bit" => Grid::BitPosition(
+                        nums.iter()
+                            .map(|&n| {
+                                if n >= 0.0 && n.fract() == 0.0 && n < 32.0 {
+                                    Ok(n as u32)
+                                } else {
+                                    Err(SpecError(format!(
+                                        "bit position {n} must be a small integer"
+                                    )))
+                                }
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                    "words" => Grid::MemoryWords(
+                        nums.iter()
+                            .map(|&n| {
+                                if n >= 1.0 && n.fract() == 0.0 {
+                                    Ok(n as usize)
+                                } else {
+                                    Err(SpecError(format!(
+                                        "memory size {n} must be a positive integer"
+                                    )))
+                                }
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                    other => return Err(SpecError(format!("unknown grid axis {other:?}"))),
+                }
+            }
         };
 
         let fault = match doc.get("fault") {
-            None => FaultSpec::date16(),
-            Some(obj) => FaultSpec {
-                nominal_v: f64_field(obj, "nominal_v")?,
-                log10_ber_at_nominal: f64_field(obj, "log10_ber_at_nominal")?,
-                log10_slope_per_volt: f64_field(obj, "log10_slope_per_volt")?,
-            },
+            None => base
+                .as_ref()
+                .map(|b| b.fault.clone())
+                .unwrap_or_else(FaultSpec::date16),
+            Some(obj) => {
+                let inherited = base.as_ref().map(|b| b.fault.clone());
+                let num = |key: &str, inherited: Option<f64>| -> Result<f64, SpecError> {
+                    match obj.get(key) {
+                        Some(v) => v.as_f64().ok_or_else(|| {
+                            SpecError(format!("missing or non-numeric field {key:?}"))
+                        }),
+                        None => inherited.ok_or_else(|| {
+                            SpecError(format!("missing or non-numeric field {key:?}"))
+                        }),
+                    }
+                };
+                FaultSpec {
+                    nominal_v: num("nominal_v", inherited.as_ref().map(|f| f.nominal_v))?,
+                    log10_ber_at_nominal: num(
+                        "log10_ber_at_nominal",
+                        inherited.as_ref().map(|f| f.log10_ber_at_nominal),
+                    )?,
+                    log10_slope_per_volt: num(
+                        "log10_slope_per_volt",
+                        inherited.as_ref().map(|f| f.log10_slope_per_volt),
+                    )?,
+                    model: match obj.get("model") {
+                        Some(m) => FaultModelSpec::from_json(m)?,
+                        None => inherited.map(|f| f.model).unwrap_or_default(),
+                    },
+                }
+            }
         };
         let sink = match doc.get("sink") {
-            None => SinkSpec::default(),
+            None => base.as_ref().map(|b| b.sink.clone()).unwrap_or_default(),
             Some(obj) => {
-                let format_token = obj.get("format").and_then(Json::as_str).unwrap_or("table");
+                let inherited = base.as_ref().map(|b| b.sink.clone()).unwrap_or_default();
+                let format = match obj.get("format").and_then(Json::as_str) {
+                    Some(token) => SinkFormat::from_token(token)
+                        .ok_or_else(|| SpecError(format!("unknown sink format {token:?}")))?,
+                    None => inherited.format,
+                };
+                let out = match obj.get("out") {
+                    None => inherited.out,
+                    Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .ok_or_else(|| {
+                                SpecError("sink \"out\" must be a string or null".into())
+                            })?
+                            .to_string(),
+                    ),
+                };
+                let append = match obj.get("append") {
+                    None => inherited.append,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| SpecError("sink \"append\" must be a boolean".into()))?,
+                };
                 SinkSpec {
-                    format: SinkFormat::from_token(format_token).ok_or_else(|| {
-                        SpecError(format!("unknown sink format {format_token:?}"))
-                    })?,
-                    out: obj.get("out").and_then(Json::as_str).map(str::to_string),
+                    format,
+                    out,
+                    append,
                 }
             }
         };
@@ -730,27 +1017,43 @@ impl Scenario {
             name,
             title,
             kind,
-            window: usize_field("window")?,
-            records: usize_field("records")?,
-            trials: usize_field("trials")?,
+            window,
+            records,
+            trials,
             apps,
             emts,
             grid,
             fault,
-            fixed_voltage: doc
-                .get("fixed_voltage")
-                .and_then(Json::as_f64)
-                .unwrap_or(BerModel::NOMINAL_VOLTAGE),
-            noise_scale: doc.get("noise_scale").and_then(Json::as_f64).unwrap_or(1.0),
+            fixed_voltage: match doc.get("fixed_voltage").and_then(Json::as_f64) {
+                Some(v) => v,
+                None => base
+                    .as_ref()
+                    .map_or(BerModel::NOMINAL_VOLTAGE, |b| b.fixed_voltage),
+            },
+            noise_scale: match doc.get("noise_scale").and_then(Json::as_f64) {
+                Some(v) => v,
+                None => base.as_ref().map_or(1.0, |b| b.noise_scale),
+            },
             scrambler_key: match doc.get("scrambler_key") {
-                None | Some(Json::Null) => None,
+                None => base.as_ref().and_then(|b| b.scrambler_key),
+                Some(Json::Null) => None,
                 Some(v) => Some(json_u64(v).ok_or_else(|| {
                     SpecError("scrambler_key must be an unsigned 64-bit integer".into())
                 })?),
             },
-            tolerance_db: doc.get("tolerance_db").and_then(Json::as_f64),
+            tolerance_db: match doc.get("tolerance_db") {
+                None => base.as_ref().and_then(|b| b.tolerance_db),
+                Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_f64()
+                        .ok_or_else(|| SpecError("tolerance_db must be a number".into()))?,
+                ),
+            },
             ber_slopes: match doc.get("ber_slopes").and_then(Json::as_arr) {
-                None => Vec::new(),
+                None => base
+                    .as_ref()
+                    .map(|b| b.ber_slopes.clone())
+                    .unwrap_or_default(),
                 Some(items) => items
                     .iter()
                     .map(|v| {
@@ -759,10 +1062,14 @@ impl Scenario {
                     })
                     .collect::<Result<Vec<_>, _>>()?,
             },
-            seed: doc
-                .get("seed")
-                .and_then(json_u64)
-                .ok_or_else(|| SpecError("missing or non-integer field \"seed\"".into()))?,
+            seed: match doc.get("seed") {
+                Some(v) => json_u64(v)
+                    .ok_or_else(|| SpecError("missing or non-integer field \"seed\"".into()))?,
+                None => base
+                    .as_ref()
+                    .map(|b| b.seed)
+                    .ok_or_else(|| SpecError("missing or non-integer field \"seed\"".into()))?,
+            },
             sink,
         };
         scenario.validate()?;

@@ -1,13 +1,106 @@
 //! Property-based integration tests: the correction guarantees of §IV hold
 //! through the full storage stack (protected memory over faulty SRAM), not
-//! just at the codec level.
+//! just at the codec level — and the pluggable fault models keep the
+//! deterministic, allocation-free, calibrated contract campaigns rely on.
 
 use dream_suite::core::{Dream, EmtKind, ProtectedMemory};
-use dream_suite::mem::{FaultMap, MemGeometry, StuckAt};
+use dream_suite::mem::{BerModel, FaultMap, FaultModel, MemGeometry, StuckAt};
 use proptest::prelude::*;
 
 fn geometry() -> MemGeometry {
     MemGeometry::new(64, 16, 16)
+}
+
+/// Builds one of the four fault models from a variant selector and two
+/// generic parameter draws (each mapped into the variant's legal range).
+fn model_from(variant: usize, ber: f64, shape: f64) -> FaultModel {
+    match variant % 4 {
+        0 => FaultModel::Iid { ber },
+        1 => FaultModel::Burst {
+            ber,
+            mean_run_len: 1.0 + shape * 15.0,
+        },
+        2 => FaultModel::ColumnCorrelated {
+            ber,
+            column_weight: shape,
+        },
+        _ => FaultModel::PerBankVoltage {
+            // Four offsets tile the 16-bank geometry evenly, so the
+            // offset-averaged `mean_ber` is exact; 0.55 V centers the
+            // domains in the faulty region regardless of the shape draw.
+            nominal_v: 0.55,
+            bank_offsets: vec![-0.05 * shape, -0.02 * shape, 0.02 * shape, 0.05 * shape],
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every fault model is a pure function of (parameters, seed): two
+    /// arms agree, and re-arming a dirty map in place (the campaign
+    /// workers' allocation-free path) equals a fresh draw.
+    #[test]
+    fn fault_models_are_deterministic_and_rearm_cleanly(
+        variant in 0usize..4,
+        ber in 0.0f64..0.02,
+        shape in 0.0f64..1.0,
+        seed in any::<u64>(),
+        stale_seed in any::<u64>(),
+    ) {
+        let model = model_from(variant, ber, shape);
+        let geometry = MemGeometry::new(4096, 16, 16);
+        let calib = BerModel::date16();
+        let mut a = FaultMap::empty(4096, 22);
+        model.arm(&mut a, &geometry, &calib, seed);
+        // Dirty the second map with a different draw first.
+        let mut b = FaultMap::empty(4096, 22);
+        model.arm(&mut b, &geometry, &calib, stale_seed);
+        model.arm(&mut b, &geometry, &calib, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.words(), 4096);
+        prop_assert_eq!(a.width(), 22);
+    }
+
+    /// `Iid` is bit-identical to the historical `FaultMap::regenerate` —
+    /// the equivalence the scenario goldens stand on.
+    #[test]
+    fn iid_model_matches_regenerate(
+        ber in 0.0f64..0.05,
+        seed in any::<u64>(),
+    ) {
+        let geometry = MemGeometry::new(2048, 16, 16);
+        let mut armed = FaultMap::empty(2048, 22);
+        FaultModel::Iid { ber }.arm(&mut armed, &geometry, &BerModel::date16(), seed);
+        prop_assert_eq!(armed, FaultMap::generate(2048, 22, ber, seed));
+    }
+
+    /// Every model realizes its target mean BER: the drawn fault count
+    /// sits in a (generous) band around `mean_ber × cells`.
+    #[test]
+    fn fault_models_hit_their_target_mean_ber(
+        variant in 0usize..4,
+        ber in 2e-3f64..1e-2,
+        shape in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let model = model_from(variant, ber, shape);
+        let words = 65_536usize;
+        let width = 16u32;
+        let geometry = MemGeometry::new(words, width, 16);
+        let calib = BerModel::date16();
+        let mut map = FaultMap::empty(words, width);
+        model.arm(&mut map, &geometry, &calib, seed);
+        let expected = words as f64 * f64::from(width) * model.mean_ber(&calib);
+        let got = map.fault_count() as f64;
+        // >= 2096 expected faults; ±25% is far beyond 6σ even for the
+        // burst model's inflated variance.
+        prop_assert!(
+            (got - expected).abs() < 0.25 * expected,
+            "{}: got {} faults, expected {}",
+            model.kind(), got, expected
+        );
+    }
 }
 
 proptest! {

@@ -11,20 +11,24 @@ use std::sync::Mutex;
 
 use dream_suite::sim::exec;
 use dream_suite::sim::report::CsvSink;
-use dream_suite::sim::scenario::{registry, run_with_sink};
+use dream_suite::sim::scenario::{registry, run_with_sink, FaultModelSpec, Scenario};
 
 /// Serializes tests that pin the global thread override.
 static THREAD_LOCK: Mutex<()> = Mutex::new(());
 
-fn csv_at_threads(preset: &str, threads: usize) -> String {
-    let sc = registry::get(preset, true).expect("preset exists");
+fn scenario_csv_at_threads(sc: &Scenario, threads: usize) -> String {
     exec::set_thread_override(Some(threads));
     let mut sink = CsvSink::new(Vec::new());
-    let outcome = run_with_sink(&sc, &mut sink);
+    let outcome = run_with_sink(sc, &mut sink);
     exec::set_thread_override(None);
     let outcome = outcome.expect("preset runs");
-    assert!(!outcome.rows.is_empty(), "{preset} produced no rows");
+    assert!(!outcome.rows.is_empty(), "{} produced no rows", sc.name);
     String::from_utf8(sink.into_inner()).expect("CSV is UTF-8")
+}
+
+fn csv_at_threads(preset: &str, threads: usize) -> String {
+    let sc = registry::get(preset, true).expect("preset exists");
+    scenario_csv_at_threads(&sc, threads)
 }
 
 fn golden(name: &str) -> String {
@@ -83,4 +87,44 @@ fn tradeoff_preset_is_byte_identical_to_the_pre_refactor_runner() {
 #[test]
 fn ablation_preset_is_byte_identical_to_the_pre_refactor_runner() {
     assert_matches_golden("ablation", "ablation_smoke.csv");
+}
+
+/// The pluggable fault-model layer's correctness bar: with `model: iid`
+/// spelled out in a spec document, every golden preset — replayed through
+/// the full JSON parse path — still matches the pre-refactor bytes at 1
+/// and 4 worker threads.
+#[test]
+fn explicit_iid_model_through_spec_json_stays_golden() {
+    let _guard = THREAD_LOCK.lock().expect("thread lock");
+    for (preset, file) in [
+        ("fig2", "fig2_smoke.csv"),
+        ("fig4", "fig4_smoke.csv"),
+        ("energy", "energy_smoke.csv"),
+        ("tradeoff", "tradeoff_smoke.csv"),
+        ("ablation", "ablation_smoke.csv"),
+    ] {
+        let sc = registry::get(preset, true).expect("preset exists");
+        assert_eq!(
+            sc.fault.model,
+            FaultModelSpec::Iid,
+            "{preset}: paper presets must default to the i.i.d. model"
+        );
+        // Serialize (which spells out "model": {"kind": "iid"}) and
+        // re-parse — the `dream run spec.json` path.
+        let spec = sc.to_json();
+        assert!(
+            spec.contains("\"iid\""),
+            "{preset}: model missing from spec"
+        );
+        let parsed = Scenario::from_json(&spec).expect("spec parses");
+        assert_eq!(parsed, sc, "{preset}: JSON round-trip must be lossless");
+        let want = golden(file);
+        for threads in [1, 4] {
+            let got = scenario_csv_at_threads(&parsed, threads);
+            assert!(
+                got == want,
+                "{preset} with explicit iid model diverged from {file} at {threads} thread(s)"
+            );
+        }
+    }
 }

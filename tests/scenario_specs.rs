@@ -1,9 +1,10 @@
-//! End-to-end spec-file coverage for the two post-paper scenarios:
-//! `noise-sweep` and `geometry-sweep` must run from a registry name *and*
+//! End-to-end spec-file coverage for the post-paper scenarios:
+//! `noise-sweep`, `geometry-sweep`, and the fault-model sweeps
+//! `burst-sweep` / `bank-voltage` must run from a registry name *and*
 //! from a JSON spec file, through every sink format, with identical rows.
 
 use dream_suite::sim::report::{CsvSink, JsonlSink, TableSink};
-use dream_suite::sim::scenario::{registry, run_with_sink, Grid, Scenario};
+use dream_suite::sim::scenario::{registry, run_with_sink, FaultModelSpec, Grid, Scenario};
 
 /// Shrinks a smoke preset to seconds-scale for the differential runs.
 fn tiny(preset: &str) -> Scenario {
@@ -11,10 +12,15 @@ fn tiny(preset: &str) -> Scenario {
     sc.records = 1;
     sc.trials = 1;
     sc.apps.truncate(1);
+    sc.window = 512;
     match &mut sc.grid {
         Grid::NoiseScale(scales) => scales.truncate(2),
         Grid::MemoryWords(words) => words.truncate(2),
-        _ => {}
+        Grid::Voltage(vs) => {
+            // Keep the faulty end so the fault model actually draws.
+            vs.truncate(2);
+        }
+        Grid::BitPosition(bits) => bits.truncate(2),
     }
     sc
 }
@@ -35,7 +41,12 @@ fn run_all_sinks(sc: &Scenario) -> (String, String, String) {
 
 #[test]
 fn new_scenarios_run_from_name_and_from_spec_file_identically() {
-    for preset in ["noise-sweep", "geometry-sweep"] {
+    for preset in [
+        "noise-sweep",
+        "geometry-sweep",
+        "burst-sweep",
+        "bank-voltage",
+    ] {
         let sc = tiny(preset);
 
         // Path A: the in-memory scenario (stand-in for `dream run <name>`).
@@ -85,4 +96,122 @@ fn table_sink_renders_scenario_rows() {
     // through the outcome's row view instead of poking at the sink.
     assert!(!outcome.rows.is_empty());
     assert_eq!(outcome.headers[0], "words");
+}
+
+#[test]
+fn fault_model_axis_changes_outcomes_at_faulty_voltages() {
+    // The model field must be a live axis: at 0.5 V the burst and
+    // bank-voltage draws place different faults than i.i.d., so the rows
+    // diverge — equality would mean the layer is dead code.
+    let mut sc = tiny("fig4");
+    sc.trials = 2;
+    sc.grid = Grid::Voltage(vec![0.5]);
+    let iid = run_with_sink(&sc, &mut dream_suite::sim::report::NullSink).unwrap();
+    for model in [
+        FaultModelSpec::Burst { mean_run_len: 8.0 },
+        FaultModelSpec::ColumnCorrelated { column_weight: 0.8 },
+        FaultModelSpec::PerBankVoltage {
+            bank_offsets: FaultModelSpec::bank_ramp(0.05),
+        },
+    ] {
+        sc.fault.model = model.clone();
+        let varied = run_with_sink(&sc, &mut dream_suite::sim::report::NullSink).unwrap();
+        assert_ne!(
+            iid.rows,
+            varied.rows,
+            "{} must shift the Monte-Carlo outcomes",
+            model.kind_token()
+        );
+    }
+}
+
+#[test]
+fn extends_inherits_the_preset_and_overrides_restated_fields() {
+    // A fault-model variant of fig4 without restating the whole spec.
+    let spec = r#"{
+        "extends": "fig4",
+        "name": "fig4-burst",
+        "window": 512,
+        "records": 1,
+        "trials": 2,
+        "apps": ["dwt"],
+        "grid": {"axis": "voltage", "values": [0.5, 0.9]},
+        "fault": {"model": {"kind": "burst", "mean_run_len": 8}}
+    }"#;
+    let sc = Scenario::from_json(spec).expect("extends spec parses");
+    let base = registry::get("fig4", false).unwrap();
+    // Overridden fields.
+    assert_eq!(sc.name, "fig4-burst");
+    assert_eq!(sc.window, 512);
+    assert_eq!(sc.trials, 2);
+    assert_eq!(sc.grid, Grid::Voltage(vec![0.5, 0.9]));
+    assert_eq!(sc.fault.model, FaultModelSpec::Burst { mean_run_len: 8.0 });
+    // Inherited fields, including the calibration under the partial
+    // "fault" override.
+    assert_eq!(sc.emts, base.emts);
+    assert_eq!(sc.seed, base.seed);
+    assert_eq!(sc.title, base.title);
+    assert_eq!(sc.fault.nominal_v, base.fault.nominal_v);
+    assert_eq!(
+        sc.fault.log10_slope_per_volt,
+        base.fault.log10_slope_per_volt
+    );
+    // And it runs.
+    let outcome = run_with_sink(&sc, &mut dream_suite::sim::report::NullSink).unwrap();
+    assert_eq!(outcome.rows.len(), 2 * sc.emts.len());
+
+    // Unknown presets are named in the error.
+    let err = Scenario::from_json(r#"{"extends": "fig9"}"#).unwrap_err();
+    assert!(err.to_string().contains("fig9"), "{err}");
+    // A bare extends with no overrides is the full preset.
+    let plain = Scenario::from_json(r#"{"extends": "noise-sweep"}"#).unwrap();
+    assert_eq!(plain, registry::get("noise-sweep", false).unwrap());
+    // A variant that overrides fields without renaming itself would
+    // silently overwrite the base preset's artifact — rejected.
+    let err = Scenario::from_json(r#"{"extends": "fig4", "trials": 7}"#).unwrap_err();
+    assert!(err.to_string().contains("name"), "{err}");
+}
+
+#[test]
+fn append_jsonl_sink_accumulates_rows_across_runs() {
+    use dream_suite::sim::report::Sink;
+
+    let dir = std::env::temp_dir().join("dream_scenario_append_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resume.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let sc = tiny("burst-sweep");
+    let run_append = || {
+        let mut sink = JsonlSink::append(&path).expect("append sink opens");
+        let outcome = run_with_sink(&sc, &mut sink).expect("run");
+        sink.finish().expect("flush");
+        outcome
+    };
+    let first = run_append();
+    let after_one = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(after_one.lines().count(), first.rows.len());
+    let second = run_append();
+    let after_two = std::fs::read_to_string(&path).unwrap();
+    // The second campaign continued the artifact instead of truncating it.
+    assert_eq!(
+        after_two.lines().count(),
+        first.rows.len() + second.rows.len()
+    );
+    assert!(after_two.starts_with(&after_one));
+
+    // Spec-level validation: append demands jsonl and an out directory.
+    let mut bad = sc.clone();
+    bad.sink.append = true;
+    bad.sink.format = dream_suite::sim::scenario::SinkFormat::Csv;
+    bad.sink.out = Some(dir.display().to_string());
+    assert!(bad.validate().is_err(), "append+csv must be rejected");
+    bad.sink.format = dream_suite::sim::scenario::SinkFormat::Jsonl;
+    bad.sink.out = None;
+    assert!(
+        bad.validate().is_err(),
+        "append without out must be rejected"
+    );
+    bad.sink.out = Some(dir.display().to_string());
+    bad.validate().expect("append+jsonl+out is valid");
 }
