@@ -121,7 +121,10 @@ impl WordStorage for CountingStorage {
 /// Runs a fig2-shaped spec through the scenario engine, returning the
 /// typed rows of the legacy entry point for equality checks.
 fn run_fig2_scenario(sc: &scenario::Scenario) -> Vec<dream_sim::fig2::Fig2Row> {
-    match scenario::run(sc).expect("valid fig2 scenario").data {
+    let outcome = scenario::CampaignRunner::new(sc.clone())
+        .run_discarding()
+        .expect("valid fig2 scenario");
+    match outcome.data {
         scenario::OutcomeData::Injection(rows) => rows
             .into_iter()
             .map(|r| dream_sim::fig2::Fig2Row {
@@ -137,7 +140,10 @@ fn run_fig2_scenario(sc: &scenario::Scenario) -> Vec<dream_sim::fig2::Fig2Row> {
 
 /// Runs a fig4-shaped spec through the scenario engine.
 fn run_fig4_scenario(sc: &scenario::Scenario) -> Vec<dream_sim::fig4::Fig4Point> {
-    match scenario::run(sc).expect("valid fig4 scenario").data {
+    let outcome = scenario::CampaignRunner::new(sc.clone())
+        .run_discarding()
+        .expect("valid fig4 scenario");
+    match outcome.data {
         scenario::OutcomeData::Fig4(points) => points,
         other => unreachable!("fig4 scenarios yield Fig. 4 points, got {other:?}"),
     }

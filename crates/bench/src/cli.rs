@@ -2,19 +2,26 @@
 //!
 //! ```text
 //! dream list
-//! dream run <scenario|spec.json> [--smoke] [--threads N]
-//!           [--format table|csv|jsonl] [--out DIR] [--append]
+//! dream run <scenario|spec.json> [--smoke] [--threads N] [--progress]
+//!           [--sink table|csv:DIR|jsonl:DIR[,append]]
 //!           [--window N] [--records N] [--trials N] [--runs N]
 //!           [--seed N] [--tolerance DB] [--emt none|parity|dream|ecc]
 //!           [--fault-model iid|burst[:LEN]|column[:WEIGHT]|bank-voltage[:AMP]]
+//! dream spec <scenario|spec.json> [--smoke] [overrides…]
+//! dream serve [--addr HOST:PORT] [--store DIR] [--workers N] [--threads N]
 //! ```
 //!
 //! `run` resolves its target against the scenario registry first; a
 //! target containing a path separator or ending in `.json` is read as a
 //! spec file instead. Rows stream to the selected sink as grid points
-//! complete; with `--out` they stream to
+//! complete; with a `DIR` sink they stream to
 //! `DIR/<scenario>.<csv|jsonl|txt>` and an aligned table still prints to
-//! stdout.
+//! stdout. `--sink` uses the same grammar as the campaign service's sink
+//! negotiation ([`dream_sim::scenario::SinkSpec::parse`]); the historical
+//! `--format`/`--out`/`--append` spellings remain as aliases.
+//!
+//! `spec` prints the fully resolved scenario JSON — the exact payload to
+//! `POST /campaigns` on a `dream serve` instance.
 //!
 //! The historical per-figure binaries (`fig2`, `fig4`, `energy`,
 //! `tradeoff`, `ablation`) are shims over [`legacy_shim`], which maps
@@ -25,7 +32,8 @@ use std::path::PathBuf;
 
 use dream_sim::report::{CsvSink, JsonlSink, TableSink};
 use dream_sim::scenario::{
-    self, emt_from_token, registry, FaultModelSpec, Scenario, ScenarioOutcome, SinkFormat,
+    emt_from_token, registry, CampaignRunner, FaultModelSpec, Scenario, ScenarioOutcome,
+    SinkFormat, SinkSpec,
 };
 
 use crate::Args;
@@ -48,12 +56,54 @@ pub fn main_from_env() {
                 .unwrap_or_else(|| panic!("usage: dream run <scenario|spec.json> [flags]"));
             run(target, &args);
         }
-        Some(other) => panic!("unknown subcommand {other:?} (expected `list` or `run`)"),
+        Some("spec") => {
+            let target = args
+                .positional(1)
+                .unwrap_or_else(|| panic!("usage: dream spec <scenario|spec.json> [flags]"));
+            let mut sc = resolve(target, args.switch("smoke"));
+            apply_overrides(&mut sc, &args);
+            sc.validate()
+                .unwrap_or_else(|e| panic!("scenario {}: {e}", sc.name));
+            println!("{}", sc.to_json());
+        }
+        Some("serve") => serve(&args),
+        Some(other) => {
+            panic!("unknown subcommand {other:?} (expected `list`, `run`, `spec`, or `serve`)")
+        }
         None => {
             list();
-            eprintln!("\nusage: dream run <scenario|spec.json> [--smoke] [--threads N] [--format table|csv|jsonl] [--out DIR]");
+            eprintln!("\nusage: dream run <scenario|spec.json> [--smoke] [--threads N] [--sink table|csv:DIR|jsonl:DIR[,append]]");
+            eprintln!(
+                "       dream spec <scenario|spec.json> [--smoke]   dream serve [--addr HOST:PORT]"
+            );
         }
     }
+}
+
+/// Boots the campaign service: a content-addressed artifact store plus a
+/// worker pool, serving the HTTP API of [`dream_serve`].
+fn serve(args: &Args) {
+    let addr = args.value("addr").unwrap_or("127.0.0.1:7163").to_string();
+    let store_dir = args
+        .value("store")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| crate::results_dir().join("store"));
+    let workers = args.number("workers", 2);
+    let threads = crate::apply_threads(args);
+    let config = dream_serve::ServeConfig {
+        addr: addr.clone(),
+        store_dir: store_dir.clone(),
+        workers,
+        threads,
+    };
+    let server =
+        dream_serve::Server::bind(config).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    eprintln!(
+        "dream serve listening on http://{} (store {}, {workers} workers × {threads} threads)",
+        server.local_addr(),
+        store_dir.display()
+    );
+    server.run().unwrap_or_else(|e| panic!("serve: {e}"));
 }
 
 /// Prints the scenario registry as an aligned table.
@@ -82,7 +132,7 @@ pub fn list() {
 
 /// Resolves a `run` target: registry name first, then spec file.
 fn resolve(target: &str, smoke: bool) -> Scenario {
-    if let Some(sc) = registry::get(target, smoke) {
+    if let Ok(sc) = registry::get(target, smoke) {
         return sc;
     }
     let looks_like_path = target.ends_with(".json") || target.contains('/');
@@ -141,6 +191,8 @@ fn apply_overrides(sc: &mut Scenario, args: &Args) {
     if let Some(token) = args.value("fault-model") {
         sc.fault.model = parse_fault_model(token);
     }
+    // Legacy sink spellings first, so the consolidated `--sink` wins when
+    // both are given.
     if let Some(f) = args.value("format") {
         sc.sink.format = SinkFormat::from_token(f)
             .unwrap_or_else(|| panic!("unknown --format {f:?} (table|csv|jsonl)"));
@@ -150,6 +202,9 @@ fn apply_overrides(sc: &mut Scenario, args: &Args) {
     }
     if args.switch("append") {
         sc.sink.append = true;
+    }
+    if let Some(token) = args.value("sink") {
+        sc.sink = SinkSpec::parse(token).unwrap_or_else(|e| panic!("--sink: {e}"));
     }
 }
 
@@ -206,17 +261,34 @@ pub fn run(target: &str, args: &Args) -> ScenarioOutcome {
         sc.window,
         sc.fault.model.kind_token(),
     );
-    execute(&sc)
+    execute(&sc, args.switch("progress"))
+}
+
+/// Builds the campaign runner every `dream run` goes through; `--progress`
+/// attaches a stderr reporter.
+fn runner_for(sc: &Scenario, progress: bool) -> CampaignRunner {
+    let mut runner = CampaignRunner::new(sc.clone());
+    if progress {
+        let name = sc.name.clone();
+        runner = runner.on_progress(move |p| {
+            eprintln!(
+                "[{name}] batch {}: {} rows streamed ({} trials total)",
+                p.batches, p.rows, p.trials_total
+            );
+        });
+    }
+    runner
 }
 
 /// Executes a scenario against its configured sink, echoing a table to
 /// stdout when rows stream to a file.
-fn execute(sc: &Scenario) -> ScenarioOutcome {
+fn execute(sc: &Scenario, progress: bool) -> ScenarioOutcome {
     // Validate before any artifact is opened: a bad flag combination
-    // (e.g. `--append` without jsonl) must not truncate the very file a
+    // (e.g. `,append` without jsonl) must not truncate the very file a
     // resumed campaign was accumulating.
     sc.validate()
         .unwrap_or_else(|e| panic!("scenario {}: {e}", sc.name));
+    let runner = runner_for(sc, progress);
     let format = sc.sink.format;
     let outcome = match &sc.sink.out {
         None => {
@@ -225,15 +297,15 @@ fn execute(sc: &Scenario) -> ScenarioOutcome {
             let outcome = match format {
                 SinkFormat::Table => {
                     let mut sink = TableSink::new(stdout.lock());
-                    scenario::run_with_sink(sc, &mut sink)
+                    runner.run(&mut sink)
                 }
                 SinkFormat::Csv => {
                     let mut sink = CsvSink::new(stdout.lock());
-                    scenario::run_with_sink(sc, &mut sink)
+                    runner.run(&mut sink)
                 }
                 SinkFormat::Jsonl => {
                     let mut sink = JsonlSink::new(stdout.lock());
-                    scenario::run_with_sink(sc, &mut sink)
+                    runner.run(&mut sink)
                 }
             };
             outcome.unwrap_or_else(|e| panic!("scenario {}: {e}", sc.name))
@@ -244,12 +316,12 @@ fn execute(sc: &Scenario) -> ScenarioOutcome {
                 .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
             let path = dir.join(format!("{}.{}", sc.name, format.extension()));
             let outcome = match format {
-                // `--append` is jsonl-only (spec validation enforces it),
+                // `,append` is jsonl-only (spec validation enforces it),
                 // so the header-writing formats always truncate.
                 SinkFormat::Jsonl if sc.sink.append => {
                     let mut sink = JsonlSink::append(&path)
                         .unwrap_or_else(|e| panic!("cannot append to {}: {e}", path.display()));
-                    scenario::run_with_sink(sc, &mut sink)
+                    runner.run(&mut sink)
                 }
                 _ => {
                     let file = std::fs::File::create(&path)
@@ -257,15 +329,15 @@ fn execute(sc: &Scenario) -> ScenarioOutcome {
                     match format {
                         SinkFormat::Table => {
                             let mut sink = TableSink::new(file);
-                            scenario::run_with_sink(sc, &mut sink)
+                            runner.run(&mut sink)
                         }
                         SinkFormat::Csv => {
                             let mut sink = CsvSink::new(file);
-                            scenario::run_with_sink(sc, &mut sink)
+                            runner.run(&mut sink)
                         }
                         SinkFormat::Jsonl => {
                             let mut sink = JsonlSink::new(file);
-                            scenario::run_with_sink(sc, &mut sink)
+                            runner.run(&mut sink)
                         }
                     }
                 }
@@ -407,6 +479,26 @@ mod tests {
         assert_eq!(sc.fault.model, FaultModelSpec::Burst { mean_run_len: 4.0 });
         assert!(sc.sink.append);
         sc.validate().expect("append+jsonl+out validates");
+    }
+
+    #[test]
+    fn consolidated_sink_flag_wins_over_legacy_spellings() {
+        let mut sc = registry::get("fig4", true).unwrap();
+        let args = Args::parse(
+            [
+                "--format",
+                "csv",
+                "--out",
+                "legacy",
+                "--sink",
+                "jsonl:results/x,append",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        apply_overrides(&mut sc, &args);
+        assert_eq!(sc.sink, SinkSpec::parse("jsonl:results/x,append").unwrap());
+        assert_eq!(sc.sink.token(), "jsonl:results/x,append");
     }
 
     #[test]

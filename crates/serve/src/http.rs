@@ -1,0 +1,298 @@
+//! A deliberately small HTTP/1.1 layer over [`std::net::TcpStream`]: just
+//! enough protocol for the campaign API — request parsing with a bounded
+//! body, plain responses, and chunked transfer encoding for row streams.
+//!
+//! The workspace vendors no HTTP crate, and the API needs exactly four
+//! verbs worth of surface, so the layer is hand-rolled and std-only.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on a request head (start line + headers) in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request body in bytes — campaign specs are small.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP/1.1 request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string (`/campaigns/abc`).
+    pub path: String,
+    /// The raw query string after `?`, empty when absent.
+    pub query: String,
+    /// Header map with lower-cased names.
+    headers: HashMap<String, String>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads one request from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// `Ok(None)` on a cleanly closed connection (EOF before any bytes);
+    /// `Err` on malformed requests, oversized heads/bodies, or transport
+    /// failures.
+    pub fn read(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+        let start = match read_line(reader)? {
+            None => return Ok(None),
+            Some(line) if line.is_empty() => return Ok(None),
+            Some(line) => line,
+        };
+        let mut parts = start.split_whitespace();
+        let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1") => (m, t),
+            _ => return Err(bad(format!("malformed request line {start:?}"))),
+        };
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+
+        let mut headers = HashMap::new();
+        let mut head_bytes = start.len();
+        loop {
+            let line = read_line(reader)?.ok_or_else(|| bad("EOF inside headers".into()))?;
+            if line.is_empty() {
+                break;
+            }
+            head_bytes += line.len();
+            if head_bytes > MAX_HEAD {
+                return Err(bad("request head too large".into()));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad(format!("malformed header line {line:?}")))?;
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+
+        let length: usize = match headers.get("content-length") {
+            None => 0,
+            Some(v) => v
+                .parse()
+                .map_err(|_| bad(format!("bad Content-Length {v:?}")))?,
+        };
+        if length > MAX_BODY {
+            return Err(bad(format!("body of {length} bytes exceeds {MAX_BODY}")));
+        }
+        let mut body = vec![0; length];
+        reader.read_exact(&mut body)?;
+
+        Ok(Some(Request {
+            method: method.to_ascii_uppercase(),
+            path,
+            query,
+            headers,
+            body,
+        }))
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+
+    /// The value of one `key=value` pair in the query string, if present
+    /// (no percent-decoding — the API's tokens don't need it).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line; `None` at EOF.
+fn read_line(reader: &mut BufReader<TcpStream>) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn bad(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Writes a complete (non-chunked) response.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    )?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A chunked-transfer response body: `start`, any number of `chunk`s,
+/// then `finish` (the zero-length terminator).
+pub struct ChunkedBody<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedBody<'a> {
+    /// Writes the response head and opens the chunked body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        content_type: &str,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<ChunkedBody<'a>> {
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n"
+        )?;
+        for (name, value) in extra_headers {
+            write!(stream, "{name}: {value}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
+        stream.flush()?;
+        Ok(ChunkedBody { stream })
+    }
+
+    /// Writes one chunk (empty input writes nothing — an empty chunk
+    /// would terminate the body).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// A parsed client-side response — the test/CI helper's view.
+#[derive(Debug)]
+pub struct Response {
+    /// Numeric status code.
+    pub status: u16,
+    /// Header map with lower-cased names.
+    pub headers: HashMap<String, String>,
+    /// The body, de-chunked when the response used chunked transfer.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .get(&name.to_ascii_lowercase())
+            .map(String::as_str)
+    }
+}
+
+/// Minimal HTTP client for tests and smoke scripts: sends one request to
+/// `addr` and reads the full (de-chunked) response.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors.
+pub fn client_request(addr: &str, method: &str, target: &str, body: &[u8]) -> io::Result<Response> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?.ok_or_else(|| bad("no status line".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("malformed status line {status_line:?}")))?;
+    let mut headers = HashMap::new();
+    loop {
+        let line = read_line(&mut reader)?.ok_or_else(|| bad("EOF inside headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+
+    let mut body = Vec::new();
+    if headers.get("transfer-encoding").map(String::as_str) == Some("chunked") {
+        loop {
+            let size_line =
+                read_line(&mut reader)?.ok_or_else(|| bad("EOF in chunk size".into()))?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                // Trailer section (we send none) ends with a blank line.
+                let _ = read_line(&mut reader)?;
+                break;
+            }
+            let mut chunk = vec![0; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else if let Some(length) = headers.get("content-length") {
+        let length: usize = length
+            .parse()
+            .map_err(|_| bad(format!("bad Content-Length {length:?}")))?;
+        body = vec![0; length];
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}

@@ -1,0 +1,26 @@
+//! `dream-serve` — the campaign service over the scenario engine.
+//!
+//! One `dream serve` process turns the declarative campaign layer into a
+//! long-lived service: specs arrive as JSON over a std-only HTTP/1.1
+//! API, deduplicate against a content-addressed artifact store keyed on
+//! `(spec_hash, seed)`, and stream their JSONL rows back as the worker
+//! pool produces them. Because the engine is deterministic at any thread
+//! count, a finished artifact replays byte-identically without executing
+//! a single trial, and an interrupted one resumes exactly where its last
+//! persisted row stopped.
+//!
+//! * [`hash`] — hand-rolled SHA-256 (the workspace vendors no crypto);
+//! * [`http`] — the minimal request/response/chunked-transfer layer;
+//! * [`store`] — the on-disk artifact store and canonical spec hashing;
+//! * [`server`] — the worker pool, campaign registry, and route handlers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod http;
+pub mod server;
+pub mod store;
+
+pub use server::{ServeConfig, Server};
+pub use store::{campaign_id, canonical_spec_json, spec_hash, Store};

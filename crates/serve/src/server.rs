@@ -1,0 +1,526 @@
+//! The campaign service: a thread-per-connection HTTP front end over a
+//! worker pool and the content-addressed [`Store`].
+//!
+//! ```text
+//! POST /campaigns[?sink=jsonl]  submit a spec; stream its JSONL rows
+//! GET  /campaigns/{id}          status JSON
+//! GET  /campaigns/{id}/rows     stream the row artifact
+//! GET  /presets                 the scenario registry as JSON
+//! GET  /stats                   service counters
+//! ```
+//!
+//! Submissions deduplicate on [`campaign_id`]: a spec whose artifact is
+//! already complete replays from the store without executing a single
+//! trial (`X-Dream-Cache: hit`); one currently running attaches to the
+//! in-flight stream (`join`); anything else enqueues (`miss`). An
+//! interrupted campaign — rows on disk but no completion marker — resumes
+//! where it stopped: the engine is deterministic, so the worker re-runs
+//! the spec with the already-persisted row prefix skipped and appends
+//! only what is missing.
+//!
+//! Every response streams straight from the artifact file, so a cache
+//! hit, a join, and a fresh run all produce byte-identical bodies.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use dream_sim::report::JsonlSink;
+use dream_sim::scenario::{registry, CampaignRunner, Scenario, SinkFormat, SinkSpec};
+
+use crate::http::{write_response, ChunkedBody, Request};
+use crate::store::{campaign_id, spec_hash, Store};
+
+/// How long row-stream followers sleep between artifact polls when no
+/// progress notification arrives.
+const FOLLOW_POLL: Duration = Duration::from_millis(25);
+
+/// Configuration of one [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:7163`; port 0 picks a free port).
+    pub addr: String,
+    /// Root of the artifact store.
+    pub store_dir: PathBuf,
+    /// Campaign worker threads (concurrent campaigns).
+    pub workers: usize,
+    /// Engine threads per campaign.
+    pub threads: usize,
+}
+
+/// Lifecycle of one campaign the service knows about.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Queued,
+    Running,
+    Complete,
+    Failed(String),
+}
+
+impl Status {
+    fn token(&self) -> &'static str {
+        match self {
+            Status::Queued => "queued",
+            Status::Running => "running",
+            Status::Complete => "complete",
+            Status::Failed(_) => "failed",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CampaignInfo {
+    spec: Scenario,
+    status: Status,
+}
+
+struct Job {
+    id: String,
+    spec: Scenario,
+}
+
+/// Service counters surfaced at `GET /stats`.
+#[derive(Debug, Default)]
+struct Stats {
+    campaigns_run: AtomicU64,
+    cache_hits: AtomicU64,
+    /// Flattened trials actually executed by workers — replays from the
+    /// store leave this untouched, which is how the e2e tests prove a
+    /// cache hit re-ran nothing.
+    trials_executed: AtomicU64,
+}
+
+struct State {
+    store: Store,
+    threads: usize,
+    campaigns: Mutex<HashMap<String, CampaignInfo>>,
+    /// Notified on every worker progress event and status change;
+    /// row-stream followers wait on it (with [`FOLLOW_POLL`] as backstop).
+    progress: Condvar,
+    /// Paired with [`State::progress`]; holds no data — the campaign map
+    /// has its own lock so followers never serialize against submitters.
+    progress_lock: Mutex<()>,
+    jobs: mpsc::Sender<Job>,
+    stats: Stats,
+}
+
+impl State {
+    fn status_of(&self, id: &str) -> Option<Status> {
+        self.campaigns
+            .lock()
+            .expect("campaign map lock")
+            .get(id)
+            .map(|info| info.status.clone())
+    }
+
+    fn set_status(&self, id: &str, status: Status) {
+        if let Some(info) = self
+            .campaigns
+            .lock()
+            .expect("campaign map lock")
+            .get_mut(id)
+        {
+            info.status = status;
+        }
+        self.notify();
+    }
+
+    fn notify(&self) {
+        let _guard = self.progress_lock.lock().expect("progress lock");
+        self.progress.notify_all();
+    }
+}
+
+/// The campaign service. [`Server::bind`] opens the listener and store
+/// and spawns the worker pool; [`Server::run`] accepts connections until
+/// the process exits.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+impl Server {
+    /// Binds the listener, opens the store (preloading completed
+    /// artifacts so replays survive restarts), and spawns `workers`
+    /// campaign workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and store-open failures.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let store = Store::open(&config.store_dir)?;
+
+        let mut campaigns = HashMap::new();
+        for (id, spec, complete) in store.scan()? {
+            if complete {
+                campaigns.insert(
+                    id,
+                    CampaignInfo {
+                        spec,
+                        status: Status::Complete,
+                    },
+                );
+            }
+            // Interrupted artifacts stay off the map: the next POST of
+            // the same spec recomputes their id and resumes them.
+        }
+
+        let (jobs, job_rx) = mpsc::channel::<Job>();
+        let state = Arc::new(State {
+            store,
+            threads: config.threads.max(1),
+            campaigns: Mutex::new(campaigns),
+            progress: Condvar::new(),
+            progress_lock: Mutex::new(()),
+            jobs,
+            stats: Stats::default(),
+        });
+
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        for _ in 0..config.workers.max(1) {
+            let state = Arc::clone(&state);
+            let job_rx = Arc::clone(&job_rx);
+            thread::spawn(move || worker_loop(&state, &job_rx));
+        }
+
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener's local address cannot be read (the socket
+    /// was bound moments ago, so this indicates a torn-down stack).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Accepts connections forever, one handler thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures.
+    pub fn run(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let state = Arc::clone(&self.state);
+            thread::spawn(move || {
+                // Connection-level failures (client hung up mid-stream)
+                // only end that connection.
+                let _ = handle_connection(&state, stream);
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the accept loop on a background thread, returning the bound
+    /// address — the in-process harness for tests.
+    pub fn spawn(self) -> SocketAddr {
+        let addr = self.local_addr();
+        thread::spawn(move || {
+            let _ = self.run();
+        });
+        addr
+    }
+}
+
+fn worker_loop(state: &Arc<State>, jobs: &Arc<Mutex<mpsc::Receiver<Job>>>) {
+    loop {
+        let job = match jobs.lock().expect("job queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // server dropped
+        };
+        state.set_status(&job.id, Status::Running);
+        let result = execute_campaign(state, &job);
+        let status = match result {
+            Ok(()) => Status::Complete,
+            Err(e) => Status::Failed(e.to_string()),
+        };
+        state.set_status(&job.id, status);
+    }
+}
+
+/// Runs (or resumes) one campaign, appending missing rows to its artifact
+/// and writing the completion marker last.
+fn execute_campaign(state: &Arc<State>, job: &Job) -> Result<(), Box<dyn std::error::Error>> {
+    let existing = state.store.truncate_ragged_tail(&job.id)?;
+    let mut sink = JsonlSink::append(&state.store.rows_path(&job.id))?;
+
+    state.stats.campaigns_run.fetch_add(1, Ordering::Relaxed);
+    state
+        .stats
+        .trials_executed
+        .fetch_add(job.spec.flatten().len() as u64, Ordering::Relaxed);
+
+    let notifier = Arc::clone(state);
+    let outcome = CampaignRunner::new(job.spec.clone())
+        .threads(state.threads)
+        .skip_rows(existing)
+        .on_progress(move |_| notifier.notify())
+        .run(&mut sink)?;
+
+    state
+        .store
+        .mark_complete(&job.id, &job.spec, outcome.rows.len())?;
+    Ok(())
+}
+
+fn handle_connection(state: &Arc<State>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    let Some(request) = Request::read(&mut reader)? else {
+        return Ok(());
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/campaigns") => post_campaign(state, &mut stream, &request),
+        ("GET", "/presets") => get_presets(&mut stream),
+        ("GET", "/stats") => get_stats(state, &mut stream),
+        ("GET", path) => {
+            if let Some(rest) = path.strip_prefix("/campaigns/") {
+                match rest.strip_suffix("/rows") {
+                    Some(id) => get_rows(state, &mut stream, id),
+                    None => get_status(state, &mut stream, rest),
+                }
+            } else {
+                not_found(&mut stream)
+            }
+        }
+        _ => error_response(&mut stream, 405, "Method Not Allowed", "unsupported method"),
+    }
+}
+
+fn not_found(stream: &mut TcpStream) -> io::Result<()> {
+    error_response(stream, 404, "Not Found", "no such resource")
+}
+
+fn error_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    message: &str,
+) -> io::Result<()> {
+    let body = format!("{{\"error\": {}}}\n", json_string(message));
+    write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        &[],
+        body.as_bytes(),
+    )
+}
+
+/// Minimal JSON string escaping for error payloads.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn get_presets(stream: &mut TcpStream) -> io::Result<()> {
+    let entries: Vec<String> = registry::catalog()
+        .into_iter()
+        .map(|(name, kind, axis, points, title)| {
+            format!(
+                "  {{\"name\": {}, \"kind\": {}, \"axis\": {}, \"points\": {points}, \"title\": {}}}",
+                json_string(&name),
+                json_string(kind),
+                json_string(axis),
+                json_string(&title)
+            )
+        })
+        .collect();
+    let body = format!("[\n{}\n]\n", entries.join(",\n"));
+    write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+}
+
+fn get_stats(state: &Arc<State>, stream: &mut TcpStream) -> io::Result<()> {
+    let body = format!(
+        "{{\"campaigns_run\": {}, \"cache_hits\": {}, \"trials_executed\": {}}}\n",
+        state.stats.campaigns_run.load(Ordering::Relaxed),
+        state.stats.cache_hits.load(Ordering::Relaxed),
+        state.stats.trials_executed.load(Ordering::Relaxed),
+    );
+    write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+}
+
+fn get_status(state: &Arc<State>, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+    let info = state
+        .campaigns
+        .lock()
+        .expect("campaign map lock")
+        .get(id)
+        .cloned();
+    let Some(info) = info else {
+        return not_found(stream);
+    };
+    let rows = state.store.existing_row_count(id).unwrap_or(0);
+    let error = match &info.status {
+        Status::Failed(message) => format!(", \"error\": {}", json_string(message)),
+        _ => String::new(),
+    };
+    let body = format!(
+        "{{\"id\": {}, \"status\": {}, \"rows\": {rows}, \"spec_hash\": {}, \"seed\": {}, \"trials_total\": {}{error}}}\n",
+        json_string(id),
+        json_string(info.status.token()),
+        json_string(&spec_hash(&info.spec)),
+        info.spec.seed,
+        info.spec.flatten().len(),
+    );
+    write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+}
+
+fn get_rows(state: &Arc<State>, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+    if state.status_of(id).is_none() && !state.store.rows_path(id).exists() {
+        return not_found(stream);
+    }
+    stream_rows(state, stream, id, "follow")
+}
+
+fn post_campaign(state: &Arc<State>, stream: &mut TcpStream, request: &Request) -> io::Result<()> {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error_response(stream, 400, "Bad Request", "spec body is not UTF-8"),
+    };
+    let sc = match Scenario::from_json(text) {
+        Ok(sc) => sc,
+        Err(e) => return error_response(stream, 400, "Bad Request", &e.to_string()),
+    };
+    if let Err(e) = sc.validate() {
+        return error_response(stream, 400, "Bad Request", &e.to_string());
+    }
+    // Sink negotiation shares the CLI's `--sink` grammar; the service
+    // streams jsonl and owns artifact placement, so only a bare `jsonl`
+    // (the default) is accepted.
+    if let Some(token) = request.query_param("sink") {
+        let negotiated = match SinkSpec::parse(token) {
+            Ok(spec) => spec,
+            Err(e) => return error_response(stream, 400, "Bad Request", &e.to_string()),
+        };
+        if negotiated.format != SinkFormat::Jsonl || negotiated.out.is_some() {
+            return error_response(
+                stream,
+                400,
+                "Bad Request",
+                "the campaign service streams jsonl rows and owns artifact placement; use sink=jsonl",
+            );
+        }
+    }
+
+    let id = campaign_id(&sc);
+    let cache = {
+        let mut campaigns = state.campaigns.lock().expect("campaign map lock");
+        match campaigns.get(&id).map(|info| info.status.clone()) {
+            Some(Status::Complete) => "hit",
+            Some(Status::Failed(_)) | None if state.store.is_complete(&id) => {
+                campaigns.insert(
+                    id.clone(),
+                    CampaignInfo {
+                        spec: sc.clone(),
+                        status: Status::Complete,
+                    },
+                );
+                "hit"
+            }
+            Some(Status::Queued) | Some(Status::Running) => "join",
+            // Unknown or previously failed: (re-)enqueue. Rows already on
+            // disk from an interrupted run are kept and skipped over.
+            _ => {
+                state.store.begin(&id, &sc)?;
+                campaigns.insert(
+                    id.clone(),
+                    CampaignInfo {
+                        spec: sc.clone(),
+                        status: Status::Queued,
+                    },
+                );
+                state
+                    .jobs
+                    .send(Job {
+                        id: id.clone(),
+                        spec: sc,
+                    })
+                    .expect("worker pool outlives the listener");
+                "miss"
+            }
+        }
+    };
+    if cache == "hit" {
+        state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    stream_rows(state, stream, &id, cache)
+}
+
+/// Streams the row artifact of `id` as a chunked `application/x-ndjson`
+/// body, following the file as the worker appends until the campaign
+/// completes (or fails, in which case the stream ends at the last
+/// persisted row and the status endpoint carries the error).
+fn stream_rows(
+    state: &Arc<State>,
+    stream: &mut TcpStream,
+    id: &str,
+    cache: &str,
+) -> io::Result<()> {
+    let mut body = ChunkedBody::start(
+        stream,
+        "application/x-ndjson",
+        &[("X-Campaign-Id", id), ("X-Dream-Cache", cache)],
+    )?;
+    let path = state.store.rows_path(id);
+    let mut offset: u64 = 0;
+    loop {
+        // Status first, bytes second: when the status already says
+        // "done", every row was on disk before we read (the worker marks
+        // completion after its sink finished), so the final read below
+        // cannot miss a tail.
+        let status = state.status_of(id);
+        let done = !matches!(status, Some(Status::Queued) | Some(Status::Running));
+
+        match std::fs::File::open(&path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+            Ok(mut file) => {
+                file.seek(SeekFrom::Start(offset))?;
+                let mut fresh = Vec::new();
+                file.read_to_end(&mut fresh)?;
+                // Only ship whole rows: a concurrent append can land
+                // between the worker's write syscalls.
+                let boundary = fresh.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                if boundary > 0 {
+                    body.chunk(&fresh[..boundary])?;
+                    offset += boundary as u64;
+                }
+            }
+        }
+
+        if done {
+            return body.finish();
+        }
+        let guard = state.progress_lock.lock().expect("progress lock");
+        let _ = state
+            .progress
+            .wait_timeout(guard, FOLLOW_POLL)
+            .expect("progress lock");
+    }
+}

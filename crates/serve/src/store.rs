@@ -1,0 +1,270 @@
+//! The content-addressed artifact store: one directory per campaign,
+//! keyed on `(spec_hash, seed)`.
+//!
+//! ```text
+//! <root>/<id>/spec.json   the spec as first POSTed (resume + audit)
+//! <root>/<id>/rows.jsonl  the streamed row artifact (append-only)
+//! <root>/<id>/meta.json   written last — its presence marks completion
+//! <root>/<id>/  with no meta.json = an interrupted campaign; the next
+//!               POST of the same spec resumes it via skip-rows append
+//! ```
+//!
+//! The id is `{spec_hash}-{seed:016x}` where `spec_hash` is the first 16
+//! hex digits of the SHA-256 of the **canonical** spec JSON
+//! ([`canonical_spec_json`]): presentation fields (`name`, `title`,
+//! `sink`) are normalized away and the seed is zeroed, so two submissions
+//! that would produce identical rows share one artifact, and the seed —
+//! the one knob that changes rows without changing shape — stays legible
+//! in the id instead of hiding in the digest.
+
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dream_sim::scenario::{Scenario, SinkSpec};
+
+use crate::hash::sha256_hex;
+
+/// Canonicalizes `sc` for hashing: presentation fields cleared, seed
+/// zeroed (it is keyed separately), everything else verbatim.
+pub fn canonical_spec_json(sc: &Scenario) -> String {
+    let mut canonical = sc.clone();
+    canonical.name = "campaign".to_string();
+    canonical.title = String::new();
+    canonical.sink = SinkSpec::default();
+    canonical.seed = 0;
+    canonical.to_json()
+}
+
+/// The first 16 hex digits of the SHA-256 of [`canonical_spec_json`].
+pub fn spec_hash(sc: &Scenario) -> String {
+    sha256_hex(canonical_spec_json(sc).as_bytes())[..16].to_string()
+}
+
+/// The store key of `sc`: `{spec_hash}-{seed:016x}`.
+pub fn campaign_id(sc: &Scenario) -> String {
+    format!("{}-{:016x}", spec_hash(sc), sc.seed)
+}
+
+/// A directory of campaign artifacts addressed by [`campaign_id`].
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: &Path) -> io::Result<Store> {
+        fs::create_dir_all(root)?;
+        Ok(Store {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory of campaign `id`.
+    pub fn dir(&self, id: &str) -> PathBuf {
+        self.root.join(id)
+    }
+
+    /// The row artifact of campaign `id`.
+    pub fn rows_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join("rows.jsonl")
+    }
+
+    /// The stored spec of campaign `id`.
+    pub fn spec_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join("spec.json")
+    }
+
+    /// The completion marker of campaign `id`.
+    pub fn meta_path(&self, id: &str) -> PathBuf {
+        self.dir(id).join("meta.json")
+    }
+
+    /// Prepares the directory of campaign `id` and records its spec.
+    /// Idempotent: re-beginning an interrupted campaign keeps its rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn begin(&self, id: &str, sc: &Scenario) -> io::Result<()> {
+        fs::create_dir_all(self.dir(id))?;
+        fs::write(self.spec_path(id), sc.to_json())
+    }
+
+    /// True when campaign `id` finished (its meta marker exists).
+    pub fn is_complete(&self, id: &str) -> bool {
+        self.meta_path(id).exists()
+    }
+
+    /// The number of complete (newline-terminated) rows currently in the
+    /// artifact of campaign `id`; 0 when it has none. A ragged final line
+    /// (a write cut mid-row by a crash) is not counted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures other than the file not existing.
+    pub fn existing_row_count(&self, id: &str) -> io::Result<usize> {
+        match fs::read(self.rows_path(id)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+            Ok(bytes) => Ok(bytes.iter().filter(|&&b| b == b'\n').count()),
+        }
+    }
+
+    /// Repairs the artifact of campaign `id` for appending: truncates a
+    /// ragged final line (no trailing newline) so the next append starts
+    /// on a row boundary. Returns the surviving row count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn truncate_ragged_tail(&self, id: &str) -> io::Result<usize> {
+        let path = self.rows_path(id);
+        let mut file = match fs::OpenOptions::new().read(true).write(true).open(&path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            other => other?,
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        if keep < bytes.len() {
+            file.set_len(keep as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok(bytes[..keep].iter().filter(|&&b| b == b'\n').count())
+    }
+
+    /// Marks campaign `id` complete with its final row count. Written
+    /// last, after every row is on disk — the marker's existence is the
+    /// completion contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn mark_complete(&self, id: &str, sc: &Scenario, rows: usize) -> io::Result<()> {
+        let mut file = fs::File::create(self.meta_path(id))?;
+        writeln!(
+            file,
+            "{{\"id\": \"{id}\", \"spec_hash\": \"{}\", \"seed\": {}, \"rows\": {rows}}}",
+            spec_hash(sc),
+            sc.seed
+        )
+    }
+
+    /// Every campaign on disk: `(id, spec, complete)`. Directories whose
+    /// spec no longer parses are skipped (a newer spec vocabulary may
+    /// have obsoleted them) — the store never fails to open over them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures.
+    pub fn scan(&self) -> io::Result<Vec<(String, Scenario, bool)>> {
+        let mut found = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let id = entry.file_name().to_string_lossy().to_string();
+            let Ok(text) = fs::read_to_string(self.spec_path(&id)) else {
+                continue;
+            };
+            let Ok(sc) = Scenario::from_json(&text) else {
+                continue;
+            };
+            let complete = self.is_complete(&id);
+            found.push((id, sc, complete));
+        }
+        found.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dream_sim::scenario::registry;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("dream_store_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn presentation_fields_do_not_change_the_address() {
+        let base = registry::get("fig2", true).unwrap();
+        let mut renamed = base.clone();
+        renamed.name = "my-campaign".into();
+        renamed.title = "same physics, different label".into();
+        renamed.sink = SinkSpec::parse("jsonl:elsewhere").unwrap();
+        assert_eq!(campaign_id(&base), campaign_id(&renamed));
+
+        let mut reseeded = base.clone();
+        reseeded.seed += 1;
+        assert_eq!(spec_hash(&base), spec_hash(&reseeded));
+        assert_ne!(campaign_id(&base), campaign_id(&reseeded));
+
+        let mut retrialed = base;
+        retrialed.trials += 1;
+        assert_ne!(
+            spec_hash(&registry::get("fig2", true).unwrap()),
+            spec_hash(&retrialed)
+        );
+    }
+
+    #[test]
+    fn ids_are_filesystem_safe_and_seed_legible() {
+        let sc = registry::get("fig4", true).unwrap();
+        let id = campaign_id(&sc);
+        assert_eq!(id.len(), 16 + 1 + 16);
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit() || c == '-'));
+        assert!(id.ends_with(&format!("{:016x}", sc.seed)));
+    }
+
+    #[test]
+    fn lifecycle_begin_append_complete() {
+        let store = temp_store("lifecycle");
+        let sc = registry::get("fig2", true).unwrap();
+        let id = campaign_id(&sc);
+        store.begin(&id, &sc).unwrap();
+        assert!(!store.is_complete(&id));
+        assert_eq!(store.existing_row_count(&id).unwrap(), 0);
+
+        fs::write(store.rows_path(&id), "{\"a\": 1}\n{\"a\": 2}\n").unwrap();
+        assert_eq!(store.existing_row_count(&id).unwrap(), 2);
+
+        store.mark_complete(&id, &sc, 2).unwrap();
+        assert!(store.is_complete(&id));
+        let scan = store.scan().unwrap();
+        assert_eq!(scan.len(), 1);
+        assert_eq!(scan[0].0, id);
+        assert_eq!(scan[0].1, sc);
+        assert!(scan[0].2);
+    }
+
+    #[test]
+    fn ragged_tails_are_truncated_to_a_row_boundary() {
+        let store = temp_store("ragged");
+        let sc = registry::get("fig2", true).unwrap();
+        let id = campaign_id(&sc);
+        store.begin(&id, &sc).unwrap();
+        fs::write(store.rows_path(&id), "{\"a\": 1}\n{\"a\": 2}\n{\"a\"").unwrap();
+        // Read-only counting ignores the ragged tail…
+        assert_eq!(store.existing_row_count(&id).unwrap(), 2);
+        // …and repair removes it so appends start on a row boundary.
+        assert_eq!(store.truncate_ragged_tail(&id).unwrap(), 2);
+        assert_eq!(
+            fs::read_to_string(store.rows_path(&id)).unwrap(),
+            "{\"a\": 1}\n{\"a\": 2}\n"
+        );
+    }
+}

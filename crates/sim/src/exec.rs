@@ -21,13 +21,26 @@
 //!
 //! # Thread count
 //!
-//! Resolution order: explicit [`set_thread_override`] (used by the bench
-//! binaries' `--threads` flag and the determinism tests) → the
-//! `DREAM_THREADS` environment variable → `available_parallelism()`.
-//! A count of 1 reproduces the historical serial path exactly, worker
-//! scratch included.
+//! Resolution order: the scoped [`with_ambient_threads`] binding (used by
+//! `CampaignRunner::threads`, so concurrent campaigns on different driver
+//! threads can each pin their own count) → explicit [`set_thread_override`]
+//! (used by the bench binaries' `--threads` flag and the determinism
+//! tests) → the `DREAM_THREADS` environment variable →
+//! `available_parallelism()`. A count of 1 reproduces the historical
+//! serial path exactly, worker scratch included.
+//!
+//! # Cancellation
+//!
+//! [`run_trials_cancellable`] accepts a [`CancelToken`]; workers stop
+//! claiming trials once it fires and the call returns [`Cancelled`]
+//! instead of a partial (and therefore non-deterministic-looking) result
+//! vector. Because campaigns are deterministic, a cancelled campaign is
+//! resumed by re-running it and skipping the rows already emitted.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Environment variable selecting the worker count (`1` = serial).
 pub const THREADS_ENV: &str = "DREAM_THREADS";
@@ -36,6 +49,76 @@ pub const THREADS_ENV: &str = "DREAM_THREADS";
 /// [`THREADS_ENV`] so binaries and tests can pin the count without
 /// mutating the process environment.
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Driver-thread-scoped worker count (0 = unset). Outranks the global
+    /// override: a server worker pinning its own campaign must not race
+    /// other campaigns through a process-wide atomic.
+    static AMBIENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A shared flag requesting cooperative cancellation of a campaign.
+///
+/// Clones observe the same flag; once [`cancel`](CancelToken::cancel) is
+/// called every [`run_trials_cancellable`] holding a clone stops claiming
+/// trials and returns [`Cancelled`]. The flag is sticky — there is no
+/// un-cancel.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token. Idempotent and callable from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The campaign stopped because its [`CancelToken`] fired; any partial
+/// results were discarded to preserve the determinism contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("campaign cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// Runs `f` with the thread count pinned to `threads` on this thread (and
+/// every campaign it drives); `None` inherits the surrounding resolution.
+/// The previous binding is restored on exit, panic included.
+pub fn with_ambient_threads<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
+    if let Some(n) = threads {
+        assert!(n > 0, "ambient thread count must be at least 1");
+    }
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let prev = AMBIENT_THREADS.with(|c| {
+        let prev = c.get();
+        if let Some(n) = threads {
+            c.set(n);
+        }
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
 
 /// Pins the worker count for all subsequent campaigns (`None` restores
 /// the environment/auto-detect resolution).
@@ -52,14 +135,18 @@ pub fn set_thread_override(threads: Option<usize>) {
     }
 }
 
-/// The worker count campaigns will use right now (override → env →
-/// available parallelism; at least 1).
+/// The worker count campaigns will use right now (ambient scope →
+/// override → env → available parallelism; at least 1).
 ///
 /// # Panics
 ///
 /// Panics if [`THREADS_ENV`] is set to something other than a positive
 /// integer — a typo silently falling back to all cores would be worse.
 pub fn thread_count() -> usize {
+    let ambient = AMBIENT_THREADS.with(Cell::get);
+    if ambient > 0 {
+        return ambient;
+    }
     let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
     if forced > 0 {
         return forced;
@@ -101,14 +188,44 @@ where
     T: Sync,
     R: Send,
 {
+    run_trials_cancellable(trials, scratch, run, None)
+        .expect("run without a cancel token cannot be cancelled")
+}
+
+/// [`run_trials`] with cooperative cancellation: workers poll `cancel`
+/// before claiming each trial and stop as soon as it fires, returning
+/// [`Cancelled`]. With `cancel: None` the behaviour (and determinism
+/// contract) is exactly [`run_trials`].
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the token fired before all trials completed.
+///
+/// # Panics
+///
+/// Propagates a panic from any trial.
+pub fn run_trials_cancellable<T, C, R>(
+    trials: &[T],
+    scratch: impl Fn() -> C + Sync,
+    run: impl Fn(&mut C, &T, usize) -> R + Sync,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<R>, Cancelled>
+where
+    T: Sync,
+    R: Send,
+{
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let workers = thread_count().min(trials.len().max(1));
     if workers <= 1 {
         let mut arena = scratch();
-        return trials
-            .iter()
-            .enumerate()
-            .map(|(i, t)| run(&mut arena, t, i))
-            .collect();
+        let mut out = Vec::with_capacity(trials.len());
+        for (i, t) in trials.iter().enumerate() {
+            if cancelled() {
+                return Err(Cancelled);
+            }
+            out.push(run(&mut arena, t, i));
+        }
+        return Ok(out);
     }
     let cursor = AtomicUsize::new(0);
     let partials: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
@@ -118,6 +235,9 @@ where
                     let mut arena = scratch();
                     let mut out = Vec::new();
                     loop {
+                        if cancelled() {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= trials.len() {
                             break;
@@ -133,6 +253,9 @@ where
             .map(|h| h.join().expect("campaign worker panicked"))
             .collect()
     });
+    if cancelled() {
+        return Err(Cancelled);
+    }
     // Order-restoring merge: slot every result back at its trial index.
     let mut slots: Vec<Option<R>> = Vec::with_capacity(trials.len());
     slots.resize_with(trials.len(), || None);
@@ -140,10 +263,10 @@ where
         debug_assert!(slots[i].is_none(), "trial {i} ran twice");
         slots[i] = Some(r);
     }
-    slots
+    Ok(slots
         .into_iter()
         .map(|r| r.expect("every trial ran exactly once"))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -219,5 +342,70 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_override_rejected() {
         set_thread_override(Some(0));
+    }
+
+    #[test]
+    fn ambient_threads_outrank_the_global_override() {
+        let _guard = OVERRIDE_LOCK.lock().expect("override lock");
+        set_thread_override(Some(2));
+        assert_eq!(thread_count(), 2);
+        with_ambient_threads(Some(5), || {
+            assert_eq!(thread_count(), 5);
+            // None inherits the surrounding binding instead of clearing it.
+            with_ambient_threads(None, || assert_eq!(thread_count(), 5));
+        });
+        assert_eq!(thread_count(), 2, "binding must be restored on exit");
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn a_fired_token_cancels_before_any_trial_runs() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        for threads in [1, 3] {
+            let err = with_threads(threads, || {
+                run_trials_cancellable(
+                    &[1u8, 2, 3],
+                    || (),
+                    |_, &t, _| -> u8 { panic!("trial {t} ran after cancellation") },
+                    Some(&token),
+                )
+            });
+            assert_eq!(err, Err(Cancelled), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cancelling_midway_stops_the_remaining_trials() {
+        use std::sync::atomic::AtomicUsize;
+        let token = CancelToken::new();
+        let ran = AtomicUsize::new(0);
+        let trials: Vec<usize> = (0..1000).collect();
+        let err = with_threads(1, || {
+            run_trials_cancellable(
+                &trials,
+                || (),
+                |_, &t, _| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if t == 4 {
+                        token.cancel();
+                    }
+                },
+                Some(&token),
+            )
+        });
+        assert_eq!(err, Err(Cancelled));
+        assert_eq!(ran.load(Ordering::SeqCst), 5, "serial path stops at once");
+    }
+
+    #[test]
+    fn no_token_matches_run_trials_exactly() {
+        let trials: Vec<usize> = (0..50).collect();
+        let plain = with_threads(2, || run_trials(&trials, || (), |_, &t, _| t * 7));
+        let cancellable = with_threads(2, || {
+            run_trials_cancellable(&trials, || (), |_, &t, _| t * 7, None)
+        });
+        assert_eq!(cancellable.as_deref(), Ok(plain.as_slice()));
     }
 }

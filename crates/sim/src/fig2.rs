@@ -11,7 +11,9 @@ use dream_dsp::AppKind;
 use dream_ecg::Database;
 use dream_mem::StuckAt;
 
-use crate::scenario::{self, registry, FaultSpec, Grid, Kind, OutcomeData, Scenario, SinkSpec};
+use crate::scenario::{
+    registry, CampaignRunner, FaultSpec, Grid, Kind, OutcomeData, Scenario, SinkSpec,
+};
 
 /// Configuration of the Fig. 2 characterization.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -95,8 +97,9 @@ pub struct Fig2Row {
 /// Panics if the configuration fails scenario validation (empty app list,
 /// window below 256).
 pub fn run_fig2(cfg: &Fig2Config) -> Vec<Fig2Row> {
-    let outcome =
-        scenario::run(&cfg.to_scenario()).expect("fig2 config compiles to a valid scenario");
+    let outcome = CampaignRunner::new(cfg.to_scenario())
+        .run_discarding()
+        .expect("fig2 config compiles to a valid scenario");
     match outcome.data {
         OutcomeData::Injection(rows) => rows
             .into_iter()

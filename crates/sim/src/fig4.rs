@@ -12,7 +12,9 @@ use dream_dsp::AppKind;
 use dream_ecg::Database;
 use dream_mem::BerModel;
 
-use crate::scenario::{self, registry, FaultSpec, Grid, Kind, OutcomeData, Scenario, SinkSpec};
+use crate::scenario::{
+    registry, CampaignRunner, FaultSpec, Grid, Kind, OutcomeData, Scenario, SinkSpec,
+};
 
 /// Configuration of the Fig. 4 voltage sweep.
 #[derive(Clone, Debug, PartialEq)]
@@ -113,8 +115,9 @@ pub struct Fig4Point {
 /// Panics if the configuration fails scenario validation (empty app or
 /// EMT list, empty voltage grid, window below 256).
 pub fn run_fig4(cfg: &Fig4Config) -> Vec<Fig4Point> {
-    let outcome =
-        scenario::run(&cfg.to_scenario()).expect("fig4 config compiles to a valid scenario");
+    let outcome = CampaignRunner::new(cfg.to_scenario())
+        .run_discarding()
+        .expect("fig4 config compiles to a valid scenario");
     match outcome.data {
         OutcomeData::Fig4(points) => points,
         other => unreachable!("voltage SNR scenarios yield Fig. 4 points, got {other:?}"),

@@ -24,7 +24,7 @@ use crate::campaign::{
     banked_geometry, cap_snr, fault_seed, record_suite_with_noise, reference_outputs, EmtMemory,
 };
 use crate::energy_table::{run_energy_table, EnergyConfig, EnergyRow};
-use crate::exec;
+use crate::exec::{self, CancelToken};
 use crate::fig4::Fig4Point;
 use crate::report::Sink;
 use crate::tradeoff::{explore, TradeoffPolicy};
@@ -132,13 +132,18 @@ pub struct ScenarioOutcome {
     pub data: OutcomeData,
 }
 
-/// An engine failure: a bad spec or a sink I/O error.
+/// An engine failure: a bad spec, a sink I/O error, or a cancellation.
 #[derive(Debug)]
 pub enum EngineError {
     /// The spec failed validation.
     Spec(SpecError),
     /// A sink write failed.
     Io(io::Error),
+    /// The campaign's [`CancelToken`] fired before it completed. Any rows
+    /// already streamed form a deterministic prefix of the full output —
+    /// resume by re-running and skipping them
+    /// (`CampaignRunner::skip_rows`).
+    Cancelled,
 }
 
 impl std::fmt::Display for EngineError {
@@ -146,6 +151,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Spec(e) => e.fmt(f),
             EngineError::Io(e) => write!(f, "sink error: {e}"),
+            EngineError::Cancelled => f.write_str("campaign cancelled"),
         }
     }
 }
@@ -164,14 +170,34 @@ impl From<io::Error> for EngineError {
     }
 }
 
+impl From<exec::Cancelled> for EngineError {
+    fn from(_: exec::Cancelled) -> Self {
+        EngineError::Cancelled
+    }
+}
+
+/// Returns [`EngineError::Cancelled`] once `cancel` has fired — the
+/// coarse-grained check the non-`run_trials` stretches of a campaign
+/// (energy tables, study boundaries) poll between units of work.
+fn ensure_live(cancel: Option<&CancelToken>) -> Result<(), EngineError> {
+    if cancel.is_some_and(CancelToken::is_cancelled) {
+        return Err(EngineError::Cancelled);
+    }
+    Ok(())
+}
+
 /// Runs a scenario, discarding the streamed rows (callers that only want
 /// the typed outcome).
 ///
 /// # Errors
 ///
 /// Returns [`EngineError::Spec`] when the spec fails validation.
+#[deprecated(
+    since = "0.6.0",
+    note = "drive campaigns through `scenario::CampaignRunner` (`CampaignRunner::new(sc).run_discarding()`)"
+)]
 pub fn run(sc: &Scenario) -> Result<ScenarioOutcome, EngineError> {
-    run_with_sink(sc, &mut crate::report::NullSink)
+    run_campaign(sc, &mut crate::report::NullSink, None)
 }
 
 /// Runs a scenario, streaming result rows to `sink` as grid points
@@ -181,16 +207,33 @@ pub fn run(sc: &Scenario) -> Result<ScenarioOutcome, EngineError> {
 ///
 /// Returns [`EngineError::Spec`] for invalid specs and
 /// [`EngineError::Io`] for sink failures.
+#[deprecated(
+    since = "0.6.0",
+    note = "drive campaigns through `scenario::CampaignRunner` (`CampaignRunner::new(sc).run(sink)`)"
+)]
 pub fn run_with_sink(sc: &Scenario, sink: &mut dyn Sink) -> Result<ScenarioOutcome, EngineError> {
+    run_campaign(sc, sink, None)
+}
+
+/// The engine's single entry point: validates, dispatches by
+/// (kind, grid) family, streams rows to `sink`, and polls `cancel`
+/// cooperatively. Public API surface is `scenario::CampaignRunner`, which
+/// adds thread pinning and progress instrumentation on top.
+pub(crate) fn run_campaign(
+    sc: &Scenario,
+    sink: &mut dyn Sink,
+    cancel: Option<&CancelToken>,
+) -> Result<ScenarioOutcome, EngineError> {
     sc.validate()?;
+    ensure_live(cancel)?;
     match (&sc.kind, &sc.grid) {
-        (Kind::SnrSweep, Grid::BitPosition(bits)) => run_injection(sc, bits, sink),
-        (Kind::SnrSweep, Grid::Voltage(vs)) => run_voltage(sc, vs, sink),
-        (Kind::SnrSweep, Grid::NoiseScale(scales)) => run_noise(sc, scales, sink),
-        (Kind::EnergySweep, Grid::Voltage(vs)) => run_energy(sc, vs, sink),
-        (Kind::EnergySweep, Grid::MemoryWords(words)) => run_geometry(sc, words, sink),
-        (Kind::Tradeoff, Grid::Voltage(vs)) => run_tradeoff(sc, vs, sink),
-        (Kind::Ablation, Grid::Voltage(vs)) => run_ablation(sc, vs, sink),
+        (Kind::SnrSweep, Grid::BitPosition(bits)) => run_injection(sc, bits, sink, cancel),
+        (Kind::SnrSweep, Grid::Voltage(vs)) => run_voltage(sc, vs, sink, cancel),
+        (Kind::SnrSweep, Grid::NoiseScale(scales)) => run_noise(sc, scales, sink, cancel),
+        (Kind::EnergySweep, Grid::Voltage(vs)) => run_energy(sc, vs, sink, cancel),
+        (Kind::EnergySweep, Grid::MemoryWords(words)) => run_geometry(sc, words, sink, cancel),
+        (Kind::Tradeoff, Grid::Voltage(vs)) => run_tradeoff(sc, vs, sink, cancel),
+        (Kind::Ablation, Grid::Voltage(vs)) => run_ablation(sc, vs, sink, cancel),
         _ => unreachable!("validate() rejects incompatible kind/grid pairs"),
     }
 }
@@ -224,6 +267,7 @@ fn run_injection(
     sc: &Scenario,
     bits: &[u32],
     sink: &mut dyn Sink,
+    cancel: Option<&CancelToken>,
 ) -> Result<ScenarioOutcome, EngineError> {
     let records = record_suite_with_noise(sc.window, sc.effective_records(), sc.noise_scale);
     let headers = injection_headers(sc);
@@ -273,20 +317,25 @@ fn run_injection(
                 let map = FaultMap::empty(geometry.words(), width);
                 (app, mem, map, words)
             };
-            let snrs = exec::run_trials(&trials, scratch, |(app, mem, map, words), t, _| {
-                // One faulty cell at a deterministic pseudo-random location
-                // in the app's buffer footprint. The location depends only
-                // on (record, trial) — not on the bit or polarity — so the
-                // bit axis is a paired comparison, as when profiling one
-                // physical die.
-                let seed = fault_seed(sc.seed, t.record, t.trial);
-                let word = (seed % *words as u64) as usize;
-                map.clear();
-                map.inject(word, t.bit, t.stuck);
-                mem.reset_with_fault_map(map);
-                let out = mem.run_app(&**app, &records[t.record].samples);
-                cap_snr(snr_db(&references[t.record], &samples_to_f64(&out)))
-            });
+            let snrs = exec::run_trials_cancellable(
+                &trials,
+                scratch,
+                |(app, mem, map, words), t, _| {
+                    // One faulty cell at a deterministic pseudo-random location
+                    // in the app's buffer footprint. The location depends only
+                    // on (record, trial) — not on the bit or polarity — so the
+                    // bit axis is a paired comparison, as when profiling one
+                    // physical die.
+                    let seed = fault_seed(sc.seed, t.record, t.trial);
+                    let word = (seed % *words as u64) as usize;
+                    map.clear();
+                    map.inject(word, t.bit, t.stuck);
+                    mem.reset_with_fault_map(map);
+                    let out = mem.run_app(&**app, &records[t.record].samples);
+                    cap_snr(snr_db(&references[t.record], &samples_to_f64(&out)))
+                },
+                cancel,
+            )?;
             // Per-point averages, each over its contiguous chunk in trial
             // order (bit-exact with the historical serial reduction).
             let runs_per_point = records.len() * sc.trials;
@@ -331,23 +380,38 @@ struct Cell {
     corrected: f64,
 }
 
+/// Point-invariant inputs of one Monte-Carlo draw batch: the resolved
+/// fault model, the calibration behind it, the record suite with its
+/// references, the shared geometry, and the campaign's cancel token.
+struct DrawCtx<'a> {
+    /// The point-resolved [`FaultModel`]
+    /// ([`crate::scenario::FaultModelSpec::resolve`] at the point's
+    /// operating voltage).
+    fault_model: &'a FaultModel,
+    /// Feeds the per-bank-voltage model's ΔV→BER mapping.
+    ber_model: &'a BerModel,
+    records: &'a [Record],
+    references: &'a [Vec<Vec<f64>>],
+    geometry: MemGeometry,
+    cancel: Option<&'a CancelToken>,
+}
+
 /// Runs the draws of one grid point: `sc.trials` maps drawn by
-/// `fault_model`, each shared across every EMT and app (§V methodology),
-/// returning the cells in (run, emt, app) order.
-///
-/// `fault_model` is the point-resolved [`FaultModel`]
-/// ([`crate::scenario::FaultModelSpec::resolve`] at the point's operating
-/// voltage); `ber_model` feeds the per-bank-voltage model's ΔV→BER
-/// mapping.
+/// `ctx.fault_model`, each shared across every EMT and app (§V
+/// methodology), returning the cells in (run, emt, app) order.
 fn draw_point(
     sc: &Scenario,
     point: usize,
-    fault_model: &FaultModel,
-    ber_model: &BerModel,
-    records: &[Record],
-    references: &[Vec<Vec<f64>>],
-    geometry: MemGeometry,
-) -> Vec<Vec<Cell>> {
+    ctx: &DrawCtx,
+) -> Result<Vec<Vec<Cell>>, exec::Cancelled> {
+    let DrawCtx {
+        fault_model,
+        ber_model,
+        records,
+        references,
+        geometry,
+        cancel,
+    } = *ctx;
     let runs: Vec<usize> = (0..sc.trials).collect();
     let scratch = || {
         let apps: Vec<Box<dyn BiomedicalApp>> =
@@ -360,48 +424,53 @@ fn draw_point(
         let map = FaultMap::empty(geometry.words(), SHARED_MAP_WIDTH);
         (apps, mems, map)
     };
-    exec::run_trials(&runs, scratch, |(apps, mems, map), &run, _| {
-        // Same seed across EMTs and apps => same fault map, as in the
-        // paper; the wide map covers the widest codeword. `Iid` draws are
-        // bit-identical to the historical `regenerate` call.
-        let seed = fault_seed(sc.seed, point, run);
-        fault_model.arm(map, &geometry, ber_model, seed);
-        let record = &records[run % records.len()];
-        let mut cells = Vec::with_capacity(sc.emts.len() * apps.len());
-        for mem in mems.iter_mut() {
-            for (ai, app) in apps.iter().enumerate() {
-                mem.reset_with_fault_map(map);
-                if let Some(base) = sc.scrambler_key {
-                    // Fresh logical→physical mapping per (point, run): the
-                    // §V randomization that lets one die emulate many.
-                    mem.set_scrambler(AddressScrambler::new(
-                        geometry.words(),
-                        fault_seed(base, point, run),
+    exec::run_trials_cancellable(
+        &runs,
+        scratch,
+        |(apps, mems, map), &run, _| {
+            // Same seed across EMTs and apps => same fault map, as in the
+            // paper; the wide map covers the widest codeword. `Iid` draws are
+            // bit-identical to the historical `regenerate` call.
+            let seed = fault_seed(sc.seed, point, run);
+            fault_model.arm(map, &geometry, ber_model, seed);
+            let record = &records[run % records.len()];
+            let mut cells = Vec::with_capacity(sc.emts.len() * apps.len());
+            for mem in mems.iter_mut() {
+                for (ai, app) in apps.iter().enumerate() {
+                    mem.reset_with_fault_map(map);
+                    if let Some(base) = sc.scrambler_key {
+                        // Fresh logical→physical mapping per (point, run): the
+                        // §V randomization that lets one die emulate many.
+                        mem.set_scrambler(AddressScrambler::new(
+                            geometry.words(),
+                            fault_seed(base, point, run),
+                        ));
+                    }
+                    let out = mem.run_app(&**app, &record.samples);
+                    let snr = cap_snr(snr_db(
+                        &references[ai][run % records.len()],
+                        &samples_to_f64(&out),
                     ));
+                    let stats = mem.stats();
+                    let (uncorrectable, corrected) = if stats.reads > 0 {
+                        (
+                            stats.uncorrectable_reads as f64 / stats.reads as f64,
+                            stats.corrected_reads as f64 / stats.reads as f64,
+                        )
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    cells.push(Cell {
+                        snr_db: snr,
+                        uncorrectable,
+                        corrected,
+                    });
                 }
-                let out = mem.run_app(&**app, &record.samples);
-                let snr = cap_snr(snr_db(
-                    &references[ai][run % records.len()],
-                    &samples_to_f64(&out),
-                ));
-                let stats = mem.stats();
-                let (uncorrectable, corrected) = if stats.reads > 0 {
-                    (
-                        stats.uncorrectable_reads as f64 / stats.reads as f64,
-                        stats.corrected_reads as f64 / stats.reads as f64,
-                    )
-                } else {
-                    (0.0, 0.0)
-                };
-                cells.push(Cell {
-                    snr_db: snr,
-                    uncorrectable,
-                    corrected,
-                });
             }
-        }
-        cells
-    })
+            cells
+        },
+        cancel,
+    )
 }
 
 /// Aggregates one grid point's cells into per-(EMT, app) statistics, in
@@ -490,7 +559,8 @@ fn voltage_points(
     sc: &Scenario,
     voltages: &[f64],
     mut on_point: impl FnMut(&[Fig4Point]) -> io::Result<()>,
-) -> io::Result<Vec<Fig4Point>> {
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<Fig4Point>, EngineError> {
     let records = record_suite_with_noise(sc.window, sc.effective_records(), sc.noise_scale);
     let (_apps, geometry, references) = draw_shared(sc, &records);
     let model = sc.fault.to_model();
@@ -500,12 +570,15 @@ fn voltage_points(
         let results = draw_point(
             sc,
             vi,
-            &fault_model,
-            &model,
-            &records,
-            &references,
-            geometry,
-        );
+            &DrawCtx {
+                fault_model: &fault_model,
+                ber_model: &model,
+                records: &records,
+                references: &references,
+                geometry,
+                cancel,
+            },
+        )?;
         let batch: Vec<Fig4Point> = aggregate_point(sc, &results)
             .into_iter()
             .map(|(emt, app, mean, min)| Fig4Point {
@@ -528,14 +601,20 @@ fn run_voltage(
     sc: &Scenario,
     voltages: &[f64],
     sink: &mut dyn Sink,
+    cancel: Option<&CancelToken>,
 ) -> Result<ScenarioOutcome, EngineError> {
     sink.begin(&FIG4_HEADERS)?;
     let mut rendered = Vec::new();
-    let points = voltage_points(sc, voltages, |batch| {
-        let rows: Vec<Vec<String>> = batch.iter().map(fig4_render).collect();
-        rendered.extend(rows.iter().cloned());
-        sink.emit(&rows)
-    })?;
+    let points = voltage_points(
+        sc,
+        voltages,
+        |batch| {
+            let rows: Vec<Vec<String>> = batch.iter().map(fig4_render).collect();
+            rendered.extend(rows.iter().cloned());
+            sink.emit(&rows)
+        },
+        cancel,
+    )?;
     sink.finish()?;
     Ok(ScenarioOutcome {
         scenario: sc.clone(),
@@ -549,6 +628,7 @@ fn run_noise(
     sc: &Scenario,
     scales: &[f64],
     sink: &mut dyn Sink,
+    cancel: Option<&CancelToken>,
 ) -> Result<ScenarioOutcome, EngineError> {
     let headers = vec![
         "noise_scale",
@@ -591,7 +671,18 @@ fn run_noise(
             suite = Some((key, records, references));
         }
         let (_, records, references) = suite.as_ref().expect("just populated");
-        let results = draw_point(sc, si, &fault_model, &model, records, references, geometry);
+        let results = draw_point(
+            sc,
+            si,
+            &DrawCtx {
+                fault_model: &fault_model,
+                ber_model: &model,
+                records,
+                references,
+                geometry,
+                cancel,
+            },
+        )?;
         let mut batch = Vec::new();
         for (emt, app, mean, min) in aggregate_point(sc, &results) {
             let row = NoisePoint {
@@ -660,8 +751,10 @@ fn run_energy(
     sc: &Scenario,
     voltages: &[f64],
     sink: &mut dyn Sink,
+    cancel: Option<&CancelToken>,
 ) -> Result<ScenarioOutcome, EngineError> {
     sink.begin(&ENERGY_HEADERS)?;
+    ensure_live(cancel)?;
     let rows = run_energy_table(&energy_config(sc, voltages));
     // Stream one batch per voltage (the table computes in one pass; the
     // batching keeps sink behaviour uniform across families).
@@ -684,6 +777,7 @@ fn run_geometry(
     sc: &Scenario,
     words: &[usize],
     sink: &mut dyn Sink,
+    cancel: Option<&CancelToken>,
 ) -> Result<ScenarioOutcome, EngineError> {
     let headers = vec![
         "words",
@@ -701,12 +795,15 @@ fn run_geometry(
     // rather than in `validate` — but still before the sink opens, so a
     // bad spec cannot leave a truncated artifact behind.
     if let Some(&w) = words.iter().find(|&&w| w < app.memory_words()) {
-        return Err(EngineError::Spec(SpecError(format!(
-            "memory of {w} words cannot hold the {} footprint of {} words at window {}",
-            sc.apps[0],
-            app.memory_words(),
-            sc.window
-        ))));
+        return Err(EngineError::Spec(SpecError::value(
+            "grid.values",
+            format!(
+                "memory of {w} words cannot hold the {} footprint of {} words at window {}",
+                sc.apps[0],
+                app.memory_words(),
+                sc.window
+            ),
+        )));
     }
     sink.begin(&headers)?;
     let record = dream_ecg::Database::record(100, sc.window);
@@ -721,7 +818,7 @@ fn run_geometry(
     let trials: Vec<Price> = (0..words.len())
         .flat_map(|point| (0..sc.emts.len()).map(move |emt| Price { point, emt }))
         .collect();
-    let runs = exec::run_trials(
+    let runs = exec::run_trials_cancellable(
         &trials,
         || (),
         |(), t, _| {
@@ -733,7 +830,8 @@ fn run_geometry(
             let mut soc = Soc::new(config, sc.emts[t.emt], None);
             soc.run_app(&*app, &record.samples)
         },
-    );
+        cancel,
+    )?;
     let mut typed = Vec::new();
     let mut rendered = Vec::new();
     for (pi, &w) in words.iter().enumerate() {
@@ -800,10 +898,12 @@ fn run_tradeoff(
     sc: &Scenario,
     voltages: &[f64],
     sink: &mut dyn Sink,
+    cancel: Option<&CancelToken>,
 ) -> Result<ScenarioOutcome, EngineError> {
     let headers = vec!["emt", "min_voltage", "savings"];
     sink.begin(&headers)?;
-    let points = voltage_points(sc, voltages, |_| Ok(()))?;
+    let points = voltage_points(sc, voltages, |_| Ok(()), cancel)?;
+    ensure_live(cancel)?;
     let energy = run_energy_table(&energy_config(sc, voltages));
     let tolerance = sc.tolerance_db.unwrap_or(1.0);
     let policies = explore(sc.apps[0], tolerance, &points, &energy);
@@ -839,6 +939,7 @@ fn run_ablation(
     sc: &Scenario,
     voltages: &[f64],
     sink: &mut dyn Sink,
+    cancel: Option<&CancelToken>,
 ) -> Result<ScenarioOutcome, EngineError> {
     /// Operating voltage of the scrambler study: deep in the faulty region.
     const SCRAMBLER_VOLTAGE: f64 = 0.55;
@@ -884,7 +985,10 @@ fn run_ablation(
     });
     push_batch(sink, batch)?;
 
-    // A2 — the §V address scrambler: one die, many runs.
+    // A2 — the §V address scrambler: one die, many runs. (The studies
+    // call `run_trials` through the ablation module, so cancellation here
+    // is polled at study granularity.)
+    ensure_live(cancel)?;
     let scrambler = ablation::scrambler_ablation(sc.window, SCRAMBLER_VOLTAGE, sc.trials);
     let mut batch = Vec::new();
     for (series, snrs) in [
@@ -904,6 +1008,7 @@ fn run_ablation(
 
     // A3 — BER-slope sensitivity of the DREAM DWT curve, over the spec's
     // own voltage grid and calibration (slope substituted per curve).
+    ensure_live(cancel)?;
     let ber_runs = sc.trials.min(8);
     let points = ablation::ber_sensitivity_grid(
         sc.window,
@@ -925,6 +1030,7 @@ fn run_ablation(
 
     // A4 — mask-supply pinning vs tracking (prices the paper grid — the
     // design comparison is grid-independent).
+    ensure_live(cancel)?;
     let mut batch = Vec::new();
     for (v, pinned, tracking) in ablation::mask_supply_ablation(sc.window) {
         batch.push(AblationRow {
@@ -1030,10 +1136,21 @@ mod tests {
     use super::*;
     use crate::report::{CsvSink, JsonlSink, TableSink};
     use crate::scenario::registry;
+    use crate::scenario::runner::CampaignRunner;
     use std::sync::Mutex;
 
     /// Serializes tests that pin the global thread override.
     static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Local stand-ins for the deprecated free functions: every engine
+    /// test drives campaigns through the public `CampaignRunner` surface.
+    fn run(sc: &Scenario) -> Result<ScenarioOutcome, EngineError> {
+        CampaignRunner::new(sc.clone()).run_discarding()
+    }
+
+    fn run_with_sink(sc: &Scenario, sink: &mut dyn Sink) -> Result<ScenarioOutcome, EngineError> {
+        CampaignRunner::new(sc.clone()).run(sink)
+    }
 
     fn tiny_noise() -> Scenario {
         let mut sc = registry::get("noise-sweep", true).unwrap();

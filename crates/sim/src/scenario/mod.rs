@@ -15,7 +15,11 @@
 //!   scales;
 //! * [`engine`] — execution on the deterministic parallel
 //!   [`crate::exec::run_trials`] executor, streaming rows to any
-//!   [`crate::report::Sink`] as grid points complete.
+//!   [`crate::report::Sink`] as grid points complete;
+//! * [`runner`] — the [`CampaignRunner`] builder every driver (CLI,
+//!   campaign service, tests) goes through: per-campaign thread pinning,
+//!   [`Progress`] events, [`CancelToken`] cancellation, and
+//!   resume-by-skipping.
 //!
 //! The historical figure modules ([`crate::fig2`], [`crate::fig4`],
 //! [`crate::energy_table`], [`crate::tradeoff`], [`crate::ablation`]) are
@@ -27,26 +31,33 @@
 //! # Example
 //!
 //! ```
-//! use dream_sim::scenario::{self, registry};
+//! use dream_sim::scenario::{registry, CampaignRunner};
 //!
 //! let mut sc = registry::get("noise-sweep", true).expect("preset exists");
 //! sc.trials = 1;
 //! sc.records = 1;
 //! sc.apps = vec![dream_dsp::AppKind::Dwt];
-//! let outcome = scenario::run(&sc).expect("engine runs");
-//! assert_eq!(outcome.rows.len(), sc.grid.len() * sc.emts.len());
+//! let expected = sc.grid.len() * sc.emts.len();
+//! let outcome = CampaignRunner::new(sc).run_discarding().expect("engine runs");
+//! assert_eq!(outcome.rows.len(), expected);
 //! ```
 
 pub mod engine;
 pub mod json;
 pub mod registry;
+pub mod runner;
 pub mod spec;
 
+#[allow(deprecated)]
+pub use engine::{run, run_with_sink};
 pub use engine::{
-    run, run_with_sink, AblationRow, EngineError, GeometryEnergyRow, InjectionRow, NoisePoint,
-    OutcomeData, ScenarioOutcome,
+    AblationRow, EngineError, GeometryEnergyRow, InjectionRow, NoisePoint, OutcomeData,
+    ScenarioOutcome,
 };
+pub use runner::{CampaignRunner, Progress};
 pub use spec::{
     app_from_token, app_token, emt_from_token, emt_token, FaultModelSpec, FaultSpec, FlatTrial,
     Grid, Kind, Scenario, SinkFormat, SinkSpec, SpecError,
 };
+
+pub use crate::exec::CancelToken;

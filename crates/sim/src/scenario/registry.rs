@@ -10,7 +10,7 @@ use dream_dsp::AppKind;
 use dream_ecg::Database;
 use dream_mem::BerModel;
 
-use super::spec::{FaultModelSpec, FaultSpec, Grid, Kind, Scenario, SinkSpec};
+use super::spec::{FaultModelSpec, FaultSpec, Grid, Kind, Scenario, SinkSpec, SpecError};
 
 /// Base seed of the Fig. 2 injection campaign (historical constant).
 pub const FIG2_SEED: u64 = 0xF162;
@@ -65,9 +65,14 @@ fn base(name: &str, title: &str, kind: Kind, grid: Grid) -> Scenario {
     }
 }
 
-/// Builds preset `name` (`smoke` = the reduced CI-scale variant); `None`
-/// for unknown names.
-pub fn get(name: &str, smoke: bool) -> Option<Scenario> {
+/// Builds preset `name` (`smoke` = the reduced CI-scale variant).
+///
+/// # Errors
+///
+/// Returns [`SpecError::UnknownScenario`] for names outside [`names`] —
+/// callers (the CLI, `extends` resolution, the campaign service) surface
+/// it as user error, not a panic.
+pub fn get(name: &str, smoke: bool) -> Result<Scenario, SpecError> {
     let sc = match name {
         "fig2" => {
             let mut sc = base(
@@ -221,9 +226,13 @@ pub fn get(name: &str, smoke: bool) -> Option<Scenario> {
             }
             sc
         }
-        _ => return None,
+        _ => {
+            return Err(SpecError::UnknownScenario {
+                name: name.to_string(),
+            })
+        }
     };
-    Some(sc)
+    Ok(sc)
 }
 
 /// `(name, kind, axis, points, title)` for every preset — the rows behind
@@ -257,7 +266,12 @@ mod tests {
                 sc.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
             }
         }
-        assert!(get("nope", false).is_none());
+        let err = get("nope", false).unwrap_err();
+        assert!(
+            matches!(&err, SpecError::UnknownScenario { name } if name == "nope"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("nope"), "{err}");
     }
 
     #[test]

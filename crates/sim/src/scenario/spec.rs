@@ -164,7 +164,7 @@ impl FaultModelSpec {
     fn validate(&self) -> Result<(), SpecError> {
         self.resolve(&BerModel::date16(), BerModel::NOMINAL_VOLTAGE)
             .validate()
-            .map_err(|e| SpecError(format!("fault model: {e}")))
+            .map_err(|e| SpecError::value("fault.model", e))
     }
 
     fn to_json_value(&self) -> Json {
@@ -191,12 +191,14 @@ impl FaultModelSpec {
         let kind = value
             .get("kind")
             .and_then(Json::as_str)
-            .ok_or_else(|| SpecError("fault model needs a string \"kind\"".into()))?;
+            .ok_or_else(|| SpecError::field("fault.model.kind", "a string model kind"))?;
         let num = |key: &str| {
-            value
-                .get(key)
-                .and_then(Json::as_f64)
-                .ok_or_else(|| SpecError(format!("fault model {kind:?} needs numeric {key:?}")))
+            value.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                SpecError::field(
+                    format!("fault.model.{key}"),
+                    format!("a number (required by model {kind:?})"),
+                )
+            })
         };
         Ok(match kind {
             "iid" => FaultModelSpec::Iid,
@@ -211,18 +213,22 @@ impl FaultModelSpec {
                     .get("bank_offsets")
                     .and_then(Json::as_arr)
                     .ok_or_else(|| {
-                        SpecError(
-                            "fault model \"bank-voltage\" needs an array \"bank_offsets\"".into(),
-                        )
+                        SpecError::field("fault.model.bank_offsets", "an array of numbers")
                     })?
                     .iter()
                     .map(|v| {
-                        v.as_f64()
-                            .ok_or_else(|| SpecError("bank_offsets must be numbers".into()))
+                        v.as_f64().ok_or_else(|| {
+                            SpecError::value("fault.model.bank_offsets", "entries must be numbers")
+                        })
                     })
                     .collect::<Result<Vec<_>, _>>()?,
             },
-            other => return Err(SpecError(format!("unknown fault model kind {other:?}"))),
+            other => {
+                return Err(SpecError::value(
+                    "fault.model.kind",
+                    format!("unknown fault model kind {other:?}"),
+                ))
+            }
         })
     }
 }
@@ -328,6 +334,69 @@ pub struct SinkSpec {
     pub append: bool,
 }
 
+impl SinkSpec {
+    /// Parses the consolidated sink grammar shared by the CLI's `--sink`
+    /// flag and the campaign service's sink negotiation:
+    ///
+    /// ```text
+    /// table | csv:DIR | jsonl:DIR | jsonl:DIR,append
+    /// ```
+    ///
+    /// i.e. `FORMAT[:DIR][,append]`, where `,append` demands the
+    /// header-free `jsonl` format and a directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] at path `"sink"` for an unknown format
+    /// token, an empty directory, or an inconsistent `,append`.
+    pub fn parse(token: &str) -> Result<SinkSpec, SpecError> {
+        let (head, append) = match token.strip_suffix(",append") {
+            Some(head) => (head, true),
+            None => (token, false),
+        };
+        let (format_token, out) = match head.split_once(':') {
+            Some((_, "")) => {
+                return Err(SpecError::value(
+                    "sink",
+                    format!("empty output directory in {token:?}"),
+                ))
+            }
+            Some((fmt, dir)) => (fmt, Some(dir.to_string())),
+            None => (head, None),
+        };
+        let format = SinkFormat::from_token(format_token).ok_or_else(|| {
+            SpecError::value(
+                "sink",
+                format!("unknown sink format {format_token:?} (table|csv|jsonl)"),
+            )
+        })?;
+        if append && (format != SinkFormat::Jsonl || out.is_none()) {
+            return Err(SpecError::value(
+                "sink",
+                format!("\",append\" requires \"jsonl:DIR\", got {token:?}"),
+            ));
+        }
+        Ok(SinkSpec {
+            format,
+            out,
+            append,
+        })
+    }
+
+    /// The inverse of [`SinkSpec::parse`] — round-trips exactly.
+    pub fn token(&self) -> String {
+        let mut s = self.format.token().to_string();
+        if let Some(out) = &self.out {
+            s.push(':');
+            s.push_str(out);
+        }
+        if self.append {
+            s.push_str(",append");
+        }
+        s
+    }
+}
+
 /// A declarative campaign: every sweep of the paper — and every new
 /// workload — is one of these.
 #[derive(Clone, Debug, PartialEq)]
@@ -377,13 +446,96 @@ pub struct Scenario {
     pub sink: SinkSpec,
 }
 
-/// A spec-level validation failure.
+/// A spec-level failure: the document (or CLI flag) describing a campaign
+/// is wrong, as opposed to the campaign itself failing.
+///
+/// Every variant is user error — the campaign service maps any
+/// `SpecError` to an HTTP 400, never a 500 — and carries enough context
+/// (the dotted field path where one exists) to point at the offending
+/// part of the document.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SpecError(pub String);
+pub enum SpecError {
+    /// The document is not syntactically valid JSON.
+    Parse {
+        /// The underlying parser message (position included).
+        message: String,
+    },
+    /// A required field is missing or has the wrong JSON type.
+    Field {
+        /// Dotted path of the field (`"fault.model.kind"`).
+        path: String,
+        /// What the field must hold.
+        expected: String,
+    },
+    /// A field is present and well-typed but holds a rejected value
+    /// (unknown token, out-of-range number).
+    Value {
+        /// Dotted path of the field.
+        path: String,
+        /// Why the value is rejected.
+        message: String,
+    },
+    /// A registry lookup — CLI target, service preset, or `extends`
+    /// clause — named no preset.
+    UnknownScenario {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A cross-field consistency rule failed (see [`Scenario::validate`]).
+    Constraint {
+        /// The violated rule.
+        message: String,
+    },
+}
+
+impl SpecError {
+    /// A missing/mistyped-field error at `path`.
+    pub fn field(path: impl Into<String>, expected: impl Into<String>) -> SpecError {
+        SpecError::Field {
+            path: path.into(),
+            expected: expected.into(),
+        }
+    }
+
+    /// A rejected-value error at `path`.
+    pub fn value(path: impl Into<String>, message: impl Into<String>) -> SpecError {
+        SpecError::Value {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// A cross-field constraint violation.
+    pub fn constraint(message: impl Into<String>) -> SpecError {
+        SpecError::Constraint {
+            message: message.into(),
+        }
+    }
+
+    /// The dotted field path this error points at, when it has one.
+    pub fn path(&self) -> Option<&str> {
+        match self {
+            SpecError::Field { path, .. } | SpecError::Value { path, .. } => Some(path),
+            _ => None,
+        }
+    }
+}
 
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid scenario: {}", self.0)
+        match self {
+            SpecError::Parse { message } => write!(f, "invalid scenario: {message}"),
+            SpecError::Field { path, expected } => {
+                write!(f, "invalid scenario: field \"{path}\" needs {expected}")
+            }
+            SpecError::Value { path, message } => {
+                write!(f, "invalid scenario: field \"{path}\": {message}")
+            }
+            SpecError::UnknownScenario { name } => {
+                write!(f, "unknown scenario {name:?} (see `dream list`)")
+            }
+            SpecError::Constraint { message } => write!(f, "invalid scenario: {message}"),
+        }
     }
 }
 
@@ -436,7 +588,7 @@ impl Scenario {
     ///
     /// Returns a [`SpecError`] naming the first problem found.
     pub fn validate(&self) -> Result<(), SpecError> {
-        let err = |m: String| Err(SpecError(m));
+        let err = |m: String| Err(SpecError::constraint(m));
         if self.name.is_empty() {
             return err("name must not be empty".into());
         }
@@ -791,19 +943,17 @@ impl Scenario {
     /// Returns a [`SpecError`] describing the first malformed or missing
     /// field (JSON syntax errors included).
     pub fn from_json(text: &str) -> Result<Scenario, SpecError> {
-        let doc = Json::parse(text).map_err(|e| SpecError(e.to_string()))?;
+        let doc = Json::parse(text).map_err(|e| SpecError::Parse {
+            message: e.to_string(),
+        })?;
 
         let base: Option<Scenario> = match doc.get("extends") {
             None => None,
             Some(v) => {
                 let preset = v
                     .as_str()
-                    .ok_or_else(|| SpecError("\"extends\" must name a registry preset".into()))?;
-                Some(super::registry::get(preset, false).ok_or_else(|| {
-                    SpecError(format!(
-                        "\"extends\" names unknown preset {preset:?} (see `dream list`)"
-                    ))
-                })?)
+                    .ok_or_else(|| SpecError::field("extends", "the name of a registry preset"))?;
+                Some(super::registry::get(preset, false)?)
             }
         };
         // A variant that overrides anything must name itself: artifacts
@@ -814,10 +964,9 @@ impl Scenario {
         if base.is_some() && doc.get("name").is_none() {
             if let Json::Obj(fields) = &doc {
                 if fields.iter().any(|(k, _)| k != "extends") {
-                    return Err(SpecError(
+                    return Err(SpecError::constraint(
                         "spec documents that extend a preset and override fields must set \
-                         their own \"name\" (artifacts are keyed by it)"
-                            .into(),
+                         their own \"name\" (artifacts are keyed by it)",
                     ));
                 }
             }
@@ -828,7 +977,7 @@ impl Scenario {
             None => base
                 .as_ref()
                 .map(|b| b.name.clone())
-                .ok_or_else(|| SpecError("missing or non-string field \"name\"".into()))?,
+                .ok_or_else(|| SpecError::field("name", "a string"))?,
         };
         let title = match doc.get("title").and_then(Json::as_str) {
             Some(s) => s.to_string(),
@@ -836,19 +985,18 @@ impl Scenario {
         };
         let kind = match doc.get("kind").and_then(Json::as_str) {
             Some(token) => Kind::from_token(token)
-                .ok_or_else(|| SpecError(format!("unknown kind {token:?}")))?,
+                .ok_or_else(|| SpecError::value("kind", format!("unknown kind {token:?}")))?,
             None => base
                 .as_ref()
                 .map(|b| b.kind)
-                .ok_or_else(|| SpecError("missing or non-string field \"kind\"".into()))?,
+                .ok_or_else(|| SpecError::field("kind", "a string campaign kind"))?,
         };
         let usize_field = |key: &str, inherited: Option<usize>| -> Result<usize, SpecError> {
             match doc.get(key) {
                 Some(v) => v
                     .as_usize()
-                    .ok_or_else(|| SpecError(format!("missing or non-integer field {key:?}"))),
-                None => inherited
-                    .ok_or_else(|| SpecError(format!("missing or non-integer field {key:?}"))),
+                    .ok_or_else(|| SpecError::field(key, "a non-negative integer")),
+                None => inherited.ok_or_else(|| SpecError::field(key, "a non-negative integer")),
             }
         };
         let window = usize_field("window", base.as_ref().map(|b| b.window))?;
@@ -859,16 +1007,17 @@ impl Scenario {
             None => base
                 .as_ref()
                 .map(|b| b.apps.clone())
-                .ok_or_else(|| SpecError("missing array field \"apps\"".into()))?,
+                .ok_or_else(|| SpecError::field("apps", "an array of app tokens"))?,
             Some(v) => v
                 .as_arr()
-                .ok_or_else(|| SpecError("missing array field \"apps\"".into()))?
+                .ok_or_else(|| SpecError::field("apps", "an array of app tokens"))?
                 .iter()
                 .map(|v| {
                     let token = v
                         .as_str()
-                        .ok_or_else(|| SpecError("app entries must be strings".into()))?;
-                    app_from_token(token).ok_or_else(|| SpecError(format!("unknown app {token:?}")))
+                        .ok_or_else(|| SpecError::value("apps", "entries must be strings"))?;
+                    app_from_token(token)
+                        .ok_or_else(|| SpecError::value("apps", format!("unknown app {token:?}")))
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };
@@ -876,16 +1025,17 @@ impl Scenario {
             None => base
                 .as_ref()
                 .map(|b| b.emts.clone())
-                .ok_or_else(|| SpecError("missing array field \"emts\"".into()))?,
+                .ok_or_else(|| SpecError::field("emts", "an array of EMT tokens"))?,
             Some(v) => v
                 .as_arr()
-                .ok_or_else(|| SpecError("missing array field \"emts\"".into()))?
+                .ok_or_else(|| SpecError::field("emts", "an array of EMT tokens"))?
                 .iter()
                 .map(|v| {
                     let token = v
                         .as_str()
-                        .ok_or_else(|| SpecError("emt entries must be strings".into()))?;
-                    emt_from_token(token).ok_or_else(|| SpecError(format!("unknown emt {token:?}")))
+                        .ok_or_else(|| SpecError::value("emts", "entries must be strings"))?;
+                    emt_from_token(token)
+                        .ok_or_else(|| SpecError::value("emts", format!("unknown emt {token:?}")))
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };
@@ -894,21 +1044,21 @@ impl Scenario {
             None => base
                 .as_ref()
                 .map(|b| b.grid.clone())
-                .ok_or_else(|| SpecError("missing object field \"grid\"".into()))?,
+                .ok_or_else(|| SpecError::field("grid", "an object with \"axis\"/\"values\""))?,
             Some(grid_obj) => {
                 let axis = grid_obj
                     .get("axis")
                     .and_then(Json::as_str)
-                    .ok_or_else(|| SpecError("grid needs a string \"axis\"".into()))?;
+                    .ok_or_else(|| SpecError::field("grid.axis", "a string axis token"))?;
                 let values = grid_obj
                     .get("values")
                     .and_then(Json::as_arr)
-                    .ok_or_else(|| SpecError("grid needs an array \"values\"".into()))?;
+                    .ok_or_else(|| SpecError::field("grid.values", "an array of numbers"))?;
                 let nums = values
                     .iter()
                     .map(|v| {
                         v.as_f64()
-                            .ok_or_else(|| SpecError("grid values must be numbers".into()))
+                            .ok_or_else(|| SpecError::value("grid.values", "must be numbers"))
                     })
                     .collect::<Result<Vec<f64>, _>>()?;
                 match axis {
@@ -920,9 +1070,10 @@ impl Scenario {
                                 if n >= 0.0 && n.fract() == 0.0 && n < 32.0 {
                                     Ok(n as u32)
                                 } else {
-                                    Err(SpecError(format!(
-                                        "bit position {n} must be a small integer"
-                                    )))
+                                    Err(SpecError::value(
+                                        "grid.values",
+                                        format!("bit position {n} must be a small integer"),
+                                    ))
                                 }
                             })
                             .collect::<Result<Vec<_>, _>>()?,
@@ -933,14 +1084,20 @@ impl Scenario {
                                 if n >= 1.0 && n.fract() == 0.0 {
                                     Ok(n as usize)
                                 } else {
-                                    Err(SpecError(format!(
-                                        "memory size {n} must be a positive integer"
-                                    )))
+                                    Err(SpecError::value(
+                                        "grid.values",
+                                        format!("memory size {n} must be a positive integer"),
+                                    ))
                                 }
                             })
                             .collect::<Result<Vec<_>, _>>()?,
                     ),
-                    other => return Err(SpecError(format!("unknown grid axis {other:?}"))),
+                    other => {
+                        return Err(SpecError::value(
+                            "grid.axis",
+                            format!("unknown grid axis {other:?}"),
+                        ))
+                    }
                 }
             }
         };
@@ -953,13 +1110,10 @@ impl Scenario {
             Some(obj) => {
                 let inherited = base.as_ref().map(|b| b.fault.clone());
                 let num = |key: &str, inherited: Option<f64>| -> Result<f64, SpecError> {
+                    let missing = || SpecError::field(format!("fault.{key}"), "a number");
                     match obj.get(key) {
-                        Some(v) => v.as_f64().ok_or_else(|| {
-                            SpecError(format!("missing or non-numeric field {key:?}"))
-                        }),
-                        None => inherited.ok_or_else(|| {
-                            SpecError(format!("missing or non-numeric field {key:?}"))
-                        }),
+                        Some(v) => v.as_f64().ok_or_else(missing),
+                        None => inherited.ok_or_else(missing),
                     }
                 };
                 FaultSpec {
@@ -984,8 +1138,9 @@ impl Scenario {
             Some(obj) => {
                 let inherited = base.as_ref().map(|b| b.sink.clone()).unwrap_or_default();
                 let format = match obj.get("format").and_then(Json::as_str) {
-                    Some(token) => SinkFormat::from_token(token)
-                        .ok_or_else(|| SpecError(format!("unknown sink format {token:?}")))?,
+                    Some(token) => SinkFormat::from_token(token).ok_or_else(|| {
+                        SpecError::value("sink.format", format!("unknown sink format {token:?}"))
+                    })?,
                     None => inherited.format,
                 };
                 let out = match obj.get("out") {
@@ -993,9 +1148,7 @@ impl Scenario {
                     Some(Json::Null) => None,
                     Some(v) => Some(
                         v.as_str()
-                            .ok_or_else(|| {
-                                SpecError("sink \"out\" must be a string or null".into())
-                            })?
+                            .ok_or_else(|| SpecError::field("sink.out", "a string or null"))?
                             .to_string(),
                     ),
                 };
@@ -1003,7 +1156,7 @@ impl Scenario {
                     None => inherited.append,
                     Some(v) => v
                         .as_bool()
-                        .ok_or_else(|| SpecError("sink \"append\" must be a boolean".into()))?,
+                        .ok_or_else(|| SpecError::field("sink.append", "a boolean"))?,
                 };
                 SinkSpec {
                     format,
@@ -1038,7 +1191,7 @@ impl Scenario {
                 None => base.as_ref().and_then(|b| b.scrambler_key),
                 Some(Json::Null) => None,
                 Some(v) => Some(json_u64(v).ok_or_else(|| {
-                    SpecError("scrambler_key must be an unsigned 64-bit integer".into())
+                    SpecError::field("scrambler_key", "an unsigned 64-bit integer or null")
                 })?),
             },
             tolerance_db: match doc.get("tolerance_db") {
@@ -1046,7 +1199,7 @@ impl Scenario {
                 Some(Json::Null) => None,
                 Some(v) => Some(
                     v.as_f64()
-                        .ok_or_else(|| SpecError("tolerance_db must be a number".into()))?,
+                        .ok_or_else(|| SpecError::field("tolerance_db", "a number or null"))?,
                 ),
             },
             ber_slopes: match doc.get("ber_slopes").and_then(Json::as_arr) {
@@ -1058,17 +1211,17 @@ impl Scenario {
                     .iter()
                     .map(|v| {
                         v.as_f64()
-                            .ok_or_else(|| SpecError("ber_slopes must be numbers".into()))
+                            .ok_or_else(|| SpecError::value("ber_slopes", "must be numbers"))
                     })
                     .collect::<Result<Vec<_>, _>>()?,
             },
             seed: match doc.get("seed") {
                 Some(v) => json_u64(v)
-                    .ok_or_else(|| SpecError("missing or non-integer field \"seed\"".into()))?,
+                    .ok_or_else(|| SpecError::field("seed", "an unsigned 64-bit integer"))?,
                 None => base
                     .as_ref()
                     .map(|b| b.seed)
-                    .ok_or_else(|| SpecError("missing or non-integer field \"seed\"".into()))?,
+                    .ok_or_else(|| SpecError::field("seed", "an unsigned 64-bit integer"))?,
             },
             sink,
         };
@@ -1283,5 +1436,53 @@ mod tests {
     #[test]
     fn fault_spec_reconstructs_the_date16_model() {
         assert_eq!(FaultSpec::date16().to_model(), BerModel::date16());
+    }
+
+    #[test]
+    fn spec_errors_carry_the_offending_field_path() {
+        let err = Scenario::from_json("{}").unwrap_err();
+        assert_eq!(err.path(), Some("name"));
+        assert!(matches!(err, SpecError::Field { .. }), "{err:?}");
+
+        let err = Scenario::from_json("not json").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }), "{err:?}");
+        assert_eq!(err.path(), None);
+
+        let mut spec = registry::get("fig4", true).unwrap().to_json();
+        spec = spec.replace("\"dwt\"", "\"warp-drive\"");
+        let err = Scenario::from_json(&spec).unwrap_err();
+        assert_eq!(err.path(), Some("apps"));
+        assert!(matches!(err, SpecError::Value { .. }), "{err:?}");
+
+        let err = Scenario::from_json(r#"{"extends": "fig9"}"#).unwrap_err();
+        assert!(
+            matches!(&err, SpecError::UnknownScenario { name } if name == "fig9"),
+            "{err:?}"
+        );
+
+        let mut sc = registry::get("fig4", true).unwrap();
+        sc.apps.clear();
+        let err = sc.validate().unwrap_err();
+        assert!(matches!(err, SpecError::Constraint { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn sink_tokens_parse_and_round_trip() {
+        for (token, format, out, append) in [
+            ("table", SinkFormat::Table, None, false),
+            ("csv:results/x", SinkFormat::Csv, Some("results/x"), false),
+            ("jsonl:out", SinkFormat::Jsonl, Some("out"), false),
+            ("jsonl:out,append", SinkFormat::Jsonl, Some("out"), true),
+        ] {
+            let sink = SinkSpec::parse(token).unwrap_or_else(|e| panic!("{token}: {e}"));
+            assert_eq!(sink.format, format, "{token}");
+            assert_eq!(sink.out.as_deref(), out, "{token}");
+            assert_eq!(sink.append, append, "{token}");
+            assert_eq!(sink.token(), token, "round trip");
+        }
+        for bad in ["parquet", "csv:", "csv:x,append", "jsonl,append", ""] {
+            let err = SinkSpec::parse(bad).unwrap_err();
+            assert_eq!(err.path(), Some("sink"), "{bad}: {err}");
+        }
     }
 }

@@ -15,6 +15,7 @@
 //! | [`dsp`] | `dream-dsp` | the five biomedical applications + SNR metric |
 //! | [`soc`] | `dream-soc` | cycle-approximate MPSoC (VirtualSOC stand-in) |
 //! | [`sim`] | `dream-sim` | the per-figure/table experiment drivers |
+//! | [`serve`] | `dream-serve` | the campaign service (HTTP API + artifact store) |
 //!
 //! # Quickstart
 //!
@@ -30,6 +31,29 @@
 //! assert_eq!(decoded.outcome, DecodeOutcome::Corrected);
 //! ```
 //!
+//! # Running campaigns
+//!
+//! Every campaign driver — the `dream` CLI, the campaign service, tests —
+//! goes through one surface, the [`CampaignRunner`] builder:
+//!
+//! ```
+//! use dream_suite::{CampaignRunner, CancelToken};
+//! use dream_suite::sim::scenario::registry;
+//!
+//! let sc = registry::get("fig2", true).expect("preset exists");
+//! let token = CancelToken::new(); // fire from another thread to stop early
+//! let outcome = CampaignRunner::new(sc)
+//!     .threads(2)
+//!     .cancel_token(token)
+//!     .on_progress(|p| eprintln!("{} rows of {} trials", p.rows, p.trials_total))
+//!     .run_discarding()
+//!     .expect("campaign runs");
+//! assert!(!outcome.rows.is_empty());
+//! ```
+//!
+//! Invalid specs surface as the typed [`SpecError`] (field-path context
+//! included), which the campaign service maps to HTTP 400s.
+//!
 //! See `examples/` for end-to-end scenarios (start with
 //! `cargo run --example quickstart`) and `README.md` for the workspace
 //! layout and the tier-1 verification commands.
@@ -43,5 +67,8 @@ pub use dream_ecg as ecg;
 pub use dream_energy as energy;
 pub use dream_fixed as fixed;
 pub use dream_mem as mem;
+pub use dream_serve as serve;
 pub use dream_sim as sim;
 pub use dream_soc as soc;
+
+pub use dream_sim::scenario::{CampaignRunner, CancelToken, Progress, SpecError};

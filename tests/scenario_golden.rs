@@ -7,21 +7,17 @@
 //! test replays each preset through the engine's CSV sink at 1 and at 4
 //! worker threads and compares the full byte stream.
 
-use std::sync::Mutex;
-
-use dream_suite::sim::exec;
 use dream_suite::sim::report::CsvSink;
-use dream_suite::sim::scenario::{registry, run_with_sink, FaultModelSpec, Scenario};
-
-/// Serializes tests that pin the global thread override.
-static THREAD_LOCK: Mutex<()> = Mutex::new(());
+use dream_suite::sim::scenario::{registry, CampaignRunner, FaultModelSpec, Scenario};
 
 fn scenario_csv_at_threads(sc: &Scenario, threads: usize) -> String {
-    exec::set_thread_override(Some(threads));
+    // The runner pins the worker count per campaign (no process-global
+    // override), so concurrently running tests cannot race each other.
     let mut sink = CsvSink::new(Vec::new());
-    let outcome = run_with_sink(sc, &mut sink);
-    exec::set_thread_override(None);
-    let outcome = outcome.expect("preset runs");
+    let outcome = CampaignRunner::new(sc.clone())
+        .threads(threads)
+        .run(&mut sink)
+        .expect("preset runs");
     assert!(!outcome.rows.is_empty(), "{} produced no rows", sc.name);
     String::from_utf8(sink.into_inner()).expect("CSV is UTF-8")
 }
@@ -40,7 +36,6 @@ fn golden(name: &str) -> String {
 }
 
 fn assert_matches_golden(preset: &str, file: &str) {
-    let _guard = THREAD_LOCK.lock().expect("thread lock");
     let want = golden(file);
     for threads in [1, 4] {
         let got = csv_at_threads(preset, threads);
@@ -95,7 +90,6 @@ fn ablation_preset_is_byte_identical_to_the_pre_refactor_runner() {
 /// and 4 worker threads.
 #[test]
 fn explicit_iid_model_through_spec_json_stays_golden() {
-    let _guard = THREAD_LOCK.lock().expect("thread lock");
     for (preset, file) in [
         ("fig2", "fig2_smoke.csv"),
         ("fig4", "fig4_smoke.csv"),

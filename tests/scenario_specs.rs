@@ -3,8 +3,16 @@
 //! `burst-sweep` / `bank-voltage` must run from a registry name *and*
 //! from a JSON spec file, through every sink format, with identical rows.
 
-use dream_suite::sim::report::{CsvSink, JsonlSink, TableSink};
-use dream_suite::sim::scenario::{registry, run_with_sink, FaultModelSpec, Grid, Scenario};
+use dream_suite::sim::report::{CsvSink, JsonlSink, Sink, TableSink};
+use dream_suite::sim::scenario::{
+    registry, CampaignRunner, EngineError, FaultModelSpec, Grid, Scenario, ScenarioOutcome,
+};
+
+/// These tests drive campaigns the way every current caller does — through
+/// the [`CampaignRunner`] builder.
+fn run_with_sink(sc: &Scenario, sink: &mut dyn Sink) -> Result<ScenarioOutcome, EngineError> {
+    CampaignRunner::new(sc.clone()).run(sink)
+}
 
 /// Shrinks a smoke preset to seconds-scale for the differential runs.
 fn tiny(preset: &str) -> Scenario {
@@ -174,8 +182,6 @@ fn extends_inherits_the_preset_and_overrides_restated_fields() {
 
 #[test]
 fn append_jsonl_sink_accumulates_rows_across_runs() {
-    use dream_suite::sim::report::Sink;
-
     let dir = std::env::temp_dir().join("dream_scenario_append_e2e");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("resume.jsonl");
@@ -214,4 +220,25 @@ fn append_jsonl_sink_accumulates_rows_across_runs() {
     );
     bad.sink.out = Some(dir.display().to_string());
     bad.validate().expect("append+jsonl+out is valid");
+}
+
+/// The deprecated free functions must stay working shims over the runner
+/// until their removal release.
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_shims_match_the_runner() {
+    let sc = tiny("noise-sweep");
+    let via_shim = dream_suite::sim::scenario::run(&sc).expect("shim runs");
+    let via_runner = CampaignRunner::new(sc.clone())
+        .run_discarding()
+        .expect("runner runs");
+    assert_eq!(via_shim.rows, via_runner.rows);
+
+    let mut shim_sink = CsvSink::new(Vec::new());
+    dream_suite::sim::scenario::run_with_sink(&sc, &mut shim_sink).expect("shim sink run");
+    let mut runner_sink = CsvSink::new(Vec::new());
+    CampaignRunner::new(sc)
+        .run(&mut runner_sink)
+        .expect("runner sink run");
+    assert_eq!(shim_sink.into_inner(), runner_sink.into_inner());
 }
