@@ -9,6 +9,10 @@
 //!           [--fault-model iid|burst[:LEN]|column[:WEIGHT]|bank-voltage[:AMP]]
 //! dream spec <scenario|spec.json> [--smoke] [overrides…]
 //! dream serve [--addr HOST:PORT] [--store DIR] [--workers N] [--threads N]
+//!            [--queue N] [--timeout-ms N] [--deadline-ms N] [--retry-after SECS]
+//! dream fetch <scenario|spec.json> [--addr HOST:PORT] [--out FILE]
+//!            [--retries N] [--smoke] [overrides…]
+//! dream drain [--addr HOST:PORT] [--exit]
 //! ```
 //!
 //! `run` resolves its target against the scenario registry first; a
@@ -21,7 +25,13 @@
 //! `--format`/`--out`/`--append` spellings remain as aliases.
 //!
 //! `spec` prints the fully resolved scenario JSON — the exact payload to
-//! `POST /campaigns` on a `dream serve` instance.
+//! `POST /campaigns` on a `dream serve` instance. `fetch` POSTs that
+//! payload through the retrying client ([`dream_serve::client`]): it
+//! backs off with jitter on transport faults, honors `Retry-After` when
+//! the service sheds load, and resumes interrupted streams so the output
+//! is the complete artifact. `drain` asks a running service to stop
+//! admitting and cancel in-flight campaigns (`--exit` also terminates
+//! the process once idle).
 //!
 //! The historical per-figure binaries (`fig2`, `fig4`, `energy`,
 //! `tradeoff`, `ablation`) are shims over [`legacy_shim`], which maps
@@ -67,8 +77,15 @@ pub fn main_from_env() {
             println!("{}", sc.to_json());
         }
         Some("serve") => serve(&args),
+        Some("fetch") => {
+            let target = args
+                .positional(1)
+                .unwrap_or_else(|| panic!("usage: dream fetch <scenario|spec.json> [flags]"));
+            fetch(target, &args);
+        }
+        Some("drain") => drain(&args),
         Some(other) => {
-            panic!("unknown subcommand {other:?} (expected `list`, `run`, `spec`, or `serve`)")
+            panic!("unknown subcommand {other:?} (expected `list`, `run`, `spec`, `serve`, `fetch`, or `drain`)")
         }
         None => {
             list();
@@ -76,8 +93,70 @@ pub fn main_from_env() {
             eprintln!(
                 "       dream spec <scenario|spec.json> [--smoke]   dream serve [--addr HOST:PORT]"
             );
+            eprintln!(
+                "       dream fetch <scenario|spec.json> [--addr HOST:PORT] [--out FILE]   dream drain [--exit]"
+            );
         }
     }
+}
+
+/// Submits a campaign through the retrying client and streams its rows
+/// to stdout or `--out FILE`, surviving sheds and broken streams.
+fn fetch(target: &str, args: &Args) {
+    let addr = args.value("addr").unwrap_or("127.0.0.1:7163").to_string();
+    let mut sc = resolve(target, args.switch("smoke"));
+    apply_overrides(&mut sc, args);
+    sc.validate()
+        .unwrap_or_else(|e| panic!("scenario {}: {e}", sc.name));
+    let spec_json = sc.to_json();
+    let policy = dream_serve::RetryPolicy {
+        max_attempts: u32::try_from(args.number("retries", 8)).unwrap_or(8).max(1),
+        ..dream_serve::RetryPolicy::default()
+    };
+    let outcome = match args.value("out") {
+        Some(path) => {
+            let mut file =
+                std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            let outcome = dream_serve::fetch_campaign(&addr, &spec_json, &mut file, &policy)
+                .unwrap_or_else(|e| panic!("fetch {}: {e}", sc.name));
+            eprintln!("wrote {path}");
+            outcome
+        }
+        None => {
+            let stdout = io::stdout();
+            let mut lock = stdout.lock();
+            dream_serve::fetch_campaign(&addr, &spec_json, &mut lock, &policy)
+                .unwrap_or_else(|e| panic!("fetch {}: {e}", sc.name))
+        }
+    };
+    eprintln!(
+        "fetch {}: {} rows in {} attempt(s) ({} throttled, {} rows resumed, cache {})",
+        sc.name,
+        outcome.rows,
+        outcome.attempts,
+        outcome.throttled,
+        outcome.resumed_rows,
+        outcome.cache.as_deref().unwrap_or("?"),
+    );
+}
+
+/// Asks a running service to drain (`--exit` to also shut down).
+fn drain(args: &Args) {
+    let addr = args.value("addr").unwrap_or("127.0.0.1:7163").to_string();
+    let path = if args.switch("exit") {
+        "/admin/shutdown"
+    } else {
+        "/admin/drain"
+    };
+    let resp = dream_serve::http::client_request(&addr, "POST", path, b"")
+        .unwrap_or_else(|e| panic!("cannot reach {addr}: {e}"));
+    assert!(
+        resp.status == 200,
+        "drain: {addr} answered HTTP {}: {}",
+        resp.status,
+        String::from_utf8_lossy(&resp.body)
+    );
+    println!("{}", String::from_utf8_lossy(&resp.body).trim_end());
 }
 
 /// Boots the campaign service: a content-addressed artifact store plus a
@@ -90,16 +169,33 @@ fn serve(args: &Args) {
         .unwrap_or_else(|| crate::results_dir().join("store"));
     let workers = args.number("workers", 2);
     let threads = crate::apply_threads(args);
+    let defaults = dream_serve::ServeConfig::default();
+    let queue_depth = args.number("queue", defaults.queue_depth);
+    let socket_timeout = std::time::Duration::from_millis(
+        args.number("timeout-ms", defaults.read_timeout.as_millis() as usize) as u64,
+    );
+    let request_deadline = std::time::Duration::from_millis(args.number(
+        "deadline-ms",
+        defaults.request_deadline.as_millis() as usize,
+    ) as u64);
+    let retry_after = std::time::Duration::from_secs(
+        args.number("retry-after", defaults.retry_after.as_secs() as usize) as u64,
+    );
     let config = dream_serve::ServeConfig {
         addr: addr.clone(),
         store_dir: store_dir.clone(),
         workers,
         threads,
+        queue_depth,
+        read_timeout: socket_timeout,
+        write_timeout: socket_timeout,
+        request_deadline,
+        retry_after,
     };
     let server =
         dream_serve::Server::bind(config).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     eprintln!(
-        "dream serve listening on http://{} (store {}, {workers} workers × {threads} threads)",
+        "dream serve listening on http://{} (store {}, {workers} workers × {threads} threads, queue {queue_depth})",
         server.local_addr(),
         store_dir.display()
     );

@@ -9,18 +9,35 @@
 //! a single trial, and an interrupted one resumes exactly where its last
 //! persisted row stopped.
 //!
+//! The service is hardened for hostile conditions: bounded request
+//! reads with wall-clock deadlines (slow-loris safe), a bounded
+//! admission queue that sheds with `429 + Retry-After`, a graceful
+//! drain/shutdown path that cancels in-flight runs and leaves artifacts
+//! resumable, and a crash-safe store (atomic fsynced `meta.json`,
+//! SHA-256-checksummed rows, corrupt artifacts quarantined on preload).
+//!
 //! * [`hash`] — hand-rolled SHA-256 (the workspace vendors no crypto);
-//! * [`http`] — the minimal request/response/chunked-transfer layer;
-//! * [`store`] — the on-disk artifact store and canonical spec hashing;
-//! * [`server`] — the worker pool, campaign registry, and route handlers.
+//! * [`http`] — the minimal request/response/chunked-transfer layer,
+//!   with byte budgets and deadlines on every read;
+//! * [`store`] — the on-disk artifact store, canonical spec hashing,
+//!   checksum verification, and quarantine;
+//! * [`server`] — the worker pool, campaign registry, admission control,
+//!   drain/shutdown, and route handlers;
+//! * [`client`] — the retrying fetch client (backoff + jitter,
+//!   `Retry-After` honoring, skip-rows resume of interrupted streams);
+//! * [`chaos`] — a fault-injecting TCP proxy for the e2e chaos suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod client;
 pub mod hash;
 pub mod http;
 pub mod server;
 pub mod store;
 
+pub use chaos::{ChaosProxy, Fault};
+pub use client::{fetch_campaign, FetchOutcome, RetryPolicy};
 pub use server::{ServeConfig, Server};
-pub use store::{campaign_id, canonical_spec_json, spec_hash, Store};
+pub use store::{campaign_id, canonical_spec_json, spec_hash, Integrity, Store};

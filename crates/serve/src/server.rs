@@ -7,6 +7,9 @@
 //! GET  /campaigns/{id}/rows     stream the row artifact
 //! GET  /presets                 the scenario registry as JSON
 //! GET  /stats                   service counters
+//! GET  /healthz                 liveness: version, workers, queue depth
+//! POST /admin/drain             stop admitting, cancel in-flight runs
+//! POST /admin/shutdown          drain, then exit the accept loop
 //! ```
 //!
 //! Submissions deduplicate on [`campaign_id`]: a spec whose artifact is
@@ -20,25 +23,45 @@
 //!
 //! Every response streams straight from the artifact file, so a cache
 //! hit, a join, and a fresh run all produce byte-identical bodies.
+//!
+//! # Surviving hostile clients and full queues
+//!
+//! Connections carry socket read/write timeouts and a per-request
+//! deadline ([`ServeConfig`]), so a slow-loris burns its own deadline
+//! instead of a handler thread, and a stalled consumer is shed when its
+//! TCP window stays shut past the write timeout. Malformed, oversized,
+//! or too-slow requests get `400`/`408`/`413`/`431` JSON error bodies
+//! with `Connection: close` — never a silent drop. Admission is bounded:
+//! at most [`ServeConfig::queue_depth`] campaigns may wait for a worker,
+//! beyond which submissions are shed with `429 Too Many Requests` and a
+//! `Retry-After` the CLI's retry layer honors. `POST /admin/drain` stops
+//! admissions (`503` + `Retry-After`), fires every in-flight campaign's
+//! [`CancelToken`], and leaves the interrupted artifacts resumable on
+//! disk; `POST /admin/shutdown` drains and then exits [`Server::run`].
 
 use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Seek, SeekFrom};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dream_sim::report::JsonlSink;
-use dream_sim::scenario::{registry, CampaignRunner, Scenario, SinkFormat, SinkSpec};
+use dream_sim::scenario::{
+    registry, CampaignRunner, CancelToken, EngineError, Scenario, SinkFormat, SinkSpec,
+};
 
-use crate::http::{write_response, ChunkedBody, Request};
-use crate::store::{campaign_id, spec_hash, Store};
+use crate::http::{write_response, ChunkedBody, ReadLimits, Request};
+use crate::store::{campaign_id, spec_hash, Integrity, Store};
 
 /// How long row-stream followers sleep between artifact polls when no
 /// progress notification arrives.
 const FOLLOW_POLL: Duration = Duration::from_millis(25);
+
+/// How long a drain waits for workers to go idle before answering anyway.
+const DRAIN_GRACE: Duration = Duration::from_secs(30);
 
 /// Configuration of one [`Server`].
 #[derive(Clone, Debug)]
@@ -51,6 +74,36 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Engine threads per campaign.
     pub threads: usize,
+    /// Campaigns allowed to wait for a worker before submissions are
+    /// shed with `429`.
+    pub queue_depth: usize,
+    /// Socket read timeout — the longest a handler blocks waiting for
+    /// the peer to send anything at all.
+    pub read_timeout: Duration,
+    /// Socket write timeout — the longest a handler blocks on a peer
+    /// that stopped consuming.
+    pub write_timeout: Duration,
+    /// Wall-clock budget for reading one whole request (the slow-loris
+    /// guard; a trickling client is cut off at this point).
+    pub request_deadline: Duration,
+    /// Advisory `Retry-After` (whole seconds) on `429`/`503` responses.
+    pub retry_after: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7163".to_string(),
+            store_dir: PathBuf::from("store"),
+            workers: 2,
+            threads: 1,
+            queue_depth: 32,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(15),
+            retry_after: Duration::from_secs(1),
+        }
+    }
 }
 
 /// Lifecycle of one campaign the service knows about.
@@ -59,6 +112,8 @@ enum Status {
     Queued,
     Running,
     Complete,
+    /// Cancelled by a drain — the artifact on disk is a resumable prefix.
+    Cancelled,
     Failed(String),
 }
 
@@ -68,6 +123,7 @@ impl Status {
             Status::Queued => "queued",
             Status::Running => "running",
             Status::Complete => "complete",
+            Status::Cancelled => "cancelled",
             Status::Failed(_) => "failed",
         }
     }
@@ -93,11 +149,23 @@ struct Stats {
     /// store leave this untouched, which is how the e2e tests prove a
     /// cache hit re-ran nothing.
     trials_executed: AtomicU64,
+    /// Submissions shed with `429` (queue full) or `503` (draining).
+    shed: AtomicU64,
+    /// Requests answered with a 4xx protocol error (malformed, oversized,
+    /// too slow).
+    bad_requests: AtomicU64,
 }
 
 struct State {
     store: Store,
     threads: usize,
+    workers: usize,
+    queue_capacity: usize,
+    limits: ReadLimits,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    retry_after_secs: u64,
+    bound_addr: SocketAddr,
     campaigns: Mutex<HashMap<String, CampaignInfo>>,
     /// Notified on every worker progress event and status change;
     /// row-stream followers wait on it (with [`FOLLOW_POLL`] as backstop).
@@ -106,6 +174,18 @@ struct State {
     /// has its own lock so followers never serialize against submitters.
     progress_lock: Mutex<()>,
     jobs: mpsc::Sender<Job>,
+    /// Campaigns enqueued but not yet picked up by a worker.
+    queued: AtomicU64,
+    /// Campaigns currently executing.
+    running: AtomicU64,
+    /// Once set, submissions are shed with `503` and workers drop queued
+    /// jobs instead of running them.
+    draining: AtomicBool,
+    /// Once set, [`Server::run`] exits at the next accept.
+    shutdown: AtomicBool,
+    /// Cancel tokens of the campaigns currently executing — a drain fires
+    /// them all.
+    active: Mutex<HashMap<String, CancelToken>>,
     stats: Stats,
 }
 
@@ -134,56 +214,100 @@ impl State {
         let _guard = self.progress_lock.lock().expect("progress lock");
         self.progress.notify_all();
     }
+
+    /// Reserves a queue slot, failing when the queue is full — the
+    /// compare-and-swap loop makes admission exact under concurrency.
+    fn try_reserve_queue_slot(&self) -> bool {
+        self.queued
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |q| {
+                (q < self.queue_capacity as u64).then_some(q + 1)
+            })
+            .is_ok()
+    }
+
+    fn in_flight(&self) -> u64 {
+        self.queued.load(Ordering::SeqCst) + self.running.load(Ordering::SeqCst)
+    }
 }
 
 /// The campaign service. [`Server::bind`] opens the listener and store
 /// and spawns the worker pool; [`Server::run`] accepts connections until
-/// the process exits.
+/// a shutdown is requested.
 pub struct Server {
     listener: TcpListener,
     state: Arc<State>,
 }
 
 impl Server {
-    /// Binds the listener, opens the store (preloading completed
-    /// artifacts so replays survive restarts), and spawns `workers`
-    /// campaign workers.
+    /// Binds the listener, opens the store — preloading completed
+    /// artifacts so replays survive restarts, and quarantining any whose
+    /// completion marker fails verification ([`Store::verify`]) instead
+    /// of serving bad bytes — and spawns `workers` campaign workers.
     ///
     /// # Errors
     ///
     /// Propagates bind and store-open failures.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let bound_addr = listener.local_addr()?;
         let store = Store::open(&config.store_dir)?;
 
         let mut campaigns = HashMap::new();
         for (id, spec, complete) in store.scan()? {
-            if complete {
-                campaigns.insert(
-                    id,
-                    CampaignInfo {
-                        spec,
-                        status: Status::Complete,
-                    },
-                );
+            if !complete {
+                // Interrupted artifacts stay off the map: the next POST of
+                // the same spec recomputes their id and resumes them.
+                continue;
             }
-            // Interrupted artifacts stay off the map: the next POST of
-            // the same spec recomputes their id and resumes them.
+            match store.verify(&id)? {
+                Integrity::Verified => {
+                    campaigns.insert(
+                        id,
+                        CampaignInfo {
+                            spec,
+                            status: Status::Complete,
+                        },
+                    );
+                }
+                Integrity::Incomplete => {}
+                Integrity::Corrupt(reason) => {
+                    let dest = store.quarantine(&id, &reason)?;
+                    eprintln!(
+                        "dream serve: quarantined {id} ({reason}) -> {}",
+                        dest.display()
+                    );
+                }
+            }
         }
 
         let (jobs, job_rx) = mpsc::channel::<Job>();
         let state = Arc::new(State {
             store,
             threads: config.threads.max(1),
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_depth.max(1),
+            limits: ReadLimits {
+                deadline: Some(config.request_deadline),
+                ..ReadLimits::default()
+            },
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            retry_after_secs: config.retry_after.as_secs(),
+            bound_addr,
             campaigns: Mutex::new(campaigns),
             progress: Condvar::new(),
             progress_lock: Mutex::new(()),
             jobs,
+            queued: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            active: Mutex::new(HashMap::new()),
             stats: Stats::default(),
         });
 
         let job_rx = Arc::new(Mutex::new(job_rx));
-        for _ in 0..config.workers.max(1) {
+        for _ in 0..state.workers {
             let state = Arc::clone(&state);
             let job_rx = Arc::clone(&job_rx);
             thread::spawn(move || worker_loop(&state, &job_rx));
@@ -193,24 +317,21 @@ impl Server {
     }
 
     /// The bound address (resolves port 0).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the listener's local address cannot be read (the socket
-    /// was bound moments ago, so this indicates a torn-down stack).
     pub fn local_addr(&self) -> SocketAddr {
-        self.listener
-            .local_addr()
-            .expect("bound listener has an address")
+        self.state.bound_addr
     }
 
-    /// Accepts connections forever, one handler thread per connection.
+    /// Accepts connections, one handler thread per connection, until
+    /// `POST /admin/shutdown` completes a drain.
     ///
     /// # Errors
     ///
     /// Propagates accept failures.
     pub fn run(self) -> io::Result<()> {
         for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
             let stream = stream?;
             let state = Arc::clone(&self.state);
             thread::spawn(move || {
@@ -239,19 +360,42 @@ fn worker_loop(state: &Arc<State>, jobs: &Arc<Mutex<mpsc::Receiver<Job>>>) {
             Ok(job) => job,
             Err(_) => return, // server dropped
         };
+        state.queued.fetch_sub(1, Ordering::SeqCst);
+        if state.draining.load(Ordering::SeqCst) {
+            // Queued work is dropped, not run: whatever the artifact holds
+            // (possibly just the spec) resumes on the next POST.
+            state.set_status(&job.id, Status::Cancelled);
+            continue;
+        }
+        state.running.fetch_add(1, Ordering::SeqCst);
+        let token = CancelToken::new();
+        state
+            .active
+            .lock()
+            .expect("active map lock")
+            .insert(job.id.clone(), token.clone());
         state.set_status(&job.id, Status::Running);
-        let result = execute_campaign(state, &job);
+        let result = execute_campaign(state, &job, &token);
+        state
+            .active
+            .lock()
+            .expect("active map lock")
+            .remove(&job.id);
         let status = match result {
             Ok(()) => Status::Complete,
+            Err(EngineError::Cancelled) => Status::Cancelled,
             Err(e) => Status::Failed(e.to_string()),
         };
+        state.running.fetch_sub(1, Ordering::SeqCst);
         state.set_status(&job.id, status);
     }
 }
 
 /// Runs (or resumes) one campaign, appending missing rows to its artifact
-/// and writing the completion marker last.
-fn execute_campaign(state: &Arc<State>, job: &Job) -> Result<(), Box<dyn std::error::Error>> {
+/// and writing the completion marker last. A fired `token` (drain) leaves
+/// the artifact as a resumable prefix: rows already appended stay, no
+/// marker is written.
+fn execute_campaign(state: &Arc<State>, job: &Job, token: &CancelToken) -> Result<(), EngineError> {
     let existing = state.store.truncate_ragged_tail(&job.id)?;
     let mut sink = JsonlSink::append(&state.store.rows_path(&job.id))?;
 
@@ -265,6 +409,7 @@ fn execute_campaign(state: &Arc<State>, job: &Job) -> Result<(), Box<dyn std::er
     let outcome = CampaignRunner::new(job.spec.clone())
         .threads(state.threads)
         .skip_rows(existing)
+        .cancel_token(token.clone())
         .on_progress(move |_| notifier.notify())
         .run(&mut sink)?;
 
@@ -275,15 +420,32 @@ fn execute_campaign(state: &Arc<State>, job: &Job) -> Result<(), Box<dyn std::er
 }
 
 fn handle_connection(state: &Arc<State>, stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(state.read_timeout))?;
+    stream.set_write_timeout(Some(state.write_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
-    let Some(request) = Request::read(&mut reader)? else {
-        return Ok(());
+    let request = match Request::read(&mut reader, &state.limits) {
+        Ok(None) => return Ok(()),
+        Ok(Some(request)) => request,
+        Err(e) => {
+            // A malformed/oversized/too-slow request gets a proper status
+            // and a JSON error body, then the connection closes; only a
+            // dead transport is dropped silently.
+            if let Some((status, reason, message)) = e.response() {
+                state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = error_response(&mut stream, status, reason, &message);
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+            return Ok(());
+        }
     };
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/campaigns") => post_campaign(state, &mut stream, &request),
+        ("POST", "/admin/drain") => post_drain(state, &mut stream, false),
+        ("POST", "/admin/shutdown") => post_drain(state, &mut stream, true),
         ("GET", "/presets") => get_presets(&mut stream),
         ("GET", "/stats") => get_stats(state, &mut stream),
+        ("GET", "/healthz") => get_healthz(state, &mut stream),
         ("GET", path) => {
             if let Some(rest) = path.strip_prefix("/campaigns/") {
                 match rest.strip_suffix("/rows") {
@@ -315,6 +477,28 @@ fn error_response(
         reason,
         "application/json",
         &[],
+        body.as_bytes(),
+    )
+}
+
+/// Sheds one submission: `429` (queue full) or `503` (draining), both
+/// with the advisory `Retry-After` the client retry layer honors.
+fn shed_response(
+    state: &Arc<State>,
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    message: &str,
+) -> io::Result<()> {
+    state.stats.shed.fetch_add(1, Ordering::Relaxed);
+    let retry_after = state.retry_after_secs.to_string();
+    let body = format!("{{\"error\": {}}}\n", json_string(message));
+    write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        &[("Retry-After", &retry_after)],
         body.as_bytes(),
     )
 }
@@ -357,12 +541,79 @@ fn get_presets(stream: &mut TcpStream) -> io::Result<()> {
 
 fn get_stats(state: &Arc<State>, stream: &mut TcpStream) -> io::Result<()> {
     let body = format!(
-        "{{\"campaigns_run\": {}, \"cache_hits\": {}, \"trials_executed\": {}}}\n",
+        "{{\"campaigns_run\": {}, \"cache_hits\": {}, \"trials_executed\": {}, \"shed\": {}, \"bad_requests\": {}}}\n",
         state.stats.campaigns_run.load(Ordering::Relaxed),
         state.stats.cache_hits.load(Ordering::Relaxed),
         state.stats.trials_executed.load(Ordering::Relaxed),
+        state.stats.shed.load(Ordering::Relaxed),
+        state.stats.bad_requests.load(Ordering::Relaxed),
     );
     write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+}
+
+/// Liveness + readiness: the CI smoke polls this before the first POST,
+/// and operators watch `queue_depth` to see backpressure building.
+fn get_healthz(state: &Arc<State>, stream: &mut TcpStream) -> io::Result<()> {
+    let status = if state.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    let campaigns = state.campaigns.lock().expect("campaign map lock").len();
+    let body = format!(
+        "{{\"status\": \"{status}\", \"version\": {}, \"workers\": {}, \"queue_depth\": {}, \"queue_capacity\": {}, \"running\": {}, \"campaigns\": {campaigns}, \"trials_executed\": {}}}\n",
+        json_string(env!("CARGO_PKG_VERSION")),
+        state.workers,
+        state.queued.load(Ordering::SeqCst),
+        state.queue_capacity,
+        state.running.load(Ordering::SeqCst),
+        state.stats.trials_executed.load(Ordering::Relaxed),
+    );
+    write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+}
+
+/// Drains the service: stops admitting campaigns, fires every in-flight
+/// [`CancelToken`], drops queued jobs, and waits (bounded) for workers to
+/// go idle. With `exit` the accept loop is shut down afterwards — the
+/// graceful end of the process.
+fn post_drain(state: &Arc<State>, stream: &mut TcpStream, exit: bool) -> io::Result<()> {
+    state.draining.store(true, Ordering::SeqCst);
+    let cancelled = {
+        let active = state.active.lock().expect("active map lock");
+        for token in active.values() {
+            token.cancel();
+        }
+        active.len()
+    };
+    state.notify();
+
+    // Bounded wait for in-flight work to stop (cancellation is polled
+    // between grid points, so this is quick in practice).
+    let deadline = Instant::now() + DRAIN_GRACE;
+    while state.in_flight() > 0 && Instant::now() < deadline {
+        let guard = state.progress_lock.lock().expect("progress lock");
+        let _ = state
+            .progress
+            .wait_timeout(guard, FOLLOW_POLL)
+            .expect("progress lock");
+    }
+    let idle = state.in_flight() == 0;
+
+    // Respond before releasing the accept loop: once `run` returns the
+    // process may exit, and this handler thread must not be killed with
+    // the response still unsent.
+    let body = format!(
+        "{{\"status\": \"draining\", \"cancelled\": {cancelled}, \"idle\": {idle}, \"exiting\": {}}}\n",
+        exit && idle
+    );
+    write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())?;
+
+    if exit && idle {
+        state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(state.bound_addr);
+    }
+    Ok(())
 }
 
 fn get_status(state: &Arc<State>, stream: &mut TcpStream, id: &str) -> io::Result<()> {
@@ -427,13 +678,28 @@ fn post_campaign(state: &Arc<State>, stream: &mut TcpStream, request: &Request) 
             );
         }
     }
+    if state.draining.load(Ordering::SeqCst) {
+        return shed_response(
+            state,
+            stream,
+            503,
+            "Service Unavailable",
+            "service is draining; retry against another instance or after restart",
+        );
+    }
 
     let id = campaign_id(&sc);
-    let cache = {
+    enum Admission {
+        Stream(&'static str),
+        Full,
+    }
+    let admission = {
         let mut campaigns = state.campaigns.lock().expect("campaign map lock");
         match campaigns.get(&id).map(|info| info.status.clone()) {
-            Some(Status::Complete) => "hit",
-            Some(Status::Failed(_)) | None if state.store.is_complete(&id) => {
+            Some(Status::Complete) => Admission::Stream("hit"),
+            Some(Status::Failed(_)) | Some(Status::Cancelled) | None
+                if state.store.is_complete(&id) =>
+            {
                 campaigns.insert(
                     id.clone(),
                     CampaignInfo {
@@ -441,41 +707,60 @@ fn post_campaign(state: &Arc<State>, stream: &mut TcpStream, request: &Request) 
                         status: Status::Complete,
                     },
                 );
-                "hit"
+                Admission::Stream("hit")
             }
-            Some(Status::Queued) | Some(Status::Running) => "join",
-            // Unknown or previously failed: (re-)enqueue. Rows already on
-            // disk from an interrupted run are kept and skipped over.
+            Some(Status::Queued) | Some(Status::Running) => Admission::Stream("join"),
+            // Unknown or previously failed/cancelled: (re-)enqueue. Rows
+            // already on disk from an interrupted run are kept and skipped
+            // over. Admission is bounded: no free queue slot means shed.
             _ => {
-                state.store.begin(&id, &sc)?;
-                campaigns.insert(
-                    id.clone(),
-                    CampaignInfo {
-                        spec: sc.clone(),
-                        status: Status::Queued,
-                    },
-                );
-                state
-                    .jobs
-                    .send(Job {
-                        id: id.clone(),
-                        spec: sc,
-                    })
-                    .expect("worker pool outlives the listener");
-                "miss"
+                if !state.try_reserve_queue_slot() {
+                    Admission::Full
+                } else {
+                    if let Err(e) = state.store.begin(&id, &sc) {
+                        state.queued.fetch_sub(1, Ordering::SeqCst);
+                        return Err(e);
+                    }
+                    campaigns.insert(
+                        id.clone(),
+                        CampaignInfo {
+                            spec: sc.clone(),
+                            status: Status::Queued,
+                        },
+                    );
+                    state
+                        .jobs
+                        .send(Job {
+                            id: id.clone(),
+                            spec: sc,
+                        })
+                        .expect("worker pool outlives the listener");
+                    Admission::Stream("miss")
+                }
             }
         }
     };
-    if cache == "hit" {
-        state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+    match admission {
+        Admission::Full => shed_response(
+            state,
+            stream,
+            429,
+            "Too Many Requests",
+            "campaign queue is full; backpressure — retry after the interval",
+        ),
+        Admission::Stream(cache) => {
+            if cache == "hit" {
+                state.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            stream_rows(state, stream, &id, cache)
+        }
     }
-    stream_rows(state, stream, &id, cache)
 }
 
 /// Streams the row artifact of `id` as a chunked `application/x-ndjson`
 /// body, following the file as the worker appends until the campaign
-/// completes (or fails, in which case the stream ends at the last
-/// persisted row and the status endpoint carries the error).
+/// completes (or fails or is cancelled, in which case the stream ends at
+/// the last persisted row and the status endpoint carries the detail).
 fn stream_rows(
     state: &Arc<State>,
     stream: &mut TcpStream,

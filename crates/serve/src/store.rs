@@ -7,6 +7,9 @@
 //! <root>/<id>/meta.json   written last — its presence marks completion
 //! <root>/<id>/  with no meta.json = an interrupted campaign; the next
 //!               POST of the same spec resumes it via skip-rows append
+//! <root>/quarantine/<id>[-N]/  artifacts whose completion marker lied
+//!               (torn meta, checksum mismatch) — kept for autopsy, never
+//!               served; the campaign re-runs from scratch
 //! ```
 //!
 //! The id is `{spec_hash}-{seed:016x}` where `spec_hash` is the first 16
@@ -16,6 +19,18 @@
 //! that would produce identical rows share one artifact, and the seed —
 //! the one knob that changes rows without changing shape — stays legible
 //! in the id instead of hiding in the digest.
+//!
+//! # Crash safety
+//!
+//! The completion marker is the store's only trust anchor, so it is
+//! written to survive `kill -9` and torn disk writes: the rows file is
+//! fsynced first, its SHA-256 goes *into* the marker, and the marker
+//! itself lands via temp-file + atomic rename with the file and its
+//! parent directory both fsynced. On preload, [`Store::verify`] replays
+//! that contract — a marker that does not parse, names a row count the
+//! artifact doesn't have, or checksums bytes that are not on disk sends
+//! the whole campaign directory to `quarantine/` instead of serving bad
+//! bytes; the deterministic engine simply re-runs the spec.
 
 use std::fs;
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -24,6 +39,9 @@ use std::path::{Path, PathBuf};
 use dream_sim::scenario::{Scenario, SinkSpec};
 
 use crate::hash::sha256_hex;
+
+/// Name of the sub-directory corrupt artifacts are moved to.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Canonicalizes `sc` for hashing: presentation fields cleared, seed
 /// zeroed (it is keyed separately), everything else verbatim.
@@ -44,6 +62,66 @@ pub fn spec_hash(sc: &Scenario) -> String {
 /// The store key of `sc`: `{spec_hash}-{seed:016x}`.
 pub fn campaign_id(sc: &Scenario) -> String {
     format!("{}-{:016x}", spec_hash(sc), sc.seed)
+}
+
+/// The parsed completion marker of one campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Meta {
+    /// Rows the artifact held when the campaign completed.
+    pub rows: usize,
+    /// SHA-256 (hex) of the complete `rows.jsonl` bytes.
+    pub rows_sha256: String,
+}
+
+/// The integrity verdict of one on-disk campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Integrity {
+    /// Marker present, checksum and row count match the artifact.
+    Verified,
+    /// No completion marker — an interrupted campaign (resumable, not
+    /// corrupt).
+    Incomplete,
+    /// The marker and the artifact disagree; the reason says how.
+    Corrupt(String),
+}
+
+/// Writes `bytes` to `path` crash-safely: temp file in the same
+/// directory, fsync, atomic rename over the destination, fsync of the
+/// parent directory so the rename itself is durable.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let parent = path
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no parent"))?;
+    let tmp = path.with_file_name(format!(
+        "{}.tmp",
+        path.file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_else(|| "atomic".to_string())
+    ));
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Durability of the rename needs the directory entry flushed too.
+    fs::File::open(parent)?.sync_all()
+}
+
+/// Extracts `"key": <json scalar>` from a flat JSON object — the store's
+/// meta files are written by us and only hold scalars, so a real parser
+/// would be dead weight. Returns the raw token (quotes stripped for
+/// strings).
+fn json_field<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = body.find(&needle)? + needle.len();
+    let rest = body[start..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
 }
 
 /// A directory of campaign artifacts addressed by [`campaign_id`].
@@ -90,15 +168,22 @@ impl Store {
         self.dir(id).join("meta.json")
     }
 
-    /// Prepares the directory of campaign `id` and records its spec.
-    /// Idempotent: re-beginning an interrupted campaign keeps its rows.
+    /// The quarantine root (`<store>/quarantine`).
+    pub fn quarantine_root(&self) -> PathBuf {
+        self.root.join(QUARANTINE_DIR)
+    }
+
+    /// Prepares the directory of campaign `id` and records its spec
+    /// (atomically — a crash mid-write must not leave a torn spec where a
+    /// resumable one stood). Idempotent: re-beginning an interrupted
+    /// campaign keeps its rows.
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
     pub fn begin(&self, id: &str, sc: &Scenario) -> io::Result<()> {
         fs::create_dir_all(self.dir(id))?;
-        fs::write(self.spec_path(id), sc.to_json())
+        write_atomic(&self.spec_path(id), sc.to_json().as_bytes())
     }
 
     /// True when campaign `id` finished (its meta marker exists).
@@ -146,24 +231,127 @@ impl Store {
 
     /// Marks campaign `id` complete with its final row count. Written
     /// last, after every row is on disk — the marker's existence is the
-    /// completion contract.
+    /// completion contract, so the rows file is fsynced first, its
+    /// checksum is recorded in the marker, and the marker lands via
+    /// [`write_atomic`].
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
     pub fn mark_complete(&self, id: &str, sc: &Scenario, rows: usize) -> io::Result<()> {
-        let mut file = fs::File::create(self.meta_path(id))?;
-        writeln!(
-            file,
-            "{{\"id\": \"{id}\", \"spec_hash\": \"{}\", \"seed\": {}, \"rows\": {rows}}}",
+        let rows_bytes = match fs::read(self.rows_path(id)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            other => other?,
+        };
+        if self.rows_path(id).exists() {
+            // The marker attests to these bytes: they must hit the platter
+            // before it does.
+            fs::File::open(self.rows_path(id))?.sync_all()?;
+        }
+        let digest = sha256_hex(&rows_bytes);
+        let meta = format!(
+            "{{\"id\": \"{id}\", \"spec_hash\": \"{}\", \"seed\": {}, \"rows\": {rows}, \"rows_sha256\": \"{digest}\"}}\n",
             spec_hash(sc),
             sc.seed
-        )
+        );
+        write_atomic(&self.meta_path(id), meta.as_bytes())
     }
 
-    /// Every campaign on disk: `(id, spec, complete)`. Directories whose
-    /// spec no longer parses are skipped (a newer spec vocabulary may
-    /// have obsoleted them) — the store never fails to open over them.
+    /// Reads and parses the completion marker of campaign `id`.
+    /// `Ok(None)` when the marker does not exist.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the marker exists but does not parse (torn
+    /// write) — callers treat that as corruption, not absence.
+    pub fn read_meta(&self, id: &str) -> io::Result<Option<Meta>> {
+        let text = match fs::read_to_string(self.meta_path(id)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            other => other?,
+        };
+        let parse = || -> Option<Meta> {
+            let rows: usize = json_field(&text, "rows")?.parse().ok()?;
+            let rows_sha256 = json_field(&text, "rows_sha256")?.to_string();
+            if rows_sha256.len() != 64 || !rows_sha256.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return None;
+            }
+            Some(Meta { rows, rows_sha256 })
+        };
+        parse().map(Some).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("meta.json of {id} is torn or from an older format"),
+            )
+        })
+    }
+
+    /// Checks the completion marker of campaign `id` against the bytes
+    /// actually on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures (other than not-found, which is a
+    /// verdict, not an error).
+    pub fn verify(&self, id: &str) -> io::Result<Integrity> {
+        let meta = match self.read_meta(id) {
+            Ok(None) => return Ok(Integrity::Incomplete),
+            Ok(Some(meta)) => meta,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Ok(Integrity::Corrupt(e.to_string()))
+            }
+            Err(e) => return Err(e),
+        };
+        let rows_bytes = match fs::read(self.rows_path(id)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok(Integrity::Corrupt(
+                    "meta.json present but rows.jsonl missing".to_string(),
+                ))
+            }
+            other => other?,
+        };
+        let digest = sha256_hex(&rows_bytes);
+        if digest != meta.rows_sha256 {
+            return Ok(Integrity::Corrupt(format!(
+                "rows.jsonl checksum mismatch (meta {}, disk {})",
+                &meta.rows_sha256[..16.min(meta.rows_sha256.len())],
+                &digest[..16]
+            )));
+        }
+        let rows = rows_bytes.iter().filter(|&&b| b == b'\n').count();
+        if rows != meta.rows {
+            return Ok(Integrity::Corrupt(format!(
+                "row count mismatch (meta {}, disk {rows})",
+                meta.rows
+            )));
+        }
+        Ok(Integrity::Verified)
+    }
+
+    /// Moves the whole directory of campaign `id` into the quarantine,
+    /// recording `reason` alongside, and returns the destination. The
+    /// campaign then looks unknown to the store and re-runs from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn quarantine(&self, id: &str, reason: &str) -> io::Result<PathBuf> {
+        let qroot = self.quarantine_root();
+        fs::create_dir_all(&qroot)?;
+        let mut dest = qroot.join(id);
+        let mut n = 1;
+        while dest.exists() {
+            dest = qroot.join(format!("{id}-{n}"));
+            n += 1;
+        }
+        fs::rename(self.dir(id), &dest)?;
+        fs::write(dest.join("quarantine_reason.txt"), format!("{reason}\n"))?;
+        Ok(dest)
+    }
+
+    /// Every campaign on disk: `(id, spec, complete)`. The quarantine
+    /// sub-directory is skipped, as are directories whose spec no longer
+    /// parses (a newer spec vocabulary may have obsoleted them) — the
+    /// store never fails to open over them.
     ///
     /// # Errors
     ///
@@ -173,6 +361,9 @@ impl Store {
         for entry in fs::read_dir(&self.root)? {
             let entry = entry?;
             let id = entry.file_name().to_string_lossy().to_string();
+            if id == QUARANTINE_DIR {
+                continue;
+            }
             let Ok(text) = fs::read_to_string(self.spec_path(&id)) else {
                 continue;
             };
@@ -238,12 +429,23 @@ mod tests {
         store.begin(&id, &sc).unwrap();
         assert!(!store.is_complete(&id));
         assert_eq!(store.existing_row_count(&id).unwrap(), 0);
+        assert_eq!(store.verify(&id).unwrap(), Integrity::Incomplete);
 
         fs::write(store.rows_path(&id), "{\"a\": 1}\n{\"a\": 2}\n").unwrap();
         assert_eq!(store.existing_row_count(&id).unwrap(), 2);
 
         store.mark_complete(&id, &sc, 2).unwrap();
         assert!(store.is_complete(&id));
+        assert_eq!(store.verify(&id).unwrap(), Integrity::Verified);
+        // The atomic write leaves no temp file behind.
+        assert!(!store.dir(&id).join("meta.json.tmp").exists());
+        let meta = store.read_meta(&id).unwrap().unwrap();
+        assert_eq!(meta.rows, 2);
+        assert_eq!(
+            meta.rows_sha256,
+            sha256_hex(b"{\"a\": 1}\n{\"a\": 2}\n"),
+            "marker must checksum the artifact bytes"
+        );
         let scan = store.scan().unwrap();
         assert_eq!(scan.len(), 1);
         assert_eq!(scan[0].0, id);
@@ -266,5 +468,121 @@ mod tests {
             fs::read_to_string(store.rows_path(&id)).unwrap(),
             "{\"a\": 1}\n{\"a\": 2}\n"
         );
+    }
+
+    #[test]
+    fn truncate_ragged_tail_edge_cases() {
+        let store = temp_store("ragged_edges");
+        let sc = registry::get("fig2", true).unwrap();
+        let id = campaign_id(&sc);
+        store.begin(&id, &sc).unwrap();
+
+        // Missing file: nothing to repair, zero rows.
+        assert_eq!(store.truncate_ragged_tail(&id).unwrap(), 0);
+
+        // Empty file: stays empty, zero rows.
+        fs::write(store.rows_path(&id), "").unwrap();
+        assert_eq!(store.truncate_ragged_tail(&id).unwrap(), 0);
+        assert_eq!(fs::read(store.rows_path(&id)).unwrap(), b"");
+
+        // A single partial line (crash inside the very first row): the
+        // whole file is the ragged tail.
+        fs::write(store.rows_path(&id), "{\"a\": ").unwrap();
+        assert_eq!(store.truncate_ragged_tail(&id).unwrap(), 0);
+        assert_eq!(fs::read(store.rows_path(&id)).unwrap(), b"");
+
+        // A trailing newline-only tail is already on a row boundary —
+        // nothing is cut, nothing is counted twice.
+        fs::write(store.rows_path(&id), "{\"a\": 1}\n\n").unwrap();
+        assert_eq!(store.truncate_ragged_tail(&id).unwrap(), 2);
+        assert_eq!(fs::read(store.rows_path(&id)).unwrap(), b"{\"a\": 1}\n\n");
+
+        // CRLF endings: the CR belongs to the row, the LF terminates it;
+        // a complete CRLF row survives, a ragged tail after it is cut.
+        fs::write(store.rows_path(&id), "{\"a\": 1}\r\n{\"b\"").unwrap();
+        assert_eq!(store.truncate_ragged_tail(&id).unwrap(), 1);
+        assert_eq!(fs::read(store.rows_path(&id)).unwrap(), b"{\"a\": 1}\r\n");
+        assert_eq!(store.existing_row_count(&id).unwrap(), 1);
+    }
+
+    #[test]
+    fn tampered_rows_fail_verification_and_quarantine_moves_them() {
+        let store = temp_store("tamper");
+        let sc = registry::get("fig2", true).unwrap();
+        let id = campaign_id(&sc);
+        store.begin(&id, &sc).unwrap();
+        fs::write(store.rows_path(&id), "{\"a\": 1}\n").unwrap();
+        store.mark_complete(&id, &sc, 1).unwrap();
+        assert_eq!(store.verify(&id).unwrap(), Integrity::Verified);
+
+        // Bit-rot: one byte flips after completion.
+        fs::write(store.rows_path(&id), "{\"a\": 9}\n").unwrap();
+        let verdict = store.verify(&id).unwrap();
+        assert!(
+            matches!(&verdict, Integrity::Corrupt(r) if r.contains("checksum")),
+            "{verdict:?}"
+        );
+
+        let dest = store.quarantine(&id, "checksum mismatch in test").unwrap();
+        assert!(dest.starts_with(store.quarantine_root()));
+        assert!(!store.dir(&id).exists(), "campaign dir must be gone");
+        assert!(dest.join("rows.jsonl").exists(), "evidence preserved");
+        assert!(fs::read_to_string(dest.join("quarantine_reason.txt"))
+            .unwrap()
+            .contains("checksum"));
+        // The store no longer knows the campaign (scan skips quarantine).
+        assert!(store.scan().unwrap().is_empty());
+
+        // Quarantining a fresh incarnation of the same id does not clobber
+        // the first autopsy.
+        store.begin(&id, &sc).unwrap();
+        let dest2 = store.quarantine(&id, "second failure").unwrap();
+        assert_ne!(dest, dest2);
+    }
+
+    #[test]
+    fn torn_meta_and_row_count_lies_are_corrupt() {
+        let store = temp_store("torn_meta");
+        let sc = registry::get("fig2", true).unwrap();
+        let id = campaign_id(&sc);
+        store.begin(&id, &sc).unwrap();
+        fs::write(store.rows_path(&id), "{\"a\": 1}\n").unwrap();
+
+        // A torn marker (crash mid-write of a pre-atomic store, or cosmic
+        // rays) parses as corruption, not completion.
+        fs::write(store.meta_path(&id), "{\"id\": \"abc\", \"row").unwrap();
+        assert!(matches!(store.verify(&id).unwrap(), Integrity::Corrupt(_)));
+
+        // A marker whose row count disagrees with the artifact is corrupt
+        // even when its checksum field matches the bytes.
+        let digest = sha256_hex(b"{\"a\": 1}\n");
+        fs::write(
+            store.meta_path(&id),
+            format!("{{\"rows\": 7, \"rows_sha256\": \"{digest}\"}}\n"),
+        )
+        .unwrap();
+        let verdict = store.verify(&id).unwrap();
+        assert!(
+            matches!(&verdict, Integrity::Corrupt(r) if r.contains("row count")),
+            "{verdict:?}"
+        );
+
+        // A marker over a missing artifact is corrupt too.
+        fs::remove_file(store.rows_path(&id)).unwrap();
+        fs::write(
+            store.meta_path(&id),
+            format!("{{\"rows\": 1, \"rows_sha256\": \"{digest}\"}}\n"),
+        )
+        .unwrap();
+        assert!(matches!(store.verify(&id).unwrap(), Integrity::Corrupt(_)));
+    }
+
+    #[test]
+    fn json_field_extracts_strings_and_numbers() {
+        let body = "{\"id\": \"abc-def\", \"rows\": 42, \"rows_sha256\": \"00ff\"}";
+        assert_eq!(json_field(body, "id"), Some("abc-def"));
+        assert_eq!(json_field(body, "rows"), Some("42"));
+        assert_eq!(json_field(body, "rows_sha256"), Some("00ff"));
+        assert_eq!(json_field(body, "missing"), None);
     }
 }

@@ -124,6 +124,11 @@ impl CampaignRunner {
 
     /// Runs the campaign, streaming rows to `sink`.
     ///
+    /// A cancelled run still flushes the sink (best-effort `finish`)
+    /// before returning, so the deterministic prefix streamed up to the
+    /// cancellation point is durable — that prefix is exactly what
+    /// `skip_rows` resumes from after a drain.
+    ///
     /// # Errors
     ///
     /// [`EngineError::Spec`] for invalid specs, [`EngineError::Io`] for
@@ -140,9 +145,13 @@ impl CampaignRunner {
             },
             on_progress: self.on_progress.as_deref(),
         };
-        exec::with_ambient_threads(self.threads, || {
+        let result = exec::with_ambient_threads(self.threads, || {
             engine::run_campaign(&self.spec, &mut instrumented, self.cancel.as_ref())
-        })
+        });
+        if matches!(result, Err(EngineError::Cancelled)) {
+            let _ = instrumented.inner.finish();
+        }
+        result
     }
 
     /// Runs the campaign, discarding streamed rows (callers that only
@@ -304,6 +313,40 @@ mod tests {
             .unwrap();
         let resumed = String::from_utf8(resumed_sink.into_inner()).unwrap();
         assert_eq!(format!("{partial}{resumed}"), full);
+    }
+
+    #[test]
+    fn cancelled_runs_still_flush_the_sink() {
+        struct FinishSpy {
+            finished: bool,
+        }
+        impl crate::report::Sink for FinishSpy {
+            fn begin(&mut self, _headers: &[&str]) -> io::Result<()> {
+                Ok(())
+            }
+            fn emit(&mut self, _rows: &[Vec<String>]) -> io::Result<()> {
+                Ok(())
+            }
+            fn finish(&mut self) -> io::Result<()> {
+                self.finished = true;
+                Ok(())
+            }
+        }
+
+        let sc = tiny_fig4();
+        let token = CancelToken::new();
+        let trip = token.clone();
+        let mut sink = FinishSpy { finished: false };
+        let err = CampaignRunner::new(sc)
+            .cancel_token(token)
+            .on_progress(move |_| trip.cancel())
+            .run(&mut sink)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Cancelled), "{err:?}");
+        assert!(
+            sink.finished,
+            "a drained campaign must flush its streamed prefix"
+        );
     }
 
     #[test]

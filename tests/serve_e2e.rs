@@ -53,6 +53,7 @@ fn boot(store_dir: PathBuf) -> String {
         store_dir,
         workers: 2,
         threads: 2,
+        ..ServeConfig::default()
     })
     .expect("server binds");
     server.spawn().to_string()
@@ -228,6 +229,7 @@ fn boot_existing_dir(dir: PathBuf) -> String {
         store_dir: dir,
         workers: 1,
         threads: 2,
+        ..ServeConfig::default()
     })
     .expect("server binds");
     server.spawn().to_string()
