@@ -6,12 +6,22 @@
 //!
 //! ```text
 //! cargo run --release -p dream-bench --bin perf_baseline [--smoke] [--threads N] [--window N]
+//!           [--campaigns fig2,fig4,…]
 //! ```
 //!
 //! `--smoke` runs a reduced scale for CI and appends to the gitignored
 //! `results/BENCH_campaigns_smoke.json` instead (only full-scale runs
 //! update the tracked trajectory); `--threads` picks the parallel worker
-//! count (default: `DREAM_THREADS` or the machine's parallelism).
+//! count (default: `DREAM_THREADS` or the machine's parallelism);
+//! `--campaigns` restricts timing to a comma-separated subset of the
+//! campaign names (`fig2`, `fig2_scenario`, `fig4`, `fig4_scenario`,
+//! `ablation`, `tradeoff`).
+//!
+//! Every selected campaign is timed twice — bit-sliced trial batching off
+//! and on — after asserting that both modes produce identical rows, and
+//! each pass appends its own trajectory entry (tagged `"batch"` and with
+//! the current `"git_commit"`), so the history tracks the batching win
+//! alongside the threading one.
 //!
 //! Besides trials/s, every campaign reports **accesses/s**: the protected
 //! memory traffic it drives per wall-clock second, derived from clean-run
@@ -158,6 +168,22 @@ fn accesses_per_run(app: AppKind, window: usize, input: &[i16]) -> u64 {
     };
     let _ = app.run(input, &mut mem);
     mem.accesses
+}
+
+/// The short hash of the checked-out commit, or `"unknown"` outside a git
+/// work tree — stamps trajectory entries so a perf step traces back to
+/// the change that caused it.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(workspace_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
 }
 
 /// Formats a unix timestamp as an ISO-8601 UTC date-time (civil-from-days,
@@ -316,125 +342,174 @@ fn main() {
         * fig4_cfg.emts.len() as u64
         * fig4_cfg.voltages.len() as u64;
 
+    // `--campaigns fig2,fig4` restricts both the equality pre-checks and
+    // the timed set (CI's perf smoke times only fig2).
+    let selected: Option<Vec<&str>> = args.value("campaigns").map(|s| s.split(',').collect());
+    let wanted = |name: &str| selected.as_ref().is_none_or(|l| l.contains(&name));
+
     // The scenario-engine path: the registry-preset-shaped specs compiled
     // from the same configs. Timed alongside the legacy entry points (and
     // checked for identical rows below) to prove the declarative layer
     // adds no dispatch overhead.
     let fig2_scenario = fig2_cfg.to_scenario();
     let fig4_scenario = fig4_cfg.to_scenario();
-    {
+    // Equality pre-checks, before any timing is trusted: the engine path
+    // must match the legacy entry point, and the batched executor must
+    // match the scalar one row for row.
+    exec::set_batch_override(Some(false));
+    if wanted("fig2") || wanted("fig2_scenario") {
         let legacy = run_fig2(&fig2_cfg);
         let via_engine = run_fig2_scenario(&fig2_scenario);
         assert_eq!(
             legacy, via_engine,
             "preset-compiled fig2 diverged from the legacy entry point"
         );
+        exec::set_batch_override(Some(true));
+        let batched = run_fig2_scenario(&fig2_scenario);
+        exec::set_batch_override(Some(false));
+        assert_eq!(
+            via_engine, batched,
+            "batched fig2 diverged from the scalar path"
+        );
+    }
+    if wanted("fig4") || wanted("fig4_scenario") || wanted("tradeoff") {
         let legacy = run_fig4(&fig4_cfg);
         let via_engine = run_fig4_scenario(&fig4_scenario);
         assert_eq!(
             legacy, via_engine,
             "preset-compiled fig4 diverged from the legacy entry point"
         );
-    }
-
-    let timings = vec![
-        time_campaign("fig2", fig2_trial_count, fig2_accesses, threads, || {
-            run_fig2(&fig2_cfg)
-        }),
-        time_campaign(
-            "fig2_scenario",
-            fig2_trial_count,
-            fig2_accesses,
-            threads,
-            || run_fig2_scenario(&fig2_scenario),
-        ),
-        time_campaign(
-            "fig4",
-            fig4_trial_count,
-            fig4_accesses_all_apps,
-            threads,
-            || run_fig4(&fig4_cfg),
-        ),
-        time_campaign(
-            "fig4_scenario",
-            fig4_trial_count,
-            fig4_accesses_all_apps,
-            threads,
-            || run_fig4_scenario(&fig4_scenario),
-        ),
-        time_campaign(
-            "ablation",
-            ber_slopes.len() * voltages.len() * ber_runs,
-            ablation_accesses,
-            threads,
-            || ber_sensitivity(window, ber_runs, ber_slopes),
-        ),
-        time_campaign(
-            "tradeoff",
-            fig4_trial_count,
-            tradeoff_accesses,
-            threads,
-            || {
-                let points = run_fig4(&Fig4Config {
-                    apps: vec![AppKind::Dwt],
-                    ..fig4_cfg.clone()
-                });
-                let energy = run_energy_table(&energy_cfg);
-                explore(AppKind::Dwt, 1.0, &points, &energy)
-            },
-        ),
-    ];
-
-    println!("\nCampaign throughput (serial vs {threads} threads; identical outputs verified)");
-    println!(
-        "{:<10} {:>8} {:>10} {:>10} {:>12} {:>12} {:>14} {:>8}",
-        "campaign", "trials", "serial s", "par s", "ser tr/s", "par tr/s", "ser accs/s", "speedup"
-    );
-    for t in &timings {
-        println!(
-            "{:<10} {:>8} {:>10.2} {:>10.2} {:>12.1} {:>12.1} {:>14.0} {:>7.2}x",
-            t.name,
-            t.trials,
-            t.serial_s,
-            t.parallel_s,
-            t.serial_rate(),
-            t.parallel_rate(),
-            t.serial_access_rate(),
-            t.speedup()
+        exec::set_batch_override(Some(true));
+        let batched = run_fig4_scenario(&fig4_scenario);
+        exec::set_batch_override(Some(false));
+        assert_eq!(
+            via_engine, batched,
+            "batched fig4 diverged from the scalar path"
         );
     }
+    exec::set_batch_override(None);
 
-    // Hand-rolled JSON (the workspace is intentionally dependency-free).
-    let campaigns: Vec<String> = timings
-        .iter()
-        .map(|t| {
-            format!(
-                "        {{\"name\": \"{}\", \"trials\": {}, \"accesses\": {}, \"serial_s\": {:.3}, \
-                 \"parallel_s\": {:.3}, \"serial_trials_per_s\": {:.2}, \"parallel_trials_per_s\": {:.2}, \
-                 \"serial_accesses_per_s\": {:.0}, \"speedup\": {:.3}}}",
+    let time_set = |batch: bool| -> Vec<Timing> {
+        exec::set_batch_override(Some(batch));
+        eprintln!("=== batching {} ===", if batch { "ON" } else { "OFF" });
+        let mut timings = Vec::new();
+        if wanted("fig2") {
+            timings.push(time_campaign(
+                "fig2",
+                fig2_trial_count,
+                fig2_accesses,
+                threads,
+                || run_fig2(&fig2_cfg),
+            ));
+        }
+        if wanted("fig2_scenario") {
+            timings.push(time_campaign(
+                "fig2_scenario",
+                fig2_trial_count,
+                fig2_accesses,
+                threads,
+                || run_fig2_scenario(&fig2_scenario),
+            ));
+        }
+        if wanted("fig4") {
+            timings.push(time_campaign(
+                "fig4",
+                fig4_trial_count,
+                fig4_accesses_all_apps,
+                threads,
+                || run_fig4(&fig4_cfg),
+            ));
+        }
+        if wanted("fig4_scenario") {
+            timings.push(time_campaign(
+                "fig4_scenario",
+                fig4_trial_count,
+                fig4_accesses_all_apps,
+                threads,
+                || run_fig4_scenario(&fig4_scenario),
+            ));
+        }
+        if wanted("ablation") {
+            timings.push(time_campaign(
+                "ablation",
+                ber_slopes.len() * voltages.len() * ber_runs,
+                ablation_accesses,
+                threads,
+                || ber_sensitivity(window, ber_runs, ber_slopes),
+            ));
+        }
+        if wanted("tradeoff") {
+            timings.push(time_campaign(
+                "tradeoff",
+                fig4_trial_count,
+                tradeoff_accesses,
+                threads,
+                || {
+                    let points = run_fig4(&Fig4Config {
+                        apps: vec![AppKind::Dwt],
+                        ..fig4_cfg.clone()
+                    });
+                    let energy = run_energy_table(&energy_cfg);
+                    explore(AppKind::Dwt, 1.0, &points, &energy)
+                },
+            ));
+        }
+        exec::set_batch_override(None);
+        assert!(
+            !timings.is_empty(),
+            "--campaigns selected no known campaign (fig2, fig2_scenario, fig4, fig4_scenario, ablation, tradeoff)"
+        );
+        timings
+    };
+    let scalar_timings = time_set(false);
+    let batched_timings = time_set(true);
+
+    for (batch, timings) in [(false, &scalar_timings), (true, &batched_timings)] {
+        println!(
+            "\nCampaign throughput, batching {} (serial vs {threads} threads; identical outputs verified)",
+            if batch { "ON" } else { "OFF" }
+        );
+        println!(
+            "{:<14} {:>8} {:>10} {:>10} {:>12} {:>12} {:>14} {:>8}",
+            "campaign",
+            "trials",
+            "serial s",
+            "par s",
+            "ser tr/s",
+            "par tr/s",
+            "ser accs/s",
+            "speedup"
+        );
+        for t in timings {
+            println!(
+                "{:<14} {:>8} {:>10.2} {:>10.2} {:>12.1} {:>12.1} {:>14.0} {:>7.2}x",
                 t.name,
                 t.trials,
-                t.accesses,
                 t.serial_s,
                 t.parallel_s,
                 t.serial_rate(),
                 t.parallel_rate(),
                 t.serial_access_rate(),
                 t.speedup()
-            )
-        })
-        .collect();
+            );
+        }
+    }
+    println!("\nBatching win (serial trials/s, batch-on / batch-off)");
+    for (off, on) in scalar_timings.iter().zip(&batched_timings) {
+        println!(
+            "{:<14} {:>7.2}x  ({:.1} -> {:.1} trials/s)",
+            off.name,
+            on.serial_rate() / off.serial_rate(),
+            off.serial_rate(),
+            on.serial_rate()
+        );
+    }
+
     let unix = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .expect("clock before 1970")
         .as_secs();
-    let entry = format!(
-        "    {{\n      \"unix_time\": {unix},\n      \"date_utc\": \"{}\",\n      \
-         \"threads\": {threads},\n      \"hardware_parallelism\": {hw},\n      \
-         \"window\": {window},\n      \"campaigns\": [\n{}\n      ]\n    }}",
-        iso8601_utc(unix),
-        campaigns.join(",\n")
-    );
+    let commit = git_commit();
     // Smoke runs land in the gitignored results/ directory so they never
     // clobber the tracked full-scale trajectory at the workspace root.
     let path = if smoke {
@@ -442,7 +517,40 @@ fn main() {
     } else {
         workspace_root().join("BENCH_campaigns.json")
     };
-    let json = append_trajectory(&path, &entry);
-    std::fs::write(&path, json).expect("write campaign baseline JSON");
-    eprintln!("appended trajectory entry to {}", path.display());
+    for (batch, timings) in [(false, &scalar_timings), (true, &batched_timings)] {
+        // Hand-rolled JSON (the workspace is intentionally dependency-free).
+        let campaigns: Vec<String> = timings
+            .iter()
+            .map(|t| {
+                format!(
+                    "        {{\"name\": \"{}\", \"trials\": {}, \"accesses\": {}, \"serial_s\": {:.3}, \
+                     \"parallel_s\": {:.3}, \"serial_trials_per_s\": {:.2}, \"parallel_trials_per_s\": {:.2}, \
+                     \"serial_accesses_per_s\": {:.0}, \"speedup\": {:.3}}}",
+                    t.name,
+                    t.trials,
+                    t.accesses,
+                    t.serial_s,
+                    t.parallel_s,
+                    t.serial_rate(),
+                    t.parallel_rate(),
+                    t.serial_access_rate(),
+                    t.speedup()
+                )
+            })
+            .collect();
+        let entry = format!(
+            "    {{\n      \"unix_time\": {unix},\n      \"date_utc\": \"{}\",\n      \
+             \"git_commit\": \"{commit}\",\n      \"batch\": {batch},\n      \
+             \"threads\": {threads},\n      \"hardware_parallelism\": {hw},\n      \
+             \"window\": {window},\n      \"campaigns\": [\n{}\n      ]\n    }}",
+            iso8601_utc(unix),
+            campaigns.join(",\n")
+        );
+        let json = append_trajectory(&path, &entry);
+        std::fs::write(&path, json).expect("write campaign baseline JSON");
+    }
+    eprintln!(
+        "appended batch-off and batch-on trajectory entries to {}",
+        path.display()
+    );
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! dream list
-//! dream run <scenario|spec.json> [--smoke] [--threads N] [--progress]
+//! dream run <scenario|spec.json> [--smoke] [--threads N] [--batch [on|off]] [--progress]
 //!           [--sink table|csv:DIR|jsonl:DIR[,append]]
 //!           [--window N] [--records N] [--trials N] [--runs N]
 //!           [--seed N] [--tolerance DB] [--emt none|parity|dream|ecc]
@@ -13,6 +13,7 @@
 //! dream fetch <scenario|spec.json> [--addr HOST:PORT] [--out FILE]
 //!            [--retries N] [--smoke] [overrides…]
 //! dream drain [--addr HOST:PORT] [--exit]
+//! dream compare <a> <b> [--store DIR]
 //! ```
 //!
 //! `run` resolves its target against the scenario registry first; a
@@ -32,6 +33,12 @@
 //! is the complete artifact. `drain` asks a running service to stop
 //! admitting and cancel in-flight campaigns (`--exit` also terminates
 //! the process once idle).
+//!
+//! `compare` diffs two row sets field by field — each argument is a
+//! CSV/JSONL artifact path or, when no such file exists, a campaign id in
+//! the artifact store (`--store DIR`, default `results/store`). The
+//! process exits non-zero on any mismatch, so scripted equivalence checks
+//! (batched vs scalar runs, resumed vs clean artifacts) can gate on it.
 //!
 //! The historical per-figure binaries (`fig2`, `fig4`, `energy`,
 //! `tradeoff`, `ablation`) are shims over [`legacy_shim`], which maps
@@ -84,8 +91,14 @@ pub fn main_from_env() {
             fetch(target, &args);
         }
         Some("drain") => drain(&args),
+        Some("compare") => {
+            let (Some(a), Some(b)) = (args.positional(1), args.positional(2)) else {
+                panic!("usage: dream compare <a> <b> [--store DIR]")
+            };
+            compare(a, b, &args);
+        }
         Some(other) => {
-            panic!("unknown subcommand {other:?} (expected `list`, `run`, `spec`, `serve`, `fetch`, or `drain`)")
+            panic!("unknown subcommand {other:?} (expected `list`, `run`, `spec`, `serve`, `fetch`, `drain`, or `compare`)")
         }
         None => {
             list();
@@ -96,6 +109,7 @@ pub fn main_from_env() {
             eprintln!(
                 "       dream fetch <scenario|spec.json> [--addr HOST:PORT] [--out FILE]   dream drain [--exit]"
             );
+            eprintln!("       dream compare <a> <b> [--store DIR]");
         }
     }
 }
@@ -138,6 +152,52 @@ fn fetch(target: &str, args: &Args) {
         outcome.resumed_rows,
         outcome.cache.as_deref().unwrap_or("?"),
     );
+}
+
+/// Diffs two row sets (artifact paths or store ids) and exits non-zero
+/// on any mismatch.
+fn compare(a: &str, b: &str, args: &Args) {
+    let read = |target: &str| -> String {
+        let path = std::path::Path::new(target);
+        if path.is_file() {
+            return std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {target}: {e}"));
+        }
+        // Not a file: try the artifact store (the ids `dream serve` mints).
+        let store_dir = args
+            .value("store")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| crate::results_dir().join("store"));
+        let store = dream_serve::Store::open(&store_dir)
+            .unwrap_or_else(|e| panic!("cannot open store {}: {e}", store_dir.display()));
+        let rows = store.rows_path(target);
+        std::fs::read_to_string(&rows).unwrap_or_else(|_| {
+            panic!(
+                "{target:?} is neither a readable file nor a campaign id in {}",
+                store_dir.display()
+            )
+        })
+    };
+    let parsed_a = crate::compare::parse_rows(&read(a)).unwrap_or_else(|e| panic!("{a}: {e}"));
+    let parsed_b = crate::compare::parse_rows(&read(b)).unwrap_or_else(|e| panic!("{b}: {e}"));
+    let diffs = crate::compare::diff(&parsed_a, &parsed_b);
+    if diffs.is_empty() {
+        println!(
+            "identical: {} rows × {} columns",
+            parsed_a.rows.len(),
+            parsed_a.columns.len()
+        );
+        return;
+    }
+    const SHOWN: usize = 25;
+    for d in diffs.iter().take(SHOWN) {
+        println!("{d}");
+    }
+    if diffs.len() > SHOWN {
+        println!("… and {} more differences", diffs.len() - SHOWN);
+    }
+    eprintln!("compare: {} difference(s) between {a} and {b}", diffs.len());
+    std::process::exit(1);
 }
 
 /// Asks a running service to drain (`--exit` to also shut down).
@@ -347,8 +407,9 @@ pub fn run(target: &str, args: &Args) -> ScenarioOutcome {
     let mut sc = resolve(target, args.switch("smoke"));
     apply_overrides(&mut sc, args);
     let threads = crate::apply_threads(args);
+    let batch = crate::apply_batch(args);
     eprintln!(
-        "dream run {}: kind={} axis={} points={} trials={} window={} fault-model={} threads={threads}",
+        "dream run {}: kind={} axis={} points={} trials={} window={} fault-model={} threads={threads} batch={batch}",
         sc.name,
         sc.kind.token(),
         sc.grid.axis_token(),

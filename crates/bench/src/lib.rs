@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod compare;
 
 use std::path::PathBuf;
 
@@ -98,6 +99,25 @@ pub fn apply_threads(args: &Args) -> usize {
         dream_sim::exec::set_thread_override(Some(n));
     }
     dream_sim::exec::thread_count()
+}
+
+/// Applies the `--batch [on|off]` flag shared by the campaign binaries:
+/// bare `--batch` (or `on`/`true`/`1`) pins bit-sliced trial batching on,
+/// `off`/`false`/`0` pins it off; without the flag the `DREAM_BATCH`
+/// environment variable decides. Returns the resolved setting for banner
+/// lines. Batching changes scheduling only — output bytes are identical
+/// either way.
+pub fn apply_batch(args: &Args) -> bool {
+    if args.switch("batch") {
+        let enabled = match args.value("batch") {
+            None => true,
+            Some("on" | "true" | "1") => true,
+            Some("off" | "false" | "0") => false,
+            Some(other) => panic!("--batch expects on|off, got {other:?}"),
+        };
+        dream_sim::exec::set_batch_override(Some(enabled));
+    }
+    dream_sim::exec::batch_enabled()
 }
 
 /// The workspace root (where `BENCH_campaigns.json` and `results/` live).

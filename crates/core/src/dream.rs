@@ -2,6 +2,7 @@
 
 use dream_energy::{Gate, Netlist};
 
+use crate::batch::BatchDecode;
 use crate::emt::{DecodeOutcome, Decoded, EmtCodec, EmtKind, Encoded};
 
 /// Dynamic eRror compEnsation And Masking.
@@ -178,6 +179,27 @@ impl EmtCodec for Dream {
             DecodeOutcome::Corrected
         };
         Decoded { word, outcome }
+    }
+
+    // The table lookup is shared by every lane (the side bits are the
+    // clean pass's, identical across trials), so the AND/OR masks broadcast
+    // per bit position: plane *p* is ANDed with all-ones or all-zeros
+    // according to bit *p* of `AND_TABLE[side]`, then ORed likewise. Lanes
+    // the masks changed are exactly the `Corrected` lanes.
+    #[inline]
+    fn decode_batch(&self, planes: &[u64], side: u16) -> BatchDecode {
+        assert_eq!(planes.len(), DATA_BITS as usize, "one plane per code bit");
+        let idx = usize::from(side) & 31;
+        let (and_mask, or_mask) = (DECODE_TABLES.0[idx], DECODE_TABLES.1[idx]);
+        let mut out = BatchDecode::zero();
+        for (p, (&plane, slot)) in planes.iter().zip(out.data.iter_mut()).enumerate() {
+            let a = 0u64.wrapping_sub(u64::from(and_mask >> p & 1));
+            let o = 0u64.wrapping_sub(u64::from(or_mask >> p & 1));
+            let d = (plane & a) | o;
+            out.corrected |= d ^ plane;
+            *slot = d;
+        }
+        out
     }
 
     fn encoder_netlist(&self) -> Netlist {
@@ -371,6 +393,28 @@ mod tests {
         for w in i16::MIN..=i16::MAX {
             let e = d.encode(w);
             assert_eq!(d.decode(e.code, e.side).word, w);
+        }
+    }
+
+    mod batch_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The broadcast-mask batch kernel matches the
+            /// transpose-and-decode oracle bit for bit over random lanes
+            /// and every side word (stray upper side bits included).
+            #[test]
+            fn batch_decode_matches_oracle_on_random_lanes(
+                planes in prop::collection::vec(any::<u64>(), 16),
+                side in any::<u16>(),
+            ) {
+                let d = Dream::new();
+                prop_assert_eq!(
+                    d.decode_batch(&planes, side),
+                    crate::batch::scalar_decode_batch(&d, &planes, side)
+                );
+            }
         }
     }
 

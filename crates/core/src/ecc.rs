@@ -25,6 +25,7 @@
 
 use dream_energy::{Gate, Netlist};
 
+use crate::batch::BatchDecode;
 use crate::emt::{DecodeOutcome, Decoded, EmtCodec, EmtKind, Encoded};
 
 /// Single-Error-Correction / Double-Error-Detection extended Hamming code
@@ -224,6 +225,50 @@ impl EmtCodec for EccSecDed {
         }
     }
 
+    // The scalar decoder transposed: each coverage mask becomes an XOR
+    // reduction over its covered planes, producing five *syndrome bit
+    // planes* (bit *l* of `s[k]` is bit *k* of lane *l*'s syndrome), and the
+    // scalar `match` on (syndrome, overall parity) becomes mask algebra:
+    //
+    // * `odd`    — lanes with odd overall parity (`overall_ok == false`),
+    // * `s_zero` — lanes with syndrome 0,
+    // * `gt21`   — lanes whose syndrome points outside the code (≥ 22,
+    //   i.e. `s4 & (s3 | (s2 & s1))` over the syndrome bits),
+    // * corrected lanes are exactly `odd & !gt21` (including the
+    //   overall-parity-bit flip, which touches no data bit),
+    // * uncorrectable lanes are `odd & gt21` (≥3 errors) plus
+    //   `!odd & !s_zero` (double errors).
+    //
+    // A data bit flips only in corrected lanes whose syndrome equals its
+    // Hamming position, computed as a 5-term AND over the syndrome planes.
+    #[inline]
+    fn decode_batch(&self, planes: &[u64], _side: u16) -> BatchDecode {
+        assert_eq!(planes.len(), CODE_BITS as usize, "one plane per code bit");
+        let mut s = [0u64; 5];
+        for (k, &mask) in COVERAGE_MASKS.iter().enumerate() {
+            let mut covered = mask;
+            while covered != 0 {
+                s[k] ^= planes[covered.trailing_zeros() as usize];
+                covered &= covered - 1;
+            }
+        }
+        let odd = planes.iter().fold(0u64, |acc, &p| acc ^ p);
+        let s_zero = !(s[0] | s[1] | s[2] | s[3] | s[4]);
+        let gt21 = s[4] & (s[3] | (s[2] & s[1]));
+        let corrected = odd & !gt21;
+        let mut out = BatchDecode::zero();
+        out.corrected = corrected;
+        out.uncorrectable = (odd & gt21) | (!odd & !s_zero);
+        for (i, &pos) in DATA_POSITIONS.iter().enumerate() {
+            let mut eq = corrected;
+            for (k, &sk) in s.iter().enumerate() {
+                eq &= if pos >> k & 1 == 1 { sk } else { !sk };
+            }
+            out.data[i] = planes[Self::bit_of_position(pos) as usize] ^ eq;
+        }
+        out
+    }
+
     fn encoder_netlist(&self) -> Netlist {
         let mut n = Netlist::new("ECC SEC/DED encoder");
         let raw_xors: usize = Self::encoder_tree_inputs()
@@ -402,6 +447,47 @@ mod tests {
                     code ^= 1 << b2;
                 }
                 prop_assert_eq!(c.decode(code, 0), reference::decode(code));
+            }
+
+            /// The SWAR batch kernel over 64 *uniformly random* codeword
+            /// lanes matches the transpose-and-decode oracle bit for bit
+            /// (data planes and both outcome masks).
+            #[test]
+            fn batch_decode_matches_oracle_on_random_lanes(
+                planes in prop::collection::vec(any::<u64>(), 22),
+            ) {
+                let c = EccSecDed::new();
+                prop_assert_eq!(
+                    c.decode_batch(&planes, 0),
+                    crate::batch::scalar_decode_batch(&c, &planes, 0)
+                );
+            }
+
+            /// Same pinning over lanes built as valid codewords with up to
+            /// two flips each — dense coverage of the clean / corrected /
+            /// double-error classification arms random planes rarely hit.
+            #[test]
+            fn batch_decode_matches_oracle_on_near_valid_lanes(
+                lanes in prop::collection::vec(
+                    (any::<i16>(), 0u32..22, 0u32..23),
+                    64,
+                ),
+            ) {
+                let c = EccSecDed::new();
+                let mut planes = [0u64; 22];
+                for (lane, &(word, b1, b2)) in lanes.iter().enumerate() {
+                    let mut code = c.encode(word).code ^ (1 << b1);
+                    if b2 < 22 {
+                        code ^= 1 << b2;
+                    }
+                    for (p, plane) in planes.iter_mut().enumerate() {
+                        *plane |= u64::from(code >> p & 1) << lane;
+                    }
+                }
+                prop_assert_eq!(
+                    c.decode_batch(&planes, 0),
+                    crate::batch::scalar_decode_batch(&c, &planes, 0)
+                );
             }
         }
     }

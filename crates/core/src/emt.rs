@@ -70,6 +70,24 @@ pub trait EmtCodec {
     /// and the (reliable) `side` bits.
     fn decode(&self, code: u32, side: u16) -> Decoded;
 
+    /// Batched read path: decode 64 codewords at once, presented as
+    /// `code_width` bit planes (bit *l* of `planes[p]` is bit *p* of lane
+    /// *l*'s codeword), all sharing the same reliable `side` bits — the
+    /// lane-per-trial layout of batched Monte-Carlo execution, where the
+    /// side array is written identically by every trial.
+    ///
+    /// The default transposes and runs the scalar [`EmtCodec::decode`] per
+    /// lane ([`crate::batch::scalar_decode_batch`]); codecs override it
+    /// with SWAR kernels that must match the default bit for bit (pinned
+    /// by differential proptests in each codec module).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` does not hold exactly `code_width` planes.
+    fn decode_batch(&self, planes: &[u64], side: u16) -> crate::batch::BatchDecode {
+        crate::batch::scalar_decode_batch(self, planes, side)
+    }
+
     /// Gate-level structure of the encoder block.
     fn encoder_netlist(&self) -> Netlist;
 
@@ -203,6 +221,16 @@ impl EmtCodec for AnyCodec {
             AnyCodec::Parity(c) => c.decode(code, side),
             AnyCodec::Dream(c) => c.decode(code, side),
             AnyCodec::Ecc(c) => c.decode(code, side),
+        }
+    }
+
+    #[inline]
+    fn decode_batch(&self, planes: &[u64], side: u16) -> crate::batch::BatchDecode {
+        match self {
+            AnyCodec::None(c) => c.decode_batch(planes, side),
+            AnyCodec::Parity(c) => c.decode_batch(planes, side),
+            AnyCodec::Dream(c) => c.decode_batch(planes, side),
+            AnyCodec::Ecc(c) => c.decode_batch(planes, side),
         }
     }
 

@@ -40,12 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod dream;
 mod ecc;
 mod emt;
 mod protected;
 mod simple;
 
+pub use batch::{scalar_decode_batch, BatchDecode, TrialBatch};
 pub use dream::Dream;
 pub use ecc::EccSecDed;
 pub use emt::{AnyCodec, DecodeOutcome, Decoded, EmtCodec, EmtKind, Encoded};

@@ -2,6 +2,7 @@
 
 use dream_energy::{Gate, Netlist};
 
+use crate::batch::BatchDecode;
 use crate::emt::{DecodeOutcome, Decoded, EmtCodec, EmtKind, Encoded};
 
 /// Raw, unprotected storage — the paper's Fig. 4a and the energy baseline
@@ -56,6 +57,16 @@ impl EmtCodec for NoProtection {
             word: (code & 0xFFFF) as u16 as i16,
             outcome: DecodeOutcome::Clean,
         }
+    }
+
+    // Raw storage in plane form is the identity: the 16 data planes pass
+    // straight through and no lane ever reports an outcome.
+    #[inline]
+    fn decode_batch(&self, planes: &[u64], _side: u16) -> BatchDecode {
+        assert_eq!(planes.len(), 16, "one plane per code bit");
+        let mut out = BatchDecode::zero();
+        out.data.copy_from_slice(planes);
+        out
     }
 
     fn encoder_netlist(&self) -> Netlist {
@@ -131,6 +142,18 @@ impl EmtCodec for EvenParity {
             DecodeOutcome::DetectedUncorrectable
         };
         Decoded { word, outcome }
+    }
+
+    // Across lanes, the scalar `count_ones() & 1` becomes one XOR
+    // reduction over the 17 planes: bit *l* of the fold is lane *l*'s
+    // codeword parity, i.e. exactly its detect-only verdict.
+    #[inline]
+    fn decode_batch(&self, planes: &[u64], _side: u16) -> BatchDecode {
+        assert_eq!(planes.len(), 17, "one plane per code bit");
+        let mut out = BatchDecode::zero();
+        out.data.copy_from_slice(&planes[..16]);
+        out.uncorrectable = planes.iter().fold(0, |acc, &p| acc ^ p);
+        out
     }
 
     fn encoder_netlist(&self) -> Netlist {

@@ -20,6 +20,9 @@
 //!   a fault overlay: writes store the true bits, reads see the stuck bits.
 //! * [`AddressScrambler`] — the small logic the paper assumes for
 //!   randomizing the logical→physical mapping of addresses and bit lanes.
+//! * [`BatchFaultPlanes`] — up to [`MAX_LANES`] fault maps transposed into
+//!   lane-per-trial bit planes, the storage behind batched (SWAR)
+//!   Monte-Carlo trial execution.
 //! * [`MemGeometry`] — array geometry (words × width, banking) with the
 //!   INYU-node preset (32 kB, 16 banks, 16-bit words).
 //!
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod ber;
 mod fault;
 mod fault_model;
@@ -47,6 +51,7 @@ mod geometry;
 mod scramble;
 mod sram;
 
+pub use batch::{BatchFaultPlanes, MAX_LANES};
 pub use ber::BerModel;
 pub use fault::{FaultMap, StuckAt};
 pub use fault_model::FaultModel;

@@ -3,11 +3,11 @@
 
 use dream_core::{
     AccessStats, AnyCodec, Dream, EccSecDed, EmtCodec, EmtKind, EvenParity, NoProtection,
-    ProtectedMemory,
+    ProtectedMemory, TrialBatch,
 };
 use dream_dsp::{BiomedicalApp, WordStorage};
 use dream_ecg::{Database, Record};
-use dream_mem::{FaultMap, MemGeometry};
+use dream_mem::{BatchFaultPlanes, FaultMap, MemGeometry};
 
 use crate::exec;
 
@@ -125,6 +125,45 @@ impl<C: EmtCodec> WordStorage for ProtectedStorage<'_, C> {
     }
 }
 
+/// Adapter exposing a clean [`ProtectedMemory`] plus per-trial fault
+/// planes as application storage for a *batched* pass: reads go through
+/// [`ProtectedMemory::read_batch`] (decoding every lane and evicting
+/// divergent trials), writes through the shared clean write. Block
+/// accesses use the per-word `WordStorage` defaults, which produce
+/// statistics identical to `ProtectedMemory`'s own block paths.
+pub struct BatchProtectedStorage<'a, C: EmtCodec = AnyCodec> {
+    mem: &'a mut ProtectedMemory<C>,
+    faults: &'a BatchFaultPlanes,
+    batch: &'a mut TrialBatch,
+}
+
+impl<'a, C: EmtCodec> BatchProtectedStorage<'a, C> {
+    /// Wraps a clean memory, the batch's fault planes, and its lane state.
+    pub fn new(
+        mem: &'a mut ProtectedMemory<C>,
+        faults: &'a BatchFaultPlanes,
+        batch: &'a mut TrialBatch,
+    ) -> Self {
+        BatchProtectedStorage { mem, faults, batch }
+    }
+}
+
+impl<C: EmtCodec> WordStorage for BatchProtectedStorage<'_, C> {
+    fn len(&self) -> usize {
+        self.mem.words()
+    }
+
+    #[inline]
+    fn read(&mut self, addr: usize) -> i16 {
+        self.mem.read_batch(addr, self.faults, self.batch)
+    }
+
+    #[inline]
+    fn write(&mut self, addr: usize, value: i16) {
+        self.mem.write_batch(addr, value)
+    }
+}
+
 /// A protected memory monomorphized per technique: one enum dispatch when
 /// a trial *starts an app run*, zero dispatch per access — the arena type
 /// the voltage-sweep campaigns hold one of per EMT.
@@ -194,6 +233,30 @@ impl EmtMemory {
             EmtMemory::Parity(m) => app.run(input, &mut ProtectedStorage::new(m)),
             EmtMemory::Dream(m) => app.run(input, &mut ProtectedStorage::new(m)),
             EmtMemory::Ecc(m) => app.run(input, &mut ProtectedStorage::new(m)),
+        }
+    }
+
+    /// [`EmtMemory::run_app`] for a batched pass: this memory plays the
+    /// clean trial, `faults` carries one lane per batched trial, and
+    /// `batch` tracks divergence and per-lane statistics deltas. The
+    /// returned output is the clean pass's — by the divergence rule it is
+    /// also every surviving lane's output.
+    pub fn run_app_batch(
+        &mut self,
+        app: &dyn BiomedicalApp,
+        input: &[i16],
+        faults: &BatchFaultPlanes,
+        batch: &mut TrialBatch,
+    ) -> Vec<i16> {
+        match self {
+            EmtMemory::None(m) => app.run(input, &mut BatchProtectedStorage::new(m, faults, batch)),
+            EmtMemory::Parity(m) => {
+                app.run(input, &mut BatchProtectedStorage::new(m, faults, batch))
+            }
+            EmtMemory::Dream(m) => {
+                app.run(input, &mut BatchProtectedStorage::new(m, faults, batch))
+            }
+            EmtMemory::Ecc(m) => app.run(input, &mut BatchProtectedStorage::new(m, faults, batch)),
         }
     }
 }

@@ -45,16 +45,28 @@ use std::sync::Arc;
 /// Environment variable selecting the worker count (`1` = serial).
 pub const THREADS_ENV: &str = "DREAM_THREADS";
 
+/// Environment variable toggling bit-sliced trial batching (`1`/`true`/`on`
+/// to enable, `0`/`false`/`off` to disable).
+pub const BATCH_ENV: &str = "DREAM_BATCH";
+
 /// Process-wide thread-count override (0 = none). Takes precedence over
 /// [`THREADS_ENV`] so binaries and tests can pin the count without
 /// mutating the process environment.
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide batching override (0 = none, 1 = off, 2 = on). Same
+/// precedence role as the thread override, for [`BATCH_ENV`].
+static BATCH_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
     /// Driver-thread-scoped worker count (0 = unset). Outranks the global
     /// override: a server worker pinning its own campaign must not race
     /// other campaigns through a process-wide atomic.
     static AMBIENT_THREADS: Cell<usize> = const { Cell::new(0) };
+
+    /// Driver-thread-scoped batching toggle (0 = unset, 1 = off, 2 = on),
+    /// mirroring [`AMBIENT_THREADS`].
+    static AMBIENT_BATCH: Cell<usize> = const { Cell::new(0) };
 }
 
 /// A shared flag requesting cooperative cancellation of a campaign.
@@ -133,6 +145,69 @@ pub fn set_thread_override(threads: Option<usize>) {
     } else {
         THREAD_OVERRIDE.store(0, Ordering::SeqCst);
     }
+}
+
+/// Runs `f` with trial batching pinned on or off on this thread (and every
+/// campaign it drives); `None` inherits the surrounding resolution. The
+/// previous binding is restored on exit, panic included.
+pub fn with_ambient_batch<R>(batch: Option<bool>, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT_BATCH.with(|c| c.set(self.0));
+        }
+    }
+    let prev = AMBIENT_BATCH.with(|c| {
+        let prev = c.get();
+        if let Some(on) = batch {
+            c.set(if on { 2 } else { 1 });
+        }
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Pins trial batching on or off for all subsequent campaigns (`None`
+/// restores the environment resolution).
+pub fn set_batch_override(batch: Option<bool>) {
+    let encoded = match batch {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    BATCH_OVERRIDE.store(encoded, Ordering::SeqCst);
+}
+
+/// Whether campaigns run right now batch their trials (ambient scope →
+/// override → [`BATCH_ENV`] → off).
+///
+/// Batching is an execution strategy, not a model change: the engine's
+/// batched paths are bit-identical to the scalar paths by the divergence
+/// rule (`dream_core::TrialBatch`), so this toggle may only affect speed.
+///
+/// # Panics
+///
+/// Panics if [`BATCH_ENV`] is set to something other than
+/// `1`/`true`/`on`/`0`/`false`/`off` — a typo silently running the other
+/// path would make benchmark A/Bs lie.
+pub fn batch_enabled() -> bool {
+    let ambient = AMBIENT_BATCH.with(Cell::get);
+    if ambient > 0 {
+        return ambient == 2;
+    }
+    let forced = BATCH_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced == 2;
+    }
+    if let Ok(raw) = std::env::var(BATCH_ENV) {
+        return match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => true,
+            "0" | "false" | "off" => false,
+            _ => panic!("{BATCH_ENV} must be one of 1/true/on/0/false/off, got {raw:?}"),
+        };
+    }
+    false
 }
 
 /// The worker count campaigns will use right now (ambient scope →
@@ -356,6 +431,27 @@ mod tests {
         });
         assert_eq!(thread_count(), 2, "binding must be restored on exit");
         set_thread_override(None);
+    }
+
+    #[test]
+    fn batch_resolution_mirrors_thread_resolution() {
+        let _guard = OVERRIDE_LOCK.lock().expect("override lock");
+        // Default (no ambient, no override, env unset in the test harness).
+        assert!(!batch_enabled());
+        set_batch_override(Some(true));
+        assert!(batch_enabled());
+        // Ambient outranks the override, in both directions.
+        with_ambient_batch(Some(false), || {
+            assert!(!batch_enabled());
+            // None inherits the surrounding binding instead of clearing it.
+            with_ambient_batch(None, || assert!(!batch_enabled()));
+            with_ambient_batch(Some(true), || assert!(batch_enabled()));
+        });
+        assert!(batch_enabled(), "binding must be restored on exit");
+        set_batch_override(Some(false));
+        assert!(!batch_enabled());
+        set_batch_override(None);
+        assert!(!batch_enabled());
     }
 
     #[test]

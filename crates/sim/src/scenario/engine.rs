@@ -12,11 +12,14 @@
 
 use std::io;
 
-use dream_core::EmtKind;
+use dream_core::{EmtKind, TrialBatch};
 use dream_dsp::{samples_to_f64, snr_db, AppKind, BiomedicalApp};
 use dream_ecg::Record;
 use dream_energy::EnergyBreakdown;
-use dream_mem::{AddressScrambler, BerModel, FaultMap, FaultModel, MemGeometry, StuckAt};
+use dream_mem::{
+    AddressScrambler, BatchFaultPlanes, BerModel, FaultMap, FaultModel, MemGeometry, StuckAt,
+    MAX_LANES,
+};
 use dream_soc::{Soc, SocConfig};
 
 use crate::ablation;
@@ -263,6 +266,97 @@ fn injection_render(sc: &Scenario, row: &InjectionRow) -> Vec<String> {
     cells
 }
 
+/// One flattened trial of an injection sweep: its grid coordinates plus
+/// the Monte-Carlo indices that seed the fault location.
+#[derive(Clone, Copy)]
+struct InjectionTrial {
+    stuck: StuckAt,
+    bit: u32,
+    record: usize,
+    trial: usize,
+}
+
+/// Bit-sliced execution of one (app, EMT) injection batch: trials sharing
+/// a record ride one clean pass in lanes of up to [`MAX_LANES`]; lanes
+/// whose decode ever diverges from the clean word are replayed on the
+/// scalar path, so the returned SNR vector (in `trials` order) is
+/// bit-identical to the scalar branch by construction.
+#[allow(clippy::too_many_arguments)]
+fn injection_snrs_batched(
+    sc: &Scenario,
+    trials: &[InjectionTrial],
+    app_kind: AppKind,
+    emt: EmtKind,
+    width: u32,
+    records: &[Record],
+    references: &[Vec<f64>],
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<f64>, exec::Cancelled> {
+    // Lanes must share their clean pass, so group by record and chunk to
+    // the lane budget. Scheduling granularity changes; values don't.
+    let mut by_record: Vec<Vec<(usize, InjectionTrial)>> = vec![Vec::new(); records.len()];
+    for (i, t) in trials.iter().enumerate() {
+        by_record[t.record].push((i, *t));
+    }
+    let groups: Vec<Vec<(usize, InjectionTrial)>> = by_record
+        .iter()
+        .flat_map(|lanes| lanes.chunks(MAX_LANES).map(<[_]>::to_vec))
+        .collect();
+    let scratch = || {
+        let app = app_kind.instantiate(sc.window);
+        let words = app.memory_words();
+        let geometry = banked_geometry(words);
+        let mem = EmtMemory::new(emt, geometry);
+        let map = FaultMap::empty(geometry.words(), width);
+        let planes = BatchFaultPlanes::new(geometry.words(), width);
+        (app, mem, map, planes, words)
+    };
+    let per_group = exec::run_trials_cancellable(
+        &groups,
+        scratch,
+        |(app, mem, map, planes, words), group, _| {
+            let record = group[0].1.record;
+            planes.clear();
+            for (lane, (_, t)) in group.iter().enumerate() {
+                // Same location derivation as the scalar path below.
+                let seed = fault_seed(sc.seed, t.record, t.trial);
+                let word = (seed % *words as u64) as usize;
+                planes.inject(lane, word, t.bit, t.stuck);
+            }
+            map.clear();
+            mem.reset_with_fault_map(map);
+            let mut batch = TrialBatch::new(group.len());
+            let out = mem.run_app_batch(&**app, &records[record].samples, planes, &mut batch);
+            let clean_snr = cap_snr(snr_db(&references[record], &samples_to_f64(&out)));
+            group
+                .iter()
+                .enumerate()
+                .map(|(lane, &(i, t))| {
+                    let snr = if batch.is_alive(lane) {
+                        // Survivor: its trace is the clean trace.
+                        clean_snr
+                    } else {
+                        let seed = fault_seed(sc.seed, t.record, t.trial);
+                        let word = (seed % *words as u64) as usize;
+                        map.clear();
+                        map.inject(word, t.bit, t.stuck);
+                        mem.reset_with_fault_map(map);
+                        let out = mem.run_app(&**app, &records[record].samples);
+                        cap_snr(snr_db(&references[record], &samples_to_f64(&out)))
+                    };
+                    (i, snr)
+                })
+                .collect::<Vec<_>>()
+        },
+        cancel,
+    )?;
+    let mut snrs = vec![0.0f64; trials.len()];
+    for (i, snr) in per_group.into_iter().flatten() {
+        snrs[i] = snr;
+    }
+    Ok(snrs)
+}
+
 fn run_injection(
     sc: &Scenario,
     bits: &[u32],
@@ -273,12 +367,6 @@ fn run_injection(
     let headers = injection_headers(sc);
     sink.begin(&headers)?;
 
-    struct Trial {
-        stuck: StuckAt,
-        bit: u32,
-        record: usize,
-        trial: usize,
-    }
     let mut typed = Vec::new();
     let mut rendered = Vec::new();
     for &app_kind in &sc.apps {
@@ -292,7 +380,7 @@ fn run_injection(
                 for &bit in bits {
                     for record in 0..records.len() {
                         for trial in 0..sc.trials {
-                            trials.push(Trial {
+                            trials.push(InjectionTrial {
                                 stuck,
                                 bit,
                                 record,
@@ -309,33 +397,46 @@ fn run_injection(
             } else {
                 SHARED_MAP_WIDTH
             };
-            let scratch = || {
-                let app = app_kind.instantiate(sc.window);
-                let words = app.memory_words();
-                let geometry = banked_geometry(words);
-                let mem = EmtMemory::new(emt, geometry);
-                let map = FaultMap::empty(geometry.words(), width);
-                (app, mem, map, words)
+            let snrs = if exec::batch_enabled() {
+                injection_snrs_batched(
+                    sc,
+                    &trials,
+                    app_kind,
+                    emt,
+                    width,
+                    &records,
+                    &references,
+                    cancel,
+                )?
+            } else {
+                let scratch = || {
+                    let app = app_kind.instantiate(sc.window);
+                    let words = app.memory_words();
+                    let geometry = banked_geometry(words);
+                    let mem = EmtMemory::new(emt, geometry);
+                    let map = FaultMap::empty(geometry.words(), width);
+                    (app, mem, map, words)
+                };
+                exec::run_trials_cancellable(
+                    &trials,
+                    scratch,
+                    |(app, mem, map, words), t, _| {
+                        // One faulty cell at a deterministic pseudo-random
+                        // location in the app's buffer footprint. The location
+                        // depends only on (record, trial) — not on the bit or
+                        // polarity — so the bit axis is a paired comparison, as
+                        // when profiling one physical die.
+                        let seed = fault_seed(sc.seed, t.record, t.trial);
+                        let word = (seed % *words as u64) as usize;
+                        map.clear();
+                        map.inject(word, t.bit, t.stuck);
+                        mem.reset_with_fault_map(map);
+                        let out = mem.run_app(&**app, &records[t.record].samples);
+                        cap_snr(snr_db(&references[t.record], &samples_to_f64(&out)))
+                    },
+                    cancel,
+                )?
             };
-            let snrs = exec::run_trials_cancellable(
-                &trials,
-                scratch,
-                |(app, mem, map, words), t, _| {
-                    // One faulty cell at a deterministic pseudo-random location
-                    // in the app's buffer footprint. The location depends only
-                    // on (record, trial) — not on the bit or polarity — so the
-                    // bit axis is a paired comparison, as when profiling one
-                    // physical die.
-                    let seed = fault_seed(sc.seed, t.record, t.trial);
-                    let word = (seed % *words as u64) as usize;
-                    map.clear();
-                    map.inject(word, t.bit, t.stuck);
-                    mem.reset_with_fault_map(map);
-                    let out = mem.run_app(&**app, &records[t.record].samples);
-                    cap_snr(snr_db(&references[t.record], &samples_to_f64(&out)))
-                },
-                cancel,
-            )?;
             // Per-point averages, each over its contiguous chunk in trial
             // order (bit-exact with the historical serial reduction).
             let runs_per_point = records.len() * sc.trials;
@@ -404,6 +505,9 @@ fn draw_point(
     point: usize,
     ctx: &DrawCtx,
 ) -> Result<Vec<Vec<Cell>>, exec::Cancelled> {
+    if exec::batch_enabled() {
+        return draw_point_batched(sc, point, ctx);
+    }
     let DrawCtx {
         fault_model,
         ber_model,
@@ -471,6 +575,128 @@ fn draw_point(
         },
         cancel,
     )
+}
+
+/// Bit-sliced variant of [`draw_point`]: runs sharing a record ride one
+/// clean pass per (EMT, app) in lanes of up to [`MAX_LANES`]. Each lane's
+/// drawn fault map (scrambler included, resolved to logical addresses) is
+/// transposed into [`BatchFaultPlanes`]; survivors take the clean SNR and
+/// their [`TrialBatch::lane_stats`] outcome counts, evicted lanes replay
+/// the ordinary scalar trial — so the returned cells, in the same
+/// (run, emt, app) order, are bit-identical to [`draw_point`]'s.
+fn draw_point_batched(
+    sc: &Scenario,
+    point: usize,
+    ctx: &DrawCtx,
+) -> Result<Vec<Vec<Cell>>, exec::Cancelled> {
+    let DrawCtx {
+        fault_model,
+        ber_model,
+        records,
+        references,
+        geometry,
+        cancel,
+    } = *ctx;
+    // Lanes must share their clean pass, so group runs by record (runs
+    // cycle through the suite) and chunk to the lane budget.
+    let groups: Vec<Vec<usize>> = (0..records.len())
+        .flat_map(|r| {
+            let runs: Vec<usize> = (0..sc.trials)
+                .filter(|run| run % records.len() == r)
+                .collect();
+            runs.chunks(MAX_LANES)
+                .map(<[_]>::to_vec)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let scratch = || {
+        let apps: Vec<Box<dyn BiomedicalApp>> =
+            sc.apps.iter().map(|&k| k.instantiate(sc.window)).collect();
+        let mems: Vec<EmtMemory> = sc
+            .emts
+            .iter()
+            .map(|&emt| EmtMemory::new(emt, geometry))
+            .collect();
+        let map = FaultMap::empty(geometry.words(), SHARED_MAP_WIDTH);
+        let planes = BatchFaultPlanes::new(geometry.words(), SHARED_MAP_WIDTH);
+        (apps, mems, map, planes)
+    };
+    let per_group = exec::run_trials_cancellable(
+        &groups,
+        scratch,
+        |(apps, mems, map, planes), group, _| {
+            let ri = group[0] % records.len();
+            let record = &records[ri];
+            planes.clear();
+            for (lane, &run) in group.iter().enumerate() {
+                // Same draw as the scalar path; the scrambler is folded
+                // into the planes so the clean pass needs none.
+                let seed = fault_seed(sc.seed, point, run);
+                fault_model.arm(map, &geometry, ber_model, seed);
+                let scrambler = sc.scrambler_key.map(|base| {
+                    AddressScrambler::new(geometry.words(), fault_seed(base, point, run))
+                });
+                planes.add_lane(lane, map, scrambler.as_ref());
+            }
+            let mut cells: Vec<Vec<Cell>> = group
+                .iter()
+                .map(|_| Vec::with_capacity(sc.emts.len() * apps.len()))
+                .collect();
+            for mem in mems.iter_mut() {
+                for (ai, app) in apps.iter().enumerate() {
+                    map.clear();
+                    mem.reset_with_fault_map(map);
+                    let mut batch = TrialBatch::new(group.len());
+                    let out = mem.run_app_batch(&**app, &record.samples, planes, &mut batch);
+                    let clean_snr = cap_snr(snr_db(&references[ai][ri], &samples_to_f64(&out)));
+                    let clean_stats = mem.stats();
+                    for (lane, &run) in group.iter().enumerate() {
+                        let (snr, stats) = if batch.is_alive(lane) {
+                            (clean_snr, batch.lane_stats(lane, &clean_stats))
+                        } else {
+                            // Evicted: the ordinary scalar trial, verbatim.
+                            let seed = fault_seed(sc.seed, point, run);
+                            fault_model.arm(map, &geometry, ber_model, seed);
+                            mem.reset_with_fault_map(map);
+                            if let Some(base) = sc.scrambler_key {
+                                mem.set_scrambler(AddressScrambler::new(
+                                    geometry.words(),
+                                    fault_seed(base, point, run),
+                                ));
+                            }
+                            let out = mem.run_app(&**app, &record.samples);
+                            let snr = cap_snr(snr_db(&references[ai][ri], &samples_to_f64(&out)));
+                            (snr, mem.stats())
+                        };
+                        let (uncorrectable, corrected) = if stats.reads > 0 {
+                            (
+                                stats.uncorrectable_reads as f64 / stats.reads as f64,
+                                stats.corrected_reads as f64 / stats.reads as f64,
+                            )
+                        } else {
+                            (0.0, 0.0)
+                        };
+                        cells[lane].push(Cell {
+                            snr_db: snr,
+                            uncorrectable,
+                            corrected,
+                        });
+                    }
+                }
+            }
+            group
+                .iter()
+                .zip(cells)
+                .map(|(&run, c)| (run, c))
+                .collect::<Vec<_>>()
+        },
+        cancel,
+    )?;
+    let mut out: Vec<Vec<Cell>> = (0..sc.trials).map(|_| Vec::new()).collect();
+    for (run, cells) in per_group.into_iter().flatten() {
+        out[run] = cells;
+    }
+    Ok(out)
 }
 
 /// Aggregates one grid point's cells into per-(EMT, app) statistics, in

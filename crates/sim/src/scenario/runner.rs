@@ -56,6 +56,7 @@ type ProgressFn = dyn Fn(Progress) + Send + Sync;
 pub struct CampaignRunner {
     spec: Scenario,
     threads: Option<usize>,
+    batch: Option<bool>,
     cancel: Option<CancelToken>,
     on_progress: Option<Box<ProgressFn>>,
     skip_rows: usize,
@@ -68,6 +69,7 @@ impl CampaignRunner {
         CampaignRunner {
             spec,
             threads: None,
+            batch: None,
             cancel: None,
             on_progress: None,
             skip_rows: 0,
@@ -84,6 +86,16 @@ impl CampaignRunner {
     pub fn threads(mut self, n: usize) -> CampaignRunner {
         assert!(n > 0, "thread count must be at least 1");
         self.threads = Some(n);
+        self
+    }
+
+    /// Pins bit-sliced trial batching on or off for this campaign only
+    /// (scoped to the driving thread, like [`CampaignRunner::threads`]),
+    /// overriding the `DREAM_BATCH` environment default. Batching changes
+    /// scheduling, never values: output is bit-identical either way.
+    #[must_use]
+    pub fn batch(mut self, enabled: bool) -> CampaignRunner {
+        self.batch = Some(enabled);
         self
     }
 
@@ -145,8 +157,10 @@ impl CampaignRunner {
             },
             on_progress: self.on_progress.as_deref(),
         };
-        let result = exec::with_ambient_threads(self.threads, || {
-            engine::run_campaign(&self.spec, &mut instrumented, self.cancel.as_ref())
+        let result = exec::with_ambient_batch(self.batch, || {
+            exec::with_ambient_threads(self.threads, || {
+                engine::run_campaign(&self.spec, &mut instrumented, self.cancel.as_ref())
+            })
         });
         if matches!(result, Err(EngineError::Cancelled)) {
             let _ = instrumented.inner.finish();
@@ -170,6 +184,7 @@ impl std::fmt::Debug for CampaignRunner {
         f.debug_struct("CampaignRunner")
             .field("spec", &self.spec.name)
             .field("threads", &self.threads)
+            .field("batch", &self.batch)
             .field("cancellable", &self.cancel.is_some())
             .field("skip_rows", &self.skip_rows)
             .finish()
@@ -243,6 +258,26 @@ mod tests {
         let four = jsonl_of(&sc, CampaignRunner::new(sc.clone()).threads(4));
         assert_eq!(one, four, "thread count must not change output bytes");
         assert!(!one.is_empty());
+    }
+
+    #[test]
+    fn batched_execution_is_bit_identical_to_scalar() {
+        let mut fig2 = registry::get("fig2", true).unwrap();
+        fig2.window = 512;
+        fig2.records = 1;
+        fig2.trials = 1;
+        fig2.apps = vec![AppKind::Dwt];
+        fig2.grid = Grid::BitPosition(vec![0, 12, 15]);
+        for sc in [fig2, tiny_fig4()] {
+            let scalar = jsonl_of(&sc, CampaignRunner::new(sc.clone()).batch(false));
+            let batched = jsonl_of(&sc, CampaignRunner::new(sc.clone()).batch(true));
+            assert_eq!(
+                scalar, batched,
+                "{}: batching must not change bytes",
+                sc.name
+            );
+            assert!(!scalar.is_empty());
+        }
     }
 
     #[test]
