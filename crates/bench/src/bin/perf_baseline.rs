@@ -41,6 +41,7 @@ use dream_sim::exec;
 use dream_sim::fig2::{run_fig2, Fig2Config};
 use dream_sim::fig4::{run_fig4, Fig4Config};
 use dream_sim::scenario;
+use dream_sim::telemetry::{self, BatchTelemetry};
 use dream_sim::tradeoff::explore;
 
 struct Timing {
@@ -49,6 +50,10 @@ struct Timing {
     accesses: u64,
     serial_s: f64,
     parallel_s: f64,
+    /// Batched-executor counters drained over the *serial* run (empty on
+    /// scalar passes): lane eviction/bail-out rates and clean-pass reuse,
+    /// so a trajectory entry explains why batching won or lost.
+    telemetry: BatchTelemetry,
 }
 
 impl Timing {
@@ -81,15 +86,18 @@ fn time_campaign<R: PartialEq>(
 ) -> Timing {
     eprintln!("[{name}] serial ({trials} trials)…");
     exec::set_thread_override(Some(1));
+    let _ = telemetry::take();
     let t0 = Instant::now();
     let serial = campaign();
     let serial_s = t0.elapsed().as_secs_f64();
+    let tel = telemetry::take();
     eprintln!("[{name}] parallel ({threads} threads)…");
     exec::set_thread_override(Some(threads));
     let t0 = Instant::now();
     let parallel = campaign();
     let parallel_s = t0.elapsed().as_secs_f64();
     exec::set_thread_override(None);
+    let _ = telemetry::take();
     assert!(
         serial == parallel,
         "{name}: parallel output diverged from serial — determinism bug"
@@ -100,6 +108,7 @@ fn time_campaign<R: PartialEq>(
         accesses,
         serial_s,
         parallel_s,
+        telemetry: tel,
     }
 }
 
@@ -497,11 +506,14 @@ fn main() {
     println!("\nBatching win (serial trials/s, batch-on / batch-off)");
     for (off, on) in scalar_timings.iter().zip(&batched_timings) {
         println!(
-            "{:<14} {:>7.2}x  ({:.1} -> {:.1} trials/s)",
+            "{:<14} {:>7.2}x  ({:.1} -> {:.1} trials/s; {:.1}% evicted, {:.1}% bailed, {} clean-pass replays)",
             off.name,
             on.serial_rate() / off.serial_rate(),
             off.serial_rate(),
-            on.serial_rate()
+            on.serial_rate(),
+            on.telemetry.eviction_rate() * 100.0,
+            on.telemetry.bailout_rate() * 100.0,
+            on.telemetry.clean_replays,
         );
     }
 
@@ -525,7 +537,9 @@ fn main() {
                 format!(
                     "        {{\"name\": \"{}\", \"trials\": {}, \"accesses\": {}, \"serial_s\": {:.3}, \
                      \"parallel_s\": {:.3}, \"serial_trials_per_s\": {:.2}, \"parallel_trials_per_s\": {:.2}, \
-                     \"serial_accesses_per_s\": {:.0}, \"speedup\": {:.3}}}",
+                     \"serial_accesses_per_s\": {:.0}, \"speedup\": {:.3}, \
+                     \"lanes\": {}, \"lane_eviction_rate\": {:.4}, \"lane_bailout_rate\": {:.4}, \
+                     \"clean_pass_replays\": {}, \"traces_recorded\": {}}}",
                     t.name,
                     t.trials,
                     t.accesses,
@@ -534,7 +548,12 @@ fn main() {
                     t.serial_rate(),
                     t.parallel_rate(),
                     t.serial_access_rate(),
-                    t.speedup()
+                    t.speedup(),
+                    t.telemetry.lanes,
+                    t.telemetry.eviction_rate(),
+                    t.telemetry.bailout_rate(),
+                    t.telemetry.clean_replays,
+                    t.telemetry.traces_recorded,
                 )
             })
             .collect();

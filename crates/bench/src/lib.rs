@@ -104,7 +104,8 @@ pub fn apply_threads(args: &Args) -> usize {
 /// Applies the `--batch [on|off]` flag shared by the campaign binaries:
 /// bare `--batch` (or `on`/`true`/`1`) pins bit-sliced trial batching on,
 /// `off`/`false`/`0` pins it off; without the flag the `DREAM_BATCH`
-/// environment variable decides. Returns the resolved setting for banner
+/// environment variable decides (batching defaults **on** — set
+/// `DREAM_BATCH=0` to opt out). Returns the resolved setting for banner
 /// lines. Batching changes scheduling only — output bytes are identical
 /// either way.
 pub fn apply_batch(args: &Args) -> bool {

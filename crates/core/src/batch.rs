@@ -96,18 +96,43 @@ pub struct TrialBatch {
     lanes: usize,
     full: u64,
     alive: u64,
+    /// Lanes abandoned by the adaptive bail-out (a subset of the evicted
+    /// mask): they had *not* diverged when the batch bailed, but finishing
+    /// the plane passes for a nearly-empty batch costs more than replaying
+    /// the stragglers scalar.
+    bailed: u64,
+    /// Bail out when the alive population drops strictly below this count
+    /// (0 disables bail-out).
+    bail_below: u32,
     corrected: [i64; 64],
     uncorrectable: [i64; 64],
 }
 
 impl TrialBatch {
-    /// A batch of `lanes` trials, all alive.
+    /// A batch of `lanes` trials, all alive, with bail-out disabled.
     ///
     /// # Panics
     ///
     /// Panics if `lanes` is 0 or exceeds 64.
     pub fn new(lanes: usize) -> Self {
+        Self::with_bailout(lanes, 0.0)
+    }
+
+    /// A batch of `lanes` trials that abandons the plane passes once the
+    /// alive population drops strictly below `fraction` of the group
+    /// (rounded up), handing every remaining lane to the scalar replay
+    /// path. `0.0` never bails; `1.0` bails on the first eviction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds 64, or if `fraction` is not in
+    /// `0.0..=1.0`.
+    pub fn with_bailout(lanes: usize, fraction: f64) -> Self {
         assert!((1..=64).contains(&lanes), "lanes must be in 1..=64");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "bail-out fraction must be in 0.0..=1.0, got {fraction}"
+        );
         let full = if lanes == 64 {
             u64::MAX
         } else {
@@ -117,6 +142,8 @@ impl TrialBatch {
             lanes,
             full,
             alive: full,
+            bailed: 0,
+            bail_below: (fraction * lanes as f64).ceil() as u32,
             corrected: [0; 64],
             uncorrectable: [0; 64],
         }
@@ -133,9 +160,17 @@ impl TrialBatch {
         self.alive
     }
 
-    /// Lanes evicted so far (to be finished on the scalar path).
+    /// Lanes evicted so far (to be finished on the scalar path) — both the
+    /// diverged lanes and any lanes abandoned by the bail-out.
     pub fn evicted(&self) -> u64 {
         self.full & !self.alive
+    }
+
+    /// Lanes abandoned by the adaptive bail-out (a subset of
+    /// [`evicted`](Self::evicted)): they had not diverged when the batch
+    /// bailed, but too few lanes were left to amortize the plane passes.
+    pub fn bailed(&self) -> u64 {
+        self.bailed
     }
 
     /// Whether lane `lane` is still alive.
@@ -163,6 +198,24 @@ impl TrialBatch {
         uncorrectable: u64,
         clean: DecodeOutcome,
     ) {
+        self.record_read_repeated(active, diverged, corrected, uncorrectable, clean, 1);
+    }
+
+    /// [`record_read`](Self::record_read) for `count` back-to-back reads
+    /// that all see the same stored code and decode identically — the
+    /// replay path's aggregated clean-trace entries. Survivor deltas are
+    /// scaled by `count`; eviction is count-independent (a diverged lane
+    /// diverges on the first of the repeats).
+    #[inline]
+    pub fn record_read_repeated(
+        &mut self,
+        active: u64,
+        diverged: u64,
+        corrected: u64,
+        uncorrectable: u64,
+        clean: DecodeOutcome,
+        count: u64,
+    ) {
         let active = active & self.alive;
         self.alive &= !(diverged & active);
         let mut survivors = active & !diverged;
@@ -171,11 +224,20 @@ impl TrialBatch {
             DecodeOutcome::DetectedUncorrectable => (0, 1),
             DecodeOutcome::Clean => (0, 0),
         };
+        let count = count as i64;
         while survivors != 0 {
             let lane = survivors.trailing_zeros() as usize;
             survivors &= survivors - 1;
-            self.corrected[lane] += (corrected >> lane & 1) as i64 - clean_c;
-            self.uncorrectable[lane] += (uncorrectable >> lane & 1) as i64 - clean_u;
+            self.corrected[lane] += ((corrected >> lane & 1) as i64 - clean_c) * count;
+            self.uncorrectable[lane] += ((uncorrectable >> lane & 1) as i64 - clean_u) * count;
+        }
+        // Adaptive bail-out: once too few lanes survive to amortize the
+        // batched plane passes, abandon the rest to the scalar replay.
+        // Zeroing `alive` makes every later `active & alive()` mask empty,
+        // so the remaining batched work vanishes without caller changes.
+        if self.alive.count_ones() < self.bail_below {
+            self.bailed |= self.alive;
+            self.alive = 0;
         }
     }
 
@@ -263,6 +325,66 @@ mod tests {
     #[should_panic(expected = "lanes must be in 1..=64")]
     fn oversized_batch_rejected() {
         let _ = TrialBatch::new(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "bail-out fraction must be in 0.0..=1.0")]
+    fn out_of_range_bailout_fraction_rejected() {
+        let _ = TrialBatch::with_bailout(8, 1.5);
+    }
+
+    #[test]
+    fn bailout_abandons_survivors_once_population_drops_below_threshold() {
+        // 8 lanes, 25% threshold: bail when fewer than 2 lanes survive.
+        let mut b = TrialBatch::with_bailout(8, 0.25);
+        b.record_read(0xFF, 0b0011_1111, 0, 0, DecodeOutcome::Clean);
+        assert_eq!(b.alive(), 0b1100_0000, "2 survivors is not below 2");
+        assert_eq!(b.bailed(), 0);
+        b.record_read(0xFF, 0b0100_0000, 0, 0, DecodeOutcome::Clean);
+        assert_eq!(b.alive(), 0, "1 survivor < 2 triggers the bail-out");
+        assert_eq!(b.bailed(), 0b1000_0000, "the straggler, not the diverger");
+        assert_eq!(b.evicted(), 0xFF, "every lane now replays scalar");
+        // Bail-out is sticky: later reads account nothing.
+        b.record_read(0xFF, 0, 0xFF, 0, DecodeOutcome::Clean);
+        let clean = AccessStats::default();
+        assert_eq!(b.lane_stats(7, &clean).corrected_reads, 0);
+    }
+
+    #[test]
+    fn full_bailout_fraction_bails_on_first_eviction() {
+        let mut b = TrialBatch::with_bailout(4, 1.0);
+        b.record_read(0b1111, 0b0001, 0, 0, DecodeOutcome::Clean);
+        assert_eq!(b.alive(), 0);
+        assert_eq!(b.bailed(), 0b1110);
+    }
+
+    #[test]
+    fn zero_bailout_fraction_never_bails() {
+        let mut b = TrialBatch::with_bailout(4, 0.0);
+        b.record_read(0b1111, 0b0111, 0, 0, DecodeOutcome::Clean);
+        assert_eq!(b.alive(), 0b1000, "last survivor rides to the end");
+        assert_eq!(b.bailed(), 0);
+    }
+
+    #[test]
+    fn repeated_reads_scale_survivor_deltas() {
+        let clean = AccessStats {
+            reads: 100,
+            writes: 40,
+            corrected_reads: 10,
+            uncorrectable_reads: 0,
+        };
+        let mut b = TrialBatch::new(2);
+        // 7 identical reads: clean pass was Corrected, lane 0 decodes
+        // Clean (delta −7 corrected), lane 1 uncorrectable (delta −7
+        // corrected, +7 uncorrectable).
+        b.record_read_repeated(0b11, 0, 0, 0b10, DecodeOutcome::Corrected, 7);
+        let s0 = b.lane_stats(0, &clean);
+        assert_eq!(s0.corrected_reads, 3);
+        assert_eq!(s0.uncorrectable_reads, 0);
+        let s1 = b.lane_stats(1, &clean);
+        assert_eq!(s1.corrected_reads, 3);
+        assert_eq!(s1.uncorrectable_reads, 7);
     }
 
     mod swar_props {

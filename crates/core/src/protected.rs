@@ -311,6 +311,30 @@ impl<C: EmtCodec> ProtectedMemory<C> {
         &self.data
     }
 
+    /// The raw code bits latched at `addr` — the stored codeword before
+    /// any fault overlay. On a fault-free memory this is exactly what a
+    /// read decodes; clean-trace recording snapshots it per read so a
+    /// batched replay can re-decode the same code under per-lane faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn stored_code(&self, addr: usize) -> u32 {
+        self.data.read_raw(addr)
+    }
+
+    /// The reliable side word at `addr` (DREAM's sign/mask-ID bits;
+    /// zero for codecs without a side array).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn side_word(&self, addr: usize) -> u16 {
+        self.side[addr]
+    }
+
     /// Installs a logical→physical address scrambler on the data array
     /// (the paper's §V re-randomization logic). The side array is indexed
     /// logically — its cells are fault-free, so scrambling it would change

@@ -116,23 +116,28 @@ pub(crate) fn lowpass_fixed(
     spacing: usize,
 ) {
     let s = spacing as isize;
-    let mut tap = vec![0i16; n];
-    let mut acc = vec![0i32; n];
-    for (off, weight) in [(-2 * s, 1i32), (-s, 3), (0, 3), (s, 1)] {
-        read_shifted_tap(mem, src, off, &mut tap);
-        for (a, &v) in acc.iter_mut().zip(&tap) {
-            *a += weight * i32::from(v);
-        }
-    }
-    // Integer accumulation: the un-normalized spline sum needs three
-    // bits of headroom beyond the sample width, so it runs in the MAC
-    // register (i32) and is renormalized by the /8 on the way out.
-    for (slot, &sum) in tap.iter_mut().zip(&acc) {
-        *slot = Rounding::Nearest
+    // The four taps stream in first (same cells, same counts, same order
+    // as the per-tap formulation); the weighted sum, renormalization and
+    // narrowing then run as one fused pass the compiler can vectorize,
+    // instead of four accumulator sweeps plus a rounding sweep.
+    let mut t0 = vec![0i16; n];
+    let mut t1 = vec![0i16; n];
+    let mut t2 = vec![0i16; n];
+    let mut t3 = vec![0i16; n];
+    read_shifted_tap(mem, src, -2 * s, &mut t0);
+    read_shifted_tap(mem, src, -s, &mut t1);
+    read_shifted_tap(mem, src, 0, &mut t2);
+    read_shifted_tap(mem, src, s, &mut t3);
+    for i in 0..n {
+        // Integer accumulation: the un-normalized spline sum needs three
+        // bits of headroom beyond the sample width, so it runs in the MAC
+        // register (i32) and is renormalized by the /8 on the way out.
+        let sum = i32::from(t0[i]) + 3 * i32::from(t1[i]) + 3 * i32::from(t2[i]) + i32::from(t3[i]);
+        t0[i] = Rounding::Nearest
             .shift_right(i64::from(sum), 3)
             .clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16;
     }
-    mem.write_block(dst, &tap);
+    mem.write_block(dst, &t0);
 }
 
 /// One à-trous high-pass pass in fixed point, streamed tap by tap.

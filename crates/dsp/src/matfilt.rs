@@ -1,6 +1,6 @@
 //! Matrix filtering (paper §II-2).
 
-use dream_fixed::{Acc32, Rounding, Q15};
+use dream_fixed::{dot_q15, Rounding};
 
 use crate::app::{AppKind, BiomedicalApp};
 use crate::WordStorage;
@@ -159,11 +159,11 @@ impl BiomedicalApp for MatrixFilter {
                     // column of B.
                     mem.read_block(self.a_base() + r * dim, &mut arow);
                     mem.read_block(src + col * dim, &mut bcol);
-                    let mut acc = Acc32::ZERO;
-                    for c in 0..dim {
-                        acc = acc.mac(Q15::from_raw(arow[c]), Q15::from_raw(bcol[c]));
-                    }
-                    *res = acc.to_q15(Rounding::Nearest).raw();
+                    // `dot_q15` is bit-identical to the sequential
+                    // `Acc32::mac` fold (rows of I − G have gain < 2.0, so
+                    // it vectorizes; corrupted rows that could saturate
+                    // fall back to the exact fold).
+                    *res = dot_q15(&arow, &bcol).to_q15(Rounding::Nearest).raw();
                 }
                 mem.write_block(dst + col * dim, &cres);
             }

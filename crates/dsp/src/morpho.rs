@@ -1,7 +1,5 @@
 //! Morphological filtering (paper §II-4).
 
-use std::collections::VecDeque;
-
 use crate::app::{AppKind, BiomedicalApp};
 use crate::WordStorage;
 
@@ -109,8 +107,13 @@ fn sliding_extreme(
     let mut x = vec![0i16; n];
     mem.read_block(src, &mut x);
     let mut out = vec![0i16; n];
-    // Wedge of (index, value) with values monotonically worsening.
-    let mut wedge: VecDeque<(usize, i16)> = VecDeque::new();
+    // Wedge of (index, value) with values monotonically worsening, kept in
+    // a flat push-only buffer: `head` marks the live front, the tail pops
+    // by truncation. Every sample is pushed at most once, so capacity `n`
+    // never reallocates and indexing stays a plain offset (no ring-buffer
+    // wraparound like a deque's).
+    let mut wedge: Vec<(usize, i16)> = Vec::with_capacity(n);
+    let mut head = 0usize;
     let better = |a: i16, b: i16| if take_max { a >= b } else { a <= b };
     let mut next_in = 0usize;
     for (i, slot) in out.iter_mut().enumerate() {
@@ -118,25 +121,21 @@ fn sliding_extreme(
         let last_needed = (i + half).min(n - 1);
         while next_in <= last_needed {
             let v = x[next_in];
-            while let Some(&(_, back)) = wedge.back() {
-                if better(v, back) {
-                    wedge.pop_back();
+            while let Some(&(_, back)) = wedge.last() {
+                if wedge.len() > head && better(v, back) {
+                    wedge.pop();
                 } else {
                     break;
                 }
             }
-            wedge.push_back((next_in, v));
+            wedge.push((next_in, v));
             next_in += 1;
         }
         // Expire samples that slid out of the window.
-        while let Some(&(front_i, _)) = wedge.front() {
-            if front_i + half < i {
-                wedge.pop_front();
-            } else {
-                break;
-            }
+        while head < wedge.len() && wedge[head].0 + half < i {
+            head += 1;
         }
-        let (_, v) = *wedge.front().expect("window is never empty");
+        let (_, v) = wedge[head];
         *slot = v;
     }
     mem.write_block(dst, &out);

@@ -99,6 +99,57 @@ impl Acc32 {
     }
 }
 
+/// Dot product of two equal-length raw-Q15 slices, bit-identical to
+/// folding [`Acc32::mac`] over the pairs starting from [`Acc32::ZERO`] —
+/// restructured so the common case autovectorizes.
+///
+/// Saturation makes the sequential fold order-sensitive in general, so the
+/// fast path is gated on a per-call proof that no prefix of the sum can
+/// saturate: when `Σ|a[i]| ≤ 65535` (raw units — a row gain below 2.0),
+/// every prefix of `Σ a[i]·b[i]` is bounded by `32768 · 65535 < 2³¹`, the
+/// saturating adds all behave as plain adds, and the sum may be
+/// reassociated freely — here into eight independent i32 lanes the
+/// compiler turns into SIMD multiply-accumulates. Slices failing the bound
+/// fall back to the exact sequential fold.
+///
+/// ```
+/// use dream_fixed::{dot_q15, Acc32, Q15};
+/// let a = [16384i16, -8192, 4096];
+/// let b = [1000i16, 2000, -3000];
+/// let fold = a.iter().zip(&b).fold(Acc32::ZERO, |acc, (&x, &y)| {
+///     acc.mac(Q15::from_raw(x), Q15::from_raw(y))
+/// });
+/// assert_eq!(dot_q15(&a, &b), fold);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_q15(a: &[i16], b: &[i16]) -> Acc32 {
+    assert_eq!(a.len(), b.len(), "dot operands must have equal length");
+    let gain: u32 = a.iter().map(|&v| u32::from(v.unsigned_abs())).sum();
+    if gain <= u32::from(u16::MAX) {
+        const LANES: usize = 8;
+        let mut lanes = [0i32; LANES];
+        let mut ca = a.chunks_exact(LANES);
+        let mut cb = b.chunks_exact(LANES);
+        for (xs, ys) in (&mut ca).zip(&mut cb) {
+            for (lane, (&x, &y)) in lanes.iter_mut().zip(xs.iter().zip(ys)) {
+                *lane += i32::from(x) * i32::from(y);
+            }
+        }
+        let mut total: i32 = lanes.iter().sum();
+        for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+            total += i32::from(x) * i32::from(y);
+        }
+        Acc32(total)
+    } else {
+        a.iter().zip(b).fold(Acc32::ZERO, |acc, (&x, &y)| {
+            acc.mac(Q15::from_raw(x), Q15::from_raw(y))
+        })
+    }
+}
+
 impl Add for Acc32 {
     type Output = Acc32;
     fn add(self, rhs: Acc32) -> Acc32 {
@@ -173,5 +224,65 @@ mod tests {
             acc = acc.mac(one, one);
         }
         assert_eq!(acc.raw(), i32::MAX);
+    }
+
+    /// The exact sequential specification `dot_q15` promises to match.
+    fn fold_mac(a: &[i16], b: &[i16]) -> Acc32 {
+        a.iter().zip(b).fold(Acc32::ZERO, |acc, (&x, &y)| {
+            acc.mac(Q15::from_raw(x), Q15::from_raw(y))
+        })
+    }
+
+    #[test]
+    fn dot_matches_sequential_fold_on_typical_rows() {
+        // Lengths straddling the unroll width, values mixing signs and
+        // both i16 extremes, low enough total gain for the fast path.
+        for n in [0usize, 1, 7, 8, 9, 31, 64, 65] {
+            let a: Vec<i16> = (0..n)
+                .map(|i| ((i * 2654435761) % 1031) as i16 - 515)
+                .collect();
+            let b: Vec<i16> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        i16::MIN
+                    } else {
+                        (((i * 40503) % 65536) as i32 - 32768) as i16
+                    }
+                })
+                .collect();
+            assert_eq!(dot_q15(&a, &b), fold_mac(&a, &b), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_sequential_fold_when_saturating() {
+        // Σ|a| far above the fast-path bound: the fold saturates both
+        // directions mid-chain, so only the sequential path is correct —
+        // and dot_q15 must take it.
+        let a = vec![i16::MIN; 4000];
+        let b: Vec<i16> = (0..4000)
+            .map(|i| if i % 3 == 0 { i16::MIN } else { i16::MAX })
+            .collect();
+        assert_eq!(dot_q15(&a, &b), fold_mac(&a, &b));
+        // Alternating signs so prefixes cross both rails.
+        let c: Vec<i16> = (0..4000)
+            .map(|i| if i % 2 == 0 { i16::MAX } else { i16::MIN })
+            .collect();
+        assert_eq!(dot_q15(&a, &c), fold_mac(&a, &c));
+    }
+
+    #[test]
+    fn dot_boundary_gain_still_exact() {
+        // Exactly at the fast-path bound (Σ|a| = 65535): the largest
+        // prefix magnitude is 65535·32768 < i32::MAX, so no saturation.
+        let a = vec![i16::MIN, 32767, 0, 0];
+        let b = vec![i16::MIN, i16::MIN, 123, -123];
+        assert_eq!(dot_q15(&a, &b), fold_mac(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dot_rejects_length_mismatch() {
+        let _ = dot_q15(&[1, 2], &[3]);
     }
 }

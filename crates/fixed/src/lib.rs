@@ -34,7 +34,7 @@ mod accum;
 mod q15;
 mod rounding;
 
-pub use accum::Acc32;
+pub use accum::{dot_q15, Acc32};
 pub use q15::{Q15, Q15_FRACTION_BITS, Q15_MAX, Q15_MIN};
 pub use rounding::Rounding;
 

@@ -2,8 +2,8 @@
 //! and the geometry/record-suite selection every figure runner shares.
 
 use dream_core::{
-    AccessStats, AnyCodec, Dream, EccSecDed, EmtCodec, EmtKind, EvenParity, NoProtection,
-    ProtectedMemory, TrialBatch,
+    AccessStats, AnyCodec, DecodeOutcome, Dream, EccSecDed, EmtCodec, EmtKind, EvenParity,
+    NoProtection, ProtectedMemory, TrialBatch,
 };
 use dream_dsp::{BiomedicalApp, WordStorage};
 use dream_ecg::{Database, Record};
@@ -164,6 +164,331 @@ impl<C: EmtCodec> WordStorage for BatchProtectedStorage<'_, C> {
     }
 }
 
+/// One aggregated read event of a clean pass: while the stored code at
+/// `addr` was `code` (side word `side`), the clean pass read the address
+/// `count` times, decoding `word` with `outcome`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TraceEvent {
+    addr: u32,
+    code: u32,
+    side: u16,
+    word: i16,
+    outcome: DecodeOutcome,
+    count: u64,
+}
+
+/// A compressed record of one clean (fault-free) application pass: every
+/// distinct `(address, stored code, side word)` a read observed, with its
+/// repeat count, plus the pass's output and access statistics.
+///
+/// The trace depends only on (EMT, app, record) — never on the fault draw
+/// — so one recording serves every batched group of a campaign,
+/// [`CleanTrace::replay`]ing against each group's fault planes instead of
+/// re-running the application. Aggregating events (dropping read order)
+/// is sound because the batched pass's observables are order-independent:
+/// a lane's final eviction only asks whether *any* read diverged, and
+/// survivor deltas accumulate over *all* reads the lane corrupts —
+/// evicted lanes' deltas are never consumed.
+pub struct CleanTrace {
+    events: Vec<TraceEvent>,
+    output: Vec<i16>,
+    stats: AccessStats,
+}
+
+impl CleanTrace {
+    /// Records `app` running over `input` on the fault-free `mem`
+    /// (reset by the caller), capturing the stored code behind every read.
+    ///
+    /// Block accesses go through the per-word `WordStorage` defaults, so
+    /// the recorded statistics are identical to a batched clean pass's.
+    fn record<C: EmtCodec>(
+        mem: &mut ProtectedMemory<C>,
+        app: &dyn BiomedicalApp,
+        input: &[i16],
+    ) -> CleanTrace {
+        struct Recorder<'a, C: EmtCodec> {
+            mem: &'a mut ProtectedMemory<C>,
+            // Events bucketed by address: the clean decode is a pure
+            // function of (addr, code, side) on a fault-free memory, and
+            // an address's (code, side) only changes when it is written,
+            // so reads almost always hit the bucket's newest entry —
+            // the scan below is O(1) in practice.
+            events: Vec<Vec<TraceEvent>>,
+        }
+        impl<C: EmtCodec> WordStorage for Recorder<'_, C> {
+            fn len(&self) -> usize {
+                self.mem.words()
+            }
+
+            fn read(&mut self, addr: usize) -> i16 {
+                let code = self.mem.stored_code(addr);
+                let side = self.mem.side_word(addr);
+                let d = self.mem.read_decoded(addr);
+                let bucket = &mut self.events[addr];
+                match bucket
+                    .iter_mut()
+                    .rev()
+                    .find(|e| e.code == code && e.side == side)
+                {
+                    Some(e) => e.count += 1,
+                    None => bucket.push(TraceEvent {
+                        addr: addr as u32,
+                        code,
+                        side,
+                        word: d.word,
+                        outcome: d.outcome,
+                        count: 1,
+                    }),
+                }
+                d.word
+            }
+
+            fn write(&mut self, addr: usize, value: i16) {
+                self.mem.write(addr, value);
+            }
+        }
+        let words = mem.words();
+        let mut recorder = Recorder {
+            mem,
+            events: vec![Vec::new(); words],
+        };
+        let output = app.run(input, &mut recorder);
+        // The replay is order-independent; flattening in address order
+        // (then epoch order within a bucket) pins iteration deterministically.
+        let events: Vec<TraceEvent> = recorder.events.into_iter().flatten().collect();
+        CleanTrace {
+            events,
+            output,
+            stats: recorder.mem.stats(),
+        }
+    }
+
+    /// The clean pass's output samples.
+    pub fn output(&self) -> &[i16] {
+        &self.output
+    }
+
+    /// The clean pass's access statistics — the baseline
+    /// [`TrialBatch::lane_stats`] offsets from.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Number of aggregated `(address, code, side)` events.
+    pub fn events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Replays this trace against one batched group's fault planes:
+    /// every event some still-alive lane corrupts is overlaid and decoded
+    /// for all lanes at once, evicting diverged lanes and accumulating
+    /// survivor deltas into `batch` — the exact bookkeeping a full
+    /// batched application pass would have produced, at the cost of the
+    /// dirty events only. Returns as soon as no lane is alive.
+    ///
+    /// `lanes` restricts the replay to a subset of the batch: only those
+    /// lanes are decoded, evicted, or credited. This is what lets one
+    /// group mix trials over *different* records — each record's trace
+    /// replays on exactly the lanes that drew it, sharing the group's
+    /// plane transposition and bail-out budget.
+    fn replay<C: EmtCodec + ?Sized>(
+        &self,
+        codec: &C,
+        planes: &BatchFaultPlanes,
+        batch: &mut TrialBatch,
+        lanes: u64,
+    ) {
+        let width = codec.code_width() as usize;
+        let mut word_planes = [0u64; 32];
+        for e in &self.events {
+            let active = planes.dirty_mask(e.addr as usize) & batch.alive() & lanes;
+            if active == 0 {
+                if batch.alive() & lanes == 0 {
+                    break;
+                }
+                continue;
+            }
+            planes.overlay(e.addr as usize, e.code, &mut word_planes[..width]);
+            let d = codec.decode_batch(&word_planes[..width], e.side);
+            let clean_word = e.word as u16;
+            let mut diverged = 0u64;
+            for (i, &plane) in d.data.iter().enumerate() {
+                let clean_plane = 0u64.wrapping_sub(u64::from(clean_word >> i & 1));
+                diverged |= plane ^ clean_plane;
+            }
+            batch.record_read_repeated(
+                active,
+                diverged,
+                d.corrected,
+                d.uncorrectable,
+                e.outcome,
+                e.count,
+            );
+        }
+    }
+}
+
+/// One aggregated read event of a raw (codec-agnostic) clean pass: while
+/// the *logical word* at `addr` was `word`, the pass read the address
+/// `count` times.
+#[derive(Clone, Copy, Debug)]
+struct RawEvent {
+    addr: u32,
+    word: i16,
+    count: u64,
+}
+
+/// A codec-agnostic clean pass: the application run over plain word
+/// storage, with every `(address, stored word)` epoch a read observed.
+///
+/// On fault-free memory every codec round-trips written words exactly
+/// (`decode(encode(w)) == (w, Clean)` — pinned by the exhaustive codec
+/// tests), so the application's clean dynamics do not depend on the EMT:
+/// one raw recording per (app, record) yields the [`CleanTrace`] of
+/// *every* EMT via [`CleanTrace::derive`], re-encoding each distinct word
+/// instead of re-running the application four times.
+///
+/// The one case where dynamics *would* diverge is a read of a
+/// never-written address: after [`ProtectedMemory::reset_with_fault_map`]
+/// those hold raw code 0 / side 0, and `decode(0, 0)` is codec-dependent
+/// (Dream's is not word 0). [`RawTrace::record`] detects any
+/// read-before-write and returns `None`, making the caller fall back to
+/// per-EMT [`EmtMemory::record_trace`] — exactness is never assumed.
+pub struct RawTrace {
+    events: Vec<RawEvent>,
+    output: Vec<i16>,
+    reads: u64,
+    writes: u64,
+}
+
+impl RawTrace {
+    /// Runs `app` over `input` on plain zeroed storage of `words` words,
+    /// recording word epochs per address. Returns `None` if the app read
+    /// an address before writing it (see the type docs).
+    pub fn record(app: &dyn BiomedicalApp, input: &[i16], words: usize) -> Option<RawTrace> {
+        struct Recorder {
+            values: Vec<i16>,
+            written: Vec<bool>,
+            // Same bucketing as `CleanTrace::record`: reads almost always
+            // hit the bucket's newest epoch.
+            events: Vec<Vec<(i16, u64)>>,
+            reads: u64,
+            writes: u64,
+            premature: bool,
+        }
+        impl WordStorage for Recorder {
+            fn len(&self) -> usize {
+                self.values.len()
+            }
+
+            fn read(&mut self, addr: usize) -> i16 {
+                self.reads += 1;
+                if !self.written[addr] {
+                    self.premature = true;
+                }
+                let v = self.values[addr];
+                let bucket = &mut self.events[addr];
+                match bucket.iter_mut().rev().find(|(w, _)| *w == v) {
+                    Some((_, c)) => *c += 1,
+                    None => bucket.push((v, 1)),
+                }
+                v
+            }
+
+            fn write(&mut self, addr: usize, value: i16) {
+                self.writes += 1;
+                self.written[addr] = true;
+                self.values[addr] = value;
+            }
+        }
+        let mut recorder = Recorder {
+            values: vec![0; words],
+            written: vec![false; words],
+            events: vec![Vec::new(); words],
+            reads: 0,
+            writes: 0,
+            premature: false,
+        };
+        let output = app.run(input, &mut recorder);
+        if recorder.premature {
+            return None;
+        }
+        let events = recorder
+            .events
+            .into_iter()
+            .enumerate()
+            .flat_map(|(addr, bucket)| {
+                bucket.into_iter().map(move |(word, count)| RawEvent {
+                    addr: addr as u32,
+                    word,
+                    count,
+                })
+            })
+            .collect();
+        Some(RawTrace {
+            events,
+            output,
+            reads: recorder.reads,
+            writes: recorder.writes,
+        })
+    }
+
+    /// The raw pass's output samples — identical to every EMT's clean
+    /// output (word round-tripping again), so reference SNRs can be
+    /// computed once per (app, record).
+    pub fn output(&self) -> &[i16] {
+        &self.output
+    }
+}
+
+impl CleanTrace {
+    /// Materializes the [`CleanTrace`] a direct [`CleanTrace::record`] on
+    /// `codec`'s memory would have produced, from one codec-agnostic
+    /// [`RawTrace`]: each distinct word is encoded (and its clean decode
+    /// outcome taken) once, then stamped onto that word's events.
+    fn derive<C: EmtCodec>(codec: &C, raw: &RawTrace) -> CleanTrace {
+        let mut cache: std::collections::HashMap<i16, (u32, u16, DecodeOutcome)> =
+            std::collections::HashMap::new();
+        let mut corrected = 0u64;
+        let mut uncorrectable = 0u64;
+        let events = raw
+            .events
+            .iter()
+            .map(|e| {
+                let &mut (code, side, outcome) = cache.entry(e.word).or_insert_with(|| {
+                    let enc = codec.encode(e.word);
+                    let d = codec.decode(enc.code, enc.side);
+                    debug_assert_eq!(d.word, e.word, "codec does not round-trip {}", e.word);
+                    (enc.code, enc.side, d.outcome)
+                });
+                match outcome {
+                    DecodeOutcome::Corrected => corrected += e.count,
+                    DecodeOutcome::DetectedUncorrectable => uncorrectable += e.count,
+                    DecodeOutcome::Clean => {}
+                }
+                TraceEvent {
+                    addr: e.addr,
+                    code,
+                    side,
+                    word: e.word,
+                    outcome,
+                    count: e.count,
+                }
+            })
+            .collect();
+        CleanTrace {
+            events,
+            output: raw.output.clone(),
+            stats: AccessStats {
+                reads: raw.reads,
+                writes: raw.writes,
+                corrected_reads: corrected,
+                uncorrectable_reads: uncorrectable,
+            },
+        }
+    }
+}
+
 /// A protected memory monomorphized per technique: one enum dispatch when
 /// a trial *starts an app run*, zero dispatch per access — the arena type
 /// the voltage-sweep campaigns hold one of per EMT.
@@ -259,6 +584,53 @@ impl EmtMemory {
             EmtMemory::Ecc(m) => app.run(input, &mut BatchProtectedStorage::new(m, faults, batch)),
         }
     }
+
+    /// Runs `app` once on this (fault-free, freshly reset) memory and
+    /// records its [`CleanTrace`] — the pass every batched group of the
+    /// campaign then [`EmtMemory::replay_trace`]s instead of re-running.
+    pub fn record_trace(&mut self, app: &dyn BiomedicalApp, input: &[i16]) -> CleanTrace {
+        match self {
+            EmtMemory::None(m) => CleanTrace::record(m, app, input),
+            EmtMemory::Parity(m) => CleanTrace::record(m, app, input),
+            EmtMemory::Dream(m) => CleanTrace::record(m, app, input),
+            EmtMemory::Ecc(m) => CleanTrace::record(m, app, input),
+        }
+    }
+
+    /// Derives this EMT's [`CleanTrace`] from one codec-agnostic
+    /// [`RawTrace`] (see that type: sound because every codec round-trips
+    /// written words and the raw recording rejects read-before-write).
+    /// Equality with a direct [`EmtMemory::record_trace`] is pinned by
+    /// `derived_trace_matches_direct_recording_for_every_emt` below.
+    pub fn derive_trace(&self, raw: &RawTrace) -> CleanTrace {
+        match self {
+            EmtMemory::None(m) => CleanTrace::derive(m.codec(), raw),
+            EmtMemory::Parity(m) => CleanTrace::derive(m.codec(), raw),
+            EmtMemory::Dream(m) => CleanTrace::derive(m.codec(), raw),
+            EmtMemory::Ecc(m) => CleanTrace::derive(m.codec(), raw),
+        }
+    }
+
+    /// Replays a recorded clean pass against one batched group's fault
+    /// planes (see [`CleanTrace`]): `batch` ends up with exactly the
+    /// eviction set and survivor deltas a full
+    /// [`EmtMemory::run_app_batch`] over the same planes would produce.
+    /// `lanes` masks the replay to the sub-group that drew this trace's
+    /// record (`u64::MAX` for a whole single-record group).
+    pub fn replay_trace(
+        &self,
+        trace: &CleanTrace,
+        faults: &BatchFaultPlanes,
+        batch: &mut TrialBatch,
+        lanes: u64,
+    ) {
+        match self {
+            EmtMemory::None(m) => trace.replay(m.codec(), faults, batch, lanes),
+            EmtMemory::Parity(m) => trace.replay(m.codec(), faults, batch, lanes),
+            EmtMemory::Dream(m) => trace.replay(m.codec(), faults, batch, lanes),
+            EmtMemory::Ecc(m) => trace.replay(m.codec(), faults, batch, lanes),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +710,127 @@ mod tests {
         let mut out = vec![0i16; 3];
         s.read_block(10, &mut out);
         assert_eq!(out, vec![7, -8, 9]);
+    }
+
+    #[test]
+    fn trace_replay_matches_full_batched_pass() {
+        // The compressed clean trace must reproduce a full batched
+        // application pass exactly: same clean output and stats, same
+        // eviction set, same survivor deltas — for every codec, on fault
+        // planes dense enough to evict some lanes and spare others.
+        let app = dream_dsp::AppKind::Dwt.instantiate(256);
+        let geometry = banked_geometry(app.memory_words());
+        let samples = record_suite(256, 1)[0].samples.clone();
+        let lanes = 8;
+        let mut planes = BatchFaultPlanes::new(geometry.words(), 22);
+        for lane in 0..lanes {
+            let ber = 0.0005 * (lane + 1) as f64;
+            let map = dream_mem::FaultMap::generate(geometry.words(), 22, ber, 40 + lane as u64);
+            planes.add_lane(lane, &map, None);
+        }
+        let empty = FaultMap::empty(geometry.words(), 22);
+        let mut survived = 0;
+        let mut evicted = 0;
+        for kind in EmtKind::all() {
+            let mut mem = EmtMemory::new(kind, geometry);
+            mem.reset_with_fault_map(&empty);
+            let mut full = TrialBatch::new(lanes);
+            let out = mem.run_app_batch(&*app, &samples, &planes, &mut full);
+            let full_stats = mem.stats();
+
+            mem.reset_with_fault_map(&empty);
+            let trace = mem.record_trace(&*app, &samples);
+            assert_eq!(trace.output(), &out[..], "{kind}: clean output");
+            assert_eq!(trace.stats(), full_stats, "{kind}: clean stats");
+            assert!(trace.events() > 0, "{kind}: trace must not be empty");
+
+            let mut replayed = TrialBatch::new(lanes);
+            mem.replay_trace(&trace, &planes, &mut replayed, u64::MAX);
+            assert_eq!(replayed.alive(), full.alive(), "{kind}: eviction set");
+            for lane in 0..lanes {
+                if replayed.is_alive(lane) {
+                    survived += 1;
+                    assert_eq!(
+                        replayed.lane_stats(lane, &trace.stats()),
+                        full.lane_stats(lane, &full_stats),
+                        "{kind} lane {lane}: survivor deltas"
+                    );
+                } else {
+                    evicted += 1;
+                }
+            }
+        }
+        // The fixed seeds must exercise both outcomes of the rule.
+        assert!(survived > 0, "no lane survived anywhere");
+        assert!(evicted > 0, "no lane diverged anywhere");
+    }
+
+    #[test]
+    fn derived_trace_matches_direct_recording_for_every_emt() {
+        // One codec-agnostic raw pass must yield, for every EMT, the
+        // byte-identical CleanTrace a direct recording on that EMT's
+        // memory produces: same events (addresses, codes, side words,
+        // outcomes, counts, order), same output, same stats.
+        for app_kind in dream_dsp::AppKind::all() {
+            // 512: large enough for the delineator's one-second minimum.
+            let app = app_kind.instantiate(512);
+            let geometry = banked_geometry(app.memory_words());
+            let samples = record_suite(512, 1)[0].samples.clone();
+            let empty = FaultMap::empty(geometry.words(), 22);
+            let raw = RawTrace::record(&*app, &samples, geometry.words())
+                .unwrap_or_else(|| panic!("{app_kind:?} reads before writing"));
+            for kind in EmtKind::all() {
+                let mut mem = EmtMemory::new(kind, geometry);
+                mem.reset_with_fault_map(&empty);
+                let direct = mem.record_trace(&*app, &samples);
+                let derived = mem.derive_trace(&raw);
+                assert_eq!(derived.events, direct.events, "{app_kind:?}/{kind}: events");
+                assert_eq!(derived.output, direct.output, "{app_kind:?}/{kind}: output");
+                assert_eq!(
+                    derived.stats(),
+                    direct.stats(),
+                    "{app_kind:?}/{kind}: stats"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raw_trace_rejects_read_before_write() {
+        // decode(0, 0) is codec-dependent (Dream's is not word 0), so a
+        // pass touching a never-written address cannot be shared across
+        // EMTs — the recorder must refuse instead of silently diverging.
+        struct ReadsFirst;
+        impl BiomedicalApp for ReadsFirst {
+            fn name(&self) -> &'static str {
+                "reads-first"
+            }
+            fn kind(&self) -> dream_dsp::AppKind {
+                dream_dsp::AppKind::Dwt
+            }
+            fn input_len(&self) -> usize {
+                0
+            }
+            fn output_len(&self) -> usize {
+                1
+            }
+            fn memory_words(&self) -> usize {
+                8
+            }
+            fn run(&self, _input: &[i16], mem: &mut dyn WordStorage) -> Vec<i16> {
+                let v = mem.read(3);
+                mem.write(0, v);
+                vec![v]
+            }
+            fn run_reference(&self, _input: &[i16]) -> Vec<f64> {
+                vec![0.0]
+            }
+        }
+        assert!(RawTrace::record(&ReadsFirst, &[], 8).is_none());
+        // Sanity: the Dream virgin decode really is the divergent case
+        // the rejection guards against.
+        let d = Dream::new();
+        assert_ne!(d.decode(0, 0).word, 0, "virgin Dream reads are nonzero");
     }
 
     #[test]

@@ -49,6 +49,17 @@ pub const THREADS_ENV: &str = "DREAM_THREADS";
 /// to enable, `0`/`false`/`off` to disable).
 pub const BATCH_ENV: &str = "DREAM_BATCH";
 
+/// Environment variable tuning the batched executor's adaptive bail-out
+/// fraction (`0.0`..=`1.0`): a batch abandons its plane passes once the
+/// alive-lane population drops strictly below this fraction of the group,
+/// finishing the stragglers on the scalar replay path. `0` disables
+/// bail-out; `1` bails on the first eviction.
+pub const BAILOUT_ENV: &str = "DREAM_BATCH_BAILOUT";
+
+/// Default bail-out fraction: below a quarter of the group, the plane
+/// passes cost more than scalar replays of the survivors.
+pub const DEFAULT_BAILOUT: f64 = 0.25;
+
 /// Process-wide thread-count override (0 = none). Takes precedence over
 /// [`THREADS_ENV`] so binaries and tests can pin the count without
 /// mutating the process environment.
@@ -57,6 +68,16 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Process-wide batching override (0 = none, 1 = off, 2 = on). Same
 /// precedence role as the thread override, for [`BATCH_ENV`].
 static BATCH_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sentinel bit pattern marking the bail-out override as unset (a NaN, so
+/// it can never collide with a valid fraction's bits).
+const BAILOUT_UNSET: u64 = u64::MAX;
+
+/// Process-wide bail-out-fraction override, stored as `f64` bits
+/// ([`BAILOUT_UNSET`] = none). Same precedence role as the others, for
+/// [`BAILOUT_ENV`].
+static BAILOUT_OVERRIDE: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(BAILOUT_UNSET);
 
 thread_local! {
     /// Driver-thread-scoped worker count (0 = unset). Outranks the global
@@ -67,6 +88,18 @@ thread_local! {
     /// Driver-thread-scoped batching toggle (0 = unset, 1 = off, 2 = on),
     /// mirroring [`AMBIENT_THREADS`].
     static AMBIENT_BATCH: Cell<usize> = const { Cell::new(0) };
+
+    /// Driver-thread-scoped bail-out fraction (`None` = unset), mirroring
+    /// [`AMBIENT_BATCH`].
+    static AMBIENT_BAILOUT: Cell<Option<f64>> = const { Cell::new(None) };
+}
+
+/// Panics unless `fraction` is a valid bail-out fraction.
+fn check_bailout(fraction: f64) {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "bail-out fraction must be in 0.0..=1.0, got {fraction}"
+    );
 }
 
 /// A shared flag requesting cooperative cancellation of a campaign.
@@ -179,8 +212,58 @@ pub fn set_batch_override(batch: Option<bool>) {
     BATCH_OVERRIDE.store(encoded, Ordering::SeqCst);
 }
 
+/// Runs `f` with the batched executor's bail-out fraction pinned on this
+/// thread (and every campaign it drives); `None` inherits the surrounding
+/// resolution. The previous binding is restored on exit, panic included.
+///
+/// # Panics
+///
+/// Panics if the fraction is outside `0.0..=1.0`.
+pub fn with_ambient_bailout<R>(fraction: Option<f64>, f: impl FnOnce() -> R) -> R {
+    if let Some(frac) = fraction {
+        check_bailout(frac);
+    }
+    struct Restore(Option<f64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT_BAILOUT.with(|c| c.set(self.0));
+        }
+    }
+    let prev = AMBIENT_BAILOUT.with(|c| {
+        let prev = c.get();
+        if fraction.is_some() {
+            c.set(fraction);
+        }
+        prev
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Pins the bail-out fraction for all subsequent campaigns (`None`
+/// restores the environment resolution).
+///
+/// # Panics
+///
+/// Panics if the fraction is outside `0.0..=1.0`.
+pub fn set_bailout_override(fraction: Option<f64>) {
+    let encoded = match fraction {
+        None => BAILOUT_UNSET,
+        Some(frac) => {
+            check_bailout(frac);
+            frac.to_bits()
+        }
+    };
+    BAILOUT_OVERRIDE.store(encoded, Ordering::SeqCst);
+}
+
 /// Whether campaigns run right now batch their trials (ambient scope →
-/// override → [`BATCH_ENV`] → off).
+/// override → [`BATCH_ENV`] → **on**).
+///
+/// Batching defaults on: with clean-trace derivation and per-lane map
+/// reuse it beats the scalar path on every `perf_baseline` preset that
+/// exercises it (the acceptance bar was ≥ 0.95×; set `DREAM_BATCH=0`
+/// to opt out).
 ///
 /// Batching is an execution strategy, not a model change: the engine's
 /// batched paths are bit-identical to the scalar paths by the divergence
@@ -207,7 +290,41 @@ pub fn batch_enabled() -> bool {
             _ => panic!("{BATCH_ENV} must be one of 1/true/on/0/false/off, got {raw:?}"),
         };
     }
-    false
+    true
+}
+
+/// The adaptive bail-out fraction batched campaigns use right now
+/// (ambient scope → override → [`BAILOUT_ENV`] → [`DEFAULT_BAILOUT`]).
+///
+/// Like batching itself, the bail-out is an execution strategy: bailed
+/// lanes are replayed on the scalar path, so the fraction may only affect
+/// speed, never output.
+///
+/// # Panics
+///
+/// Panics if [`BAILOUT_ENV`] is set to anything but a number in
+/// `0.0..=1.0` — a typo silently running a different bail-out policy
+/// would make benchmark A/Bs lie.
+pub fn batch_bailout() -> f64 {
+    if let Some(frac) = AMBIENT_BAILOUT.with(Cell::get) {
+        return frac;
+    }
+    let forced = BAILOUT_OVERRIDE.load(Ordering::SeqCst);
+    if forced != BAILOUT_UNSET {
+        return f64::from_bits(forced);
+    }
+    if let Ok(raw) = std::env::var(BAILOUT_ENV) {
+        let frac: f64 = raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{BAILOUT_ENV} must be a number in 0.0..=1.0, got {raw:?}"));
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "{BAILOUT_ENV} must be in 0.0..=1.0, got {raw:?}"
+        );
+        return frac;
+    }
+    DEFAULT_BAILOUT
 }
 
 /// The worker count campaigns will use right now (ambient scope →
@@ -436,8 +553,9 @@ mod tests {
     #[test]
     fn batch_resolution_mirrors_thread_resolution() {
         let _guard = OVERRIDE_LOCK.lock().expect("override lock");
-        // Default (no ambient, no override, env unset in the test harness).
-        assert!(!batch_enabled());
+        // Default (no ambient, no override, env unset in the test
+        // harness): batching is ON.
+        assert!(batch_enabled());
         set_batch_override(Some(true));
         assert!(batch_enabled());
         // Ambient outranks the override, in both directions.
@@ -451,7 +569,34 @@ mod tests {
         set_batch_override(Some(false));
         assert!(!batch_enabled());
         set_batch_override(None);
-        assert!(!batch_enabled());
+        assert!(
+            batch_enabled(),
+            "clearing the override restores the default"
+        );
+    }
+
+    #[test]
+    fn bailout_resolution_mirrors_batch_resolution() {
+        let _guard = OVERRIDE_LOCK.lock().expect("override lock");
+        // Default (no ambient, no override, env unset in the test harness).
+        assert_eq!(batch_bailout(), DEFAULT_BAILOUT);
+        set_bailout_override(Some(0.5));
+        assert_eq!(batch_bailout(), 0.5);
+        // Ambient outranks the override; None inherits.
+        with_ambient_bailout(Some(0.0), || {
+            assert_eq!(batch_bailout(), 0.0);
+            with_ambient_bailout(None, || assert_eq!(batch_bailout(), 0.0));
+            with_ambient_bailout(Some(1.0), || assert_eq!(batch_bailout(), 1.0));
+        });
+        assert_eq!(batch_bailout(), 0.5, "binding must be restored on exit");
+        set_bailout_override(None);
+        assert_eq!(batch_bailout(), DEFAULT_BAILOUT);
+    }
+
+    #[test]
+    #[should_panic(expected = "bail-out fraction must be in 0.0..=1.0")]
+    fn out_of_range_bailout_override_rejected() {
+        set_bailout_override(Some(2.0));
     }
 
     #[test]

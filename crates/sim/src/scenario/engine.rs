@@ -24,12 +24,14 @@ use dream_soc::{Soc, SocConfig};
 
 use crate::ablation;
 use crate::campaign::{
-    banked_geometry, cap_snr, fault_seed, record_suite_with_noise, reference_outputs, EmtMemory,
+    banked_geometry, cap_snr, fault_seed, record_suite_with_noise, reference_outputs, CleanTrace,
+    EmtMemory, RawTrace,
 };
 use crate::energy_table::{run_energy_table, EnergyConfig, EnergyRow};
 use crate::exec::{self, CancelToken};
 use crate::fig4::Fig4Point;
 use crate::report::Sink;
+use crate::telemetry;
 use crate::tradeoff::{explore, TradeoffPolicy};
 
 use super::spec::{Grid, Kind, Scenario, SpecError};
@@ -292,6 +294,28 @@ fn injection_snrs_batched(
     references: &[Vec<f64>],
     cancel: Option<&CancelToken>,
 ) -> Result<Vec<f64>, exec::Cancelled> {
+    // Resolved on the driver thread: workers never see the caller's
+    // ambient (thread-local) bail-out binding.
+    let bailout = exec::batch_bailout();
+    // One clean pass per record, shared by every lane group of this
+    // (app, EMT): groups replay the trace instead of re-running the app.
+    let passes: Vec<CleanPass> = {
+        let app = app_kind.instantiate(sc.window);
+        let geometry = banked_geometry(app.memory_words());
+        let mut mem = EmtMemory::new(emt, geometry);
+        let map = FaultMap::empty(geometry.words(), width);
+        records
+            .iter()
+            .enumerate()
+            .map(|(ri, record)| {
+                mem.reset_with_fault_map(&map);
+                let trace = mem.record_trace(&*app, &record.samples);
+                let snr = cap_snr(snr_db(&references[ri], &samples_to_f64(trace.output())));
+                telemetry::record_trace();
+                CleanPass { trace, snr }
+            })
+            .collect()
+    };
     // Lanes must share their clean pass, so group by record and chunk to
     // the lane budget. Scheduling granularity changes; values don't.
     let mut by_record: Vec<Vec<(usize, InjectionTrial)>> = vec![Vec::new(); records.len()];
@@ -323,11 +347,16 @@ fn injection_snrs_batched(
                 let word = (seed % *words as u64) as usize;
                 planes.inject(lane, word, t.bit, t.stuck);
             }
-            map.clear();
-            mem.reset_with_fault_map(map);
-            let mut batch = TrialBatch::new(group.len());
-            let out = mem.run_app_batch(&**app, &records[record].samples, planes, &mut batch);
-            let clean_snr = cap_snr(snr_db(&references[record], &samples_to_f64(&out)));
+            let pass = &passes[record];
+            let mut batch = TrialBatch::with_bailout(group.len(), bailout);
+            mem.replay_trace(&pass.trace, planes, &mut batch, u64::MAX);
+            let clean_snr = pass.snr;
+            let bailed = batch.bailed().count_ones();
+            telemetry::record_batch_pass(
+                group.len(),
+                batch.evicted().count_ones() - bailed,
+                bailed,
+            );
             group
                 .iter()
                 .enumerate()
@@ -481,6 +510,90 @@ struct Cell {
     corrected: f64,
 }
 
+/// One memoized clean pass: the aggregated read trace of an (EMT, app,
+/// record) triple on fault-free memory, plus its capped reference SNR.
+///
+/// The clean pass depends on none of a grid point's knobs — not the
+/// voltage, not the fault model, not the trial index — so a draw sweep
+/// records each triple once and every batched group replays the trace
+/// instead of re-running the application.
+struct CleanPass {
+    trace: CleanTrace,
+    snr: f64,
+}
+
+/// Clean passes indexed `[emt][app][record]`.
+type CleanPasses = Vec<Vec<Vec<CleanPass>>>;
+
+/// Records the clean pass of every (EMT, app, record) triple a draw
+/// campaign will touch, in parallel over the trial executor.
+fn record_clean_passes(
+    sc: &Scenario,
+    records: &[Record],
+    references: &References,
+    geometry: MemGeometry,
+    cancel: Option<&CancelToken>,
+) -> Result<CleanPasses, exec::Cancelled> {
+    // Draw runs cycle the suite as `run % records.len()`, so a campaign
+    // with fewer trials than records never touches the tail — don't pay
+    // to record it (smoke-scale sweeps would otherwise spend more time
+    // recording unused traces than running trials).
+    let used = records.len().min(sc.trials.max(1));
+    // One codec-agnostic raw pass per (app, record): on fault-free memory
+    // the application's dynamics do not depend on the EMT (every codec
+    // round-trips written words — see [`RawTrace`]), so the expensive
+    // application runs happen apps × records times and each EMT's trace is
+    // derived by re-encoding, not re-running.
+    let mut pairs = Vec::new();
+    for ai in 0..sc.apps.len() {
+        for ri in 0..used {
+            pairs.push((ai, ri));
+        }
+    }
+    let scratch = || -> Vec<Box<dyn BiomedicalApp>> {
+        sc.apps.iter().map(|&k| k.instantiate(sc.window)).collect()
+    };
+    let raws = exec::run_trials_cancellable(
+        &pairs,
+        scratch,
+        |apps, &(ai, ri), _| RawTrace::record(&*apps[ai], &records[ri].samples, geometry.words()),
+        cancel,
+    )?;
+    // Derivation is cheap (one encode per distinct word); an app that read
+    // a never-written address (`None` — codec-dependent virgin decode)
+    // falls back to direct per-EMT recording, trading speed for exactness.
+    let mut mems: Vec<EmtMemory> = sc
+        .emts
+        .iter()
+        .map(|&emt| EmtMemory::new(emt, geometry))
+        .collect();
+    let empty = FaultMap::empty(geometry.words(), SHARED_MAP_WIDTH);
+    let mut fallback_apps: Option<Vec<Box<dyn BiomedicalApp>>> = None;
+    let mut passes: CleanPasses = Vec::with_capacity(sc.emts.len());
+    for mem in &mut mems {
+        let mut per_app = Vec::with_capacity(sc.apps.len());
+        for ai in 0..sc.apps.len() {
+            let mut per_record = Vec::with_capacity(used);
+            for ri in 0..used {
+                let trace = match &raws[ai * used + ri] {
+                    Some(raw) => mem.derive_trace(raw),
+                    None => {
+                        let apps = fallback_apps.get_or_insert_with(scratch);
+                        mem.reset_with_fault_map(&empty);
+                        mem.record_trace(&*apps[ai], &records[ri].samples)
+                    }
+                };
+                let snr = cap_snr(snr_db(&references[ai][ri], &samples_to_f64(trace.output())));
+                telemetry::record_trace();
+                per_record.push(CleanPass { trace, snr });
+            }
+            per_app.push(per_record);
+        }
+        passes.push(per_app);
+    }
+    Ok(passes)
+}
+
 /// Point-invariant inputs of one Monte-Carlo draw batch: the resolved
 /// fault model, the calibration behind it, the record suite with its
 /// references, the shared geometry, and the campaign's cancel token.
@@ -494,6 +607,9 @@ struct DrawCtx<'a> {
     records: &'a [Record],
     references: &'a [Vec<Vec<f64>>],
     geometry: MemGeometry,
+    /// Memoized clean passes (batched sweeps only; `None` on the scalar
+    /// path, which recomputes nothing to begin with).
+    clean: Option<&'a CleanPasses>,
     cancel: Option<&'a CancelToken>,
 }
 
@@ -514,6 +630,7 @@ fn draw_point(
         records,
         references,
         geometry,
+        clean: _,
         cancel,
     } = *ctx;
     let runs: Vec<usize> = (0..sc.trials).collect();
@@ -577,12 +694,15 @@ fn draw_point(
     )
 }
 
-/// Bit-sliced variant of [`draw_point`]: runs sharing a record ride one
-/// clean pass per (EMT, app) in lanes of up to [`MAX_LANES`]. Each lane's
-/// drawn fault map (scrambler included, resolved to logical addresses) is
-/// transposed into [`BatchFaultPlanes`]; survivors take the clean SNR and
-/// their [`TrialBatch::lane_stats`] outcome counts, evicted lanes replay
-/// the ordinary scalar trial — so the returned cells, in the same
+/// Bit-sliced variant of [`draw_point`]: runs ride memoized clean passes
+/// per (EMT, app) in lanes of up to [`MAX_LANES`]. Each lane's drawn
+/// fault map (scrambler included, resolved to logical addresses) is
+/// transposed into [`BatchFaultPlanes`]; with clean traces in hand a
+/// group freely mixes records — each record's trace replays on exactly
+/// the lanes that drew it — so even campaigns with few trials per record
+/// fill whole groups. Survivors take their record's clean SNR and their
+/// [`TrialBatch::lane_stats`] outcome counts, evicted lanes replay the
+/// ordinary scalar trial — so the returned cells, in the same
 /// (run, emt, app) order, are bit-identical to [`draw_point`]'s.
 fn draw_point_batched(
     sc: &Scenario,
@@ -595,20 +715,42 @@ fn draw_point_batched(
         records,
         references,
         geometry,
+        clean,
         cancel,
     } = *ctx;
-    // Lanes must share their clean pass, so group runs by record (runs
-    // cycle through the suite) and chunk to the lane budget.
-    let groups: Vec<Vec<usize>> = (0..records.len())
-        .flat_map(|r| {
-            let runs: Vec<usize> = (0..sc.trials)
-                .filter(|run| run % records.len() == r)
-                .collect();
-            runs.chunks(MAX_LANES)
-                .map(<[_]>::to_vec)
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    // Resolved on the driver thread: workers never see the caller's
+    // ambient (thread-local) bail-out binding.
+    let bailout = exec::batch_bailout();
+    let groups: Vec<Vec<usize>> = if clean.is_some() {
+        // Trace replay feeds each lane exactly its own record's events
+        // (masked sub-replays share one plane transposition), so lanes
+        // need not share a record: chunk runs in order to the lane
+        // budget. Small campaigns fill whole groups instead of
+        // fragmenting into per-record slivers.
+        (0..sc.trials)
+            .collect::<Vec<_>>()
+            .chunks(MAX_LANES)
+            .map(<[_]>::to_vec)
+            .collect()
+    } else {
+        // Without memoized traces the clean pass *runs the app once* for
+        // the whole group, so lanes must share their record.
+        (0..records.len())
+            .flat_map(|r| {
+                let runs: Vec<usize> = (0..sc.trials)
+                    .filter(|run| run % records.len() == r)
+                    .collect();
+                runs.chunks(MAX_LANES)
+                    .map(<[_]>::to_vec)
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    // One armed map per lane, reused by every evicted cell of the lane:
+    // the scalar path arms once per run and shares the map across its
+    // EMT × app cells, and re-arming per evicted cell would pay that
+    // O(words · width) clear-and-sample up to EMTs × apps times over.
+    let lane_budget = sc.trials.min(MAX_LANES);
     let scratch = || {
         let apps: Vec<Box<dyn BiomedicalApp>> =
             sc.apps.iter().map(|&k| k.instantiate(sc.window)).collect();
@@ -617,54 +759,97 @@ fn draw_point_batched(
             .iter()
             .map(|&emt| EmtMemory::new(emt, geometry))
             .collect();
-        let map = FaultMap::empty(geometry.words(), SHARED_MAP_WIDTH);
+        let maps: Vec<FaultMap> = (0..lane_budget)
+            .map(|_| FaultMap::empty(geometry.words(), SHARED_MAP_WIDTH))
+            .collect();
+        // Never armed: resets the memory fault-free for clean app passes.
+        let empty = FaultMap::empty(geometry.words(), SHARED_MAP_WIDTH);
         let planes = BatchFaultPlanes::new(geometry.words(), SHARED_MAP_WIDTH);
-        (apps, mems, map, planes)
+        (apps, mems, maps, empty, planes)
     };
     let per_group = exec::run_trials_cancellable(
         &groups,
         scratch,
-        |(apps, mems, map, planes), group, _| {
-            let ri = group[0] % records.len();
-            let record = &records[ri];
+        |(apps, mems, maps, empty, planes), group, _| {
             planes.clear();
+            // Lanes replaying the same record form one masked sub-group;
+            // single-record groups (the run_app_batch fallback) collapse
+            // to one part covering every lane.
+            let mut parts: Vec<(usize, u64)> = Vec::new();
             for (lane, &run) in group.iter().enumerate() {
+                let ri = run % records.len();
+                match parts.iter_mut().find(|(r, _)| *r == ri) {
+                    Some((_, lanes)) => *lanes |= 1 << lane,
+                    None => parts.push((ri, 1 << lane)),
+                }
                 // Same draw as the scalar path; the scrambler is folded
                 // into the planes so the clean pass needs none.
                 let seed = fault_seed(sc.seed, point, run);
-                fault_model.arm(map, &geometry, ber_model, seed);
+                fault_model.arm(&mut maps[lane], &geometry, ber_model, seed);
                 let scrambler = sc.scrambler_key.map(|base| {
                     AddressScrambler::new(geometry.words(), fault_seed(base, point, run))
                 });
-                planes.add_lane(lane, map, scrambler.as_ref());
+                planes.add_lane(lane, &maps[lane], scrambler.as_ref());
             }
             let mut cells: Vec<Vec<Cell>> = group
                 .iter()
                 .map(|_| Vec::with_capacity(sc.emts.len() * apps.len()))
                 .collect();
-            for mem in mems.iter_mut() {
+            for (ei, mem) in mems.iter_mut().enumerate() {
                 for (ai, app) in apps.iter().enumerate() {
-                    map.clear();
-                    mem.reset_with_fault_map(map);
-                    let mut batch = TrialBatch::new(group.len());
-                    let out = mem.run_app_batch(&**app, &record.samples, planes, &mut batch);
-                    let clean_snr = cap_snr(snr_db(&references[ai][ri], &samples_to_f64(&out)));
-                    let clean_stats = mem.stats();
+                    let mut batch = TrialBatch::with_bailout(group.len(), bailout);
+                    // Survivor baseline shared by every lane of a
+                    // single-record group; `None` when traces carry it
+                    // per record instead.
+                    let fallback = match clean {
+                        Some(passes) => {
+                            // Replay the memoized traces: only dirty
+                            // events pay plane work; the application
+                            // never runs.
+                            for &(ri, lanes) in &parts {
+                                let pass = &passes[ei][ai][ri];
+                                mem.replay_trace(&pass.trace, planes, &mut batch, lanes);
+                            }
+                            None
+                        }
+                        None => {
+                            let ri = group[0] % records.len();
+                            mem.reset_with_fault_map(empty);
+                            let out =
+                                mem.run_app_batch(&**app, &records[ri].samples, planes, &mut batch);
+                            let snr = cap_snr(snr_db(&references[ai][ri], &samples_to_f64(&out)));
+                            Some((snr, mem.stats()))
+                        }
+                    };
+                    let bailed = batch.bailed().count_ones();
+                    telemetry::record_batch_pass(
+                        group.len(),
+                        batch.evicted().count_ones() - bailed,
+                        bailed,
+                    );
                     for (lane, &run) in group.iter().enumerate() {
+                        let ri = run % records.len();
                         let (snr, stats) = if batch.is_alive(lane) {
+                            let (clean_snr, clean_stats) = match (clean, fallback) {
+                                (Some(passes), _) => {
+                                    let pass = &passes[ei][ai][ri];
+                                    (pass.snr, pass.trace.stats())
+                                }
+                                (None, Some(shared)) => shared,
+                                (None, None) => unreachable!("fallback set on the app-run path"),
+                            };
                             (clean_snr, batch.lane_stats(lane, &clean_stats))
                         } else {
-                            // Evicted: the ordinary scalar trial, verbatim.
-                            let seed = fault_seed(sc.seed, point, run);
-                            fault_model.arm(map, &geometry, ber_model, seed);
-                            mem.reset_with_fault_map(map);
+                            // Evicted: the ordinary scalar trial, verbatim
+                            // (the lane's map is already armed above).
+                            mem.reset_with_fault_map(&maps[lane]);
                             if let Some(base) = sc.scrambler_key {
                                 mem.set_scrambler(AddressScrambler::new(
                                     geometry.words(),
                                     fault_seed(base, point, run),
                                 ));
                             }
-                            let out = mem.run_app(&**app, &record.samples);
+                            let out = mem.run_app(&**app, &records[ri].samples);
                             let snr = cap_snr(snr_db(&references[ai][ri], &samples_to_f64(&out)));
                             (snr, mem.stats())
                         };
@@ -789,6 +974,19 @@ fn voltage_points(
 ) -> Result<Vec<Fig4Point>, EngineError> {
     let records = record_suite_with_noise(sc.window, sc.effective_records(), sc.noise_scale);
     let (_apps, geometry, references) = draw_shared(sc, &records);
+    // One clean pass per (EMT, app, record), shared by every voltage: each
+    // additional grid point pays only faulty-delta work.
+    let clean = if exec::batch_enabled() {
+        Some(record_clean_passes(
+            sc,
+            &records,
+            &references,
+            geometry,
+            cancel,
+        )?)
+    } else {
+        None
+    };
     let model = sc.fault.to_model();
     let mut points = Vec::new();
     for (vi, &voltage) in voltages.iter().enumerate() {
@@ -802,6 +1000,7 @@ fn voltage_points(
                 records: &records,
                 references: &references,
                 geometry,
+                clean: clean.as_ref(),
                 cancel,
             },
         )?;
@@ -885,7 +1084,7 @@ fn run_noise(
             .max()
             .expect("validated: at least one app"),
     );
-    let mut suite: Option<(u64, Vec<Record>, References)> = None;
+    let mut suite: Option<(u64, Vec<Record>, References, Option<CleanPasses>)> = None;
     for (si, &scale) in scales.iter().enumerate() {
         let key = scale.to_bits();
         if suite.as_ref().is_none_or(|(k, ..)| *k != key) {
@@ -894,9 +1093,22 @@ fn run_noise(
                 .iter()
                 .map(|app| reference_outputs(&**app, &records))
                 .collect();
-            suite = Some((key, records, references));
+            // Clean passes follow the suite: consecutive points at one
+            // scale share them, like the references.
+            let clean = if exec::batch_enabled() {
+                Some(record_clean_passes(
+                    sc,
+                    &records,
+                    &references,
+                    geometry,
+                    cancel,
+                )?)
+            } else {
+                None
+            };
+            suite = Some((key, records, references, clean));
         }
-        let (_, records, references) = suite.as_ref().expect("just populated");
+        let (_, records, references, clean) = suite.as_ref().expect("just populated");
         let results = draw_point(
             sc,
             si,
@@ -906,6 +1118,7 @@ fn run_noise(
                 records,
                 references,
                 geometry,
+                clean: clean.as_ref(),
                 cancel,
             },
         )?;

@@ -57,6 +57,7 @@ pub struct CampaignRunner {
     spec: Scenario,
     threads: Option<usize>,
     batch: Option<bool>,
+    bailout: Option<f64>,
     cancel: Option<CancelToken>,
     on_progress: Option<Box<ProgressFn>>,
     skip_rows: usize,
@@ -70,6 +71,7 @@ impl CampaignRunner {
             spec,
             threads: None,
             batch: None,
+            bailout: None,
             cancel: None,
             on_progress: None,
             skip_rows: 0,
@@ -96,6 +98,25 @@ impl CampaignRunner {
     #[must_use]
     pub fn batch(mut self, enabled: bool) -> CampaignRunner {
         self.batch = Some(enabled);
+        self
+    }
+
+    /// Pins the batched executor's adaptive bail-out fraction for this
+    /// campaign only (scoped to the driving thread), overriding the
+    /// `DREAM_BATCH_BAILOUT` environment default. Like batching itself,
+    /// the fraction changes scheduling, never values — output is
+    /// bit-identical at any setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn bailout(mut self, fraction: f64) -> CampaignRunner {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "bail-out fraction must be in 0.0..=1.0, got {fraction}"
+        );
+        self.bailout = Some(fraction);
         self
     }
 
@@ -157,9 +178,11 @@ impl CampaignRunner {
             },
             on_progress: self.on_progress.as_deref(),
         };
-        let result = exec::with_ambient_batch(self.batch, || {
-            exec::with_ambient_threads(self.threads, || {
-                engine::run_campaign(&self.spec, &mut instrumented, self.cancel.as_ref())
+        let result = exec::with_ambient_bailout(self.bailout, || {
+            exec::with_ambient_batch(self.batch, || {
+                exec::with_ambient_threads(self.threads, || {
+                    engine::run_campaign(&self.spec, &mut instrumented, self.cancel.as_ref())
+                })
             })
         });
         if matches!(result, Err(EngineError::Cancelled)) {
@@ -185,6 +208,7 @@ impl std::fmt::Debug for CampaignRunner {
             .field("spec", &self.spec.name)
             .field("threads", &self.threads)
             .field("batch", &self.batch)
+            .field("bailout", &self.bailout)
             .field("cancellable", &self.cancel.is_some())
             .field("skip_rows", &self.skip_rows)
             .finish()

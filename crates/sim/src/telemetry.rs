@@ -1,0 +1,123 @@
+//! Process-wide counters of the batched executor's behaviour: how many
+//! lanes campaigns dispatched, how many were evicted by divergence or
+//! abandoned by the adaptive bail-out, and how often the clean-pass trace
+//! cache was recorded and replayed.
+//!
+//! The counters exist so a perf trajectory entry can explain *why* a
+//! batched run won or lost — a high eviction rate means the voltage was
+//! deep in the faulty region and most lanes replayed scalar; a high
+//! replay-per-trace ratio means the clean-pass reuse amortized well.
+//!
+//! Counting is relaxed-atomic and never participates in campaign output:
+//! results are bit-identical whether or not anything reads these.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LANES: AtomicU64 = AtomicU64::new(0);
+static EVICTED: AtomicU64 = AtomicU64::new(0);
+static BAILED: AtomicU64 = AtomicU64::new(0);
+static REPLAYS: AtomicU64 = AtomicU64::new(0);
+static TRACES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the batched executor's counters since the last
+/// [`take`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchTelemetry {
+    /// Lanes dispatched into batched passes (one lane = one trial riding
+    /// one (EMT, app) clean pass).
+    pub lanes: u64,
+    /// Lanes evicted because their decoded word diverged from the clean
+    /// word (each replays on the scalar path).
+    pub evicted: u64,
+    /// Lanes abandoned by the adaptive bail-out — they had not diverged,
+    /// but too few lanes were left to amortize the plane passes.
+    pub bailed: u64,
+    /// Clean-pass trace replays (one per batched (group, EMT, app) pass).
+    pub clean_replays: u64,
+    /// Clean-pass traces recorded (one per (EMT, app, record) a batched
+    /// campaign touched).
+    pub traces_recorded: u64,
+}
+
+impl BatchTelemetry {
+    /// Fraction of dispatched lanes evicted by divergence (0 when no
+    /// lanes ran).
+    pub fn eviction_rate(&self) -> f64 {
+        if self.lanes == 0 {
+            0.0
+        } else {
+            self.evicted as f64 / self.lanes as f64
+        }
+    }
+
+    /// Fraction of dispatched lanes abandoned by the bail-out (0 when no
+    /// lanes ran).
+    pub fn bailout_rate(&self) -> f64 {
+        if self.lanes == 0 {
+            0.0
+        } else {
+            self.bailed as f64 / self.lanes as f64
+        }
+    }
+}
+
+/// Accounts one finished batched (group, EMT, app) pass.
+pub(crate) fn record_batch_pass(lanes: usize, evicted: u32, bailed: u32) {
+    LANES.fetch_add(lanes as u64, Ordering::Relaxed);
+    EVICTED.fetch_add(u64::from(evicted), Ordering::Relaxed);
+    BAILED.fetch_add(u64::from(bailed), Ordering::Relaxed);
+    REPLAYS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Accounts one recorded clean-pass trace.
+pub(crate) fn record_trace() {
+    TRACES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Returns the counters accumulated since the previous call and resets
+/// them to zero (process-wide — concurrent campaigns share one set).
+pub fn take() -> BatchTelemetry {
+    BatchTelemetry {
+        lanes: LANES.swap(0, Ordering::Relaxed),
+        evicted: EVICTED.swap(0, Ordering::Relaxed),
+        bailed: BAILED.swap(0, Ordering::Relaxed),
+        clean_replays: REPLAYS.swap(0, Ordering::Relaxed),
+        traces_recorded: TRACES.swap(0, Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_drains_at_least_this_threads_contribution() {
+        // The counters are process-wide and other tests run batched
+        // campaigns concurrently, so only lower bounds are stable here.
+        let _ = take();
+        record_batch_pass(64, 8, 4);
+        record_batch_pass(16, 0, 0);
+        record_trace();
+        let t = take();
+        assert!(t.lanes >= 80, "{t:?}");
+        assert!(t.evicted >= 8, "{t:?}");
+        assert!(t.bailed >= 4, "{t:?}");
+        assert!(t.clean_replays >= 2, "{t:?}");
+        assert!(t.traces_recorded >= 1, "{t:?}");
+    }
+
+    #[test]
+    fn rates_divide_safely() {
+        let t = BatchTelemetry {
+            lanes: 80,
+            evicted: 8,
+            bailed: 4,
+            clean_replays: 2,
+            traces_recorded: 1,
+        };
+        assert!((t.eviction_rate() - 0.1).abs() < 1e-12);
+        assert!((t.bailout_rate() - 0.05).abs() < 1e-12);
+        assert_eq!(BatchTelemetry::default().eviction_rate(), 0.0);
+        assert_eq!(BatchTelemetry::default().bailout_rate(), 0.0);
+    }
+}
