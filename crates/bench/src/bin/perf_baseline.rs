@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p dream-bench --bin perf_baseline [--smoke] [--threads N] [--window N]
-//!           [--campaigns fig2,fig4,…]
+//!           [--campaigns fig2,fig4,…] [--shards K]
 //! ```
 //!
 //! `--smoke` runs a reduced scale for CI and appends to the gitignored
@@ -16,6 +16,15 @@
 //! `--campaigns` restricts timing to a comma-separated subset of the
 //! campaign names (`fig2`, `fig2_scenario`, `fig4`, `fig4_scenario`,
 //! `ablation`, `tradeoff`).
+//!
+//! `--shards K` switches to the sharded-execution baseline instead: the
+//! fig2/fig4 scenario campaigns are partitioned with
+//! [`dream_sim::scenario::ShardPlan`] at 1/2/4 shards (capped at K), each
+//! shard runs on its own thread, and the reassembled rows are asserted
+//! **byte-identical** to the serial artifact before any timing is
+//! recorded — the same invariant `dream serve --shards` relies on. Each
+//! trajectory entry carries the shard count, per-shard row counts and
+//! wall times, and the batch-telemetry counters of the pass.
 //!
 //! Every selected campaign is timed twice — bit-sliced trial batching off
 //! and on — after asserting that both modes produce identical rows, and
@@ -40,6 +49,7 @@ use dream_sim::energy_table::{run_energy_table, EnergyConfig};
 use dream_sim::exec;
 use dream_sim::fig2::{run_fig2, Fig2Config};
 use dream_sim::fig4::{run_fig4, Fig4Config};
+use dream_sim::report::JsonlSink;
 use dream_sim::scenario;
 use dream_sim::telemetry::{self, BatchTelemetry};
 use dream_sim::tradeoff::explore;
@@ -253,6 +263,232 @@ fn append_trajectory(path: &std::path::Path, entry: &str) -> String {
     }
 }
 
+/// One shard-count pass over a campaign: total wall time, per-shard row
+/// counts and wall times, and the batch-telemetry counters it drained.
+struct ShardRun {
+    shards: usize,
+    seconds: f64,
+    per_shard_rows: Vec<usize>,
+    per_shard_s: Vec<f64>,
+    telemetry: BatchTelemetry,
+}
+
+/// The sharded baseline of one campaign: the serial reference plus one
+/// [`ShardRun`] per shard count, every one byte-identical to the serial
+/// artifact.
+struct ShardTiming {
+    name: String,
+    rows: usize,
+    serial_s: f64,
+    runs: Vec<ShardRun>,
+}
+
+/// Runs a spec serially on one engine thread and returns its exact JSONL
+/// bytes — the reassembly reference.
+fn shard_jsonl(sc: &scenario::Scenario) -> String {
+    let mut sink = JsonlSink::new(Vec::new());
+    scenario::CampaignRunner::new(sc.clone())
+        .threads(1)
+        .run(&mut sink)
+        .unwrap_or_else(|e| panic!("{}: {e}", sc.name));
+    String::from_utf8(sink.into_inner()).expect("jsonl is UTF-8")
+}
+
+/// Times one campaign at every shard count, asserting byte-identical
+/// reassembly against the serial artifact before trusting any number.
+fn time_sharded(sc: &scenario::Scenario, shard_counts: &[usize]) -> ShardTiming {
+    eprintln!("[{}] serial reference…", sc.name);
+    let _ = telemetry::take();
+    let t0 = Instant::now();
+    let reference = shard_jsonl(sc);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let _ = telemetry::take();
+    let mut runs = Vec::new();
+    for &k in shard_counts {
+        let plan = scenario::ShardPlan::new(sc, k).unwrap_or_else(|e| panic!("{}: {e}", sc.name));
+        eprintln!(
+            "[{}] {k} shards ({} planned, one thread each)…",
+            sc.name,
+            plan.len()
+        );
+        let t0 = Instant::now();
+        let parts: Vec<(String, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .shards()
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let t = Instant::now();
+                        let body = shard_jsonl(&shard.spec);
+                        (body, t.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread"))
+                .collect()
+        });
+        let seconds = t0.elapsed().as_secs_f64();
+        let tel = telemetry::take();
+        let mut reassembled = String::new();
+        let mut per_shard_rows = Vec::new();
+        let mut per_shard_s = Vec::new();
+        for (body, secs) in &parts {
+            per_shard_rows.push(body.lines().count());
+            per_shard_s.push(*secs);
+            reassembled.push_str(body);
+        }
+        assert_eq!(
+            reference, reassembled,
+            "{}: {k}-shard reassembly diverged from the serial artifact",
+            sc.name
+        );
+        runs.push(ShardRun {
+            shards: plan.len(),
+            seconds,
+            per_shard_rows,
+            per_shard_s,
+            telemetry: tel,
+        });
+    }
+    ShardTiming {
+        name: sc.name.clone(),
+        rows: reference.lines().count(),
+        serial_s,
+        runs,
+    }
+}
+
+/// The `--shards K` mode: shard-scaling baseline over the fig2/fig4
+/// scenario campaigns, appended to the trajectory as `"mode": "sharded"`
+/// entries.
+fn shard_baseline(args: &Args, smoke: bool, window: usize, hw: usize, max_shards: usize) {
+    let selected: Option<Vec<&str>> = args.value("campaigns").map(|s| s.split(',').collect());
+    let wanted = |name: &str| selected.as_ref().is_none_or(|l| l.contains(&name));
+    let (fig2_records, fig2_trials) = if smoke { (2, 2) } else { (10, 8) };
+    let fig4_runs = if smoke { 4 } else { 24 };
+    let mut specs = Vec::new();
+    if wanted("fig2") {
+        specs.push(
+            Fig2Config {
+                window,
+                records: fig2_records,
+                apps: AppKind::all().to_vec(),
+                fault_trials: fig2_trials,
+            }
+            .to_scenario(),
+        );
+    }
+    if wanted("fig4") {
+        specs.push(
+            Fig4Config {
+                window,
+                runs: fig4_runs,
+                apps: AppKind::all().to_vec(),
+                ..Default::default()
+            }
+            .to_scenario(),
+        );
+    }
+    assert!(
+        !specs.is_empty(),
+        "--campaigns selected no shardable campaign (fig2, fig4)"
+    );
+    let shard_counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&k| k <= max_shards.max(1))
+        .collect();
+    let timings: Vec<ShardTiming> = specs
+        .iter()
+        .map(|sc| time_sharded(sc, &shard_counts))
+        .collect();
+
+    println!("\nSharded execution (one thread per shard; byte-identical reassembly verified)");
+    println!(
+        "{:<14} {:>8} {:>10} {:>8} {:>10} {:>8}",
+        "campaign", "rows", "serial s", "shards", "wall s", "speedup"
+    );
+    for t in &timings {
+        for run in &t.runs {
+            println!(
+                "{:<14} {:>8} {:>10.2} {:>8} {:>10.2} {:>7.2}x",
+                t.name,
+                t.rows,
+                t.serial_s,
+                run.shards,
+                run.seconds,
+                t.serial_s / run.seconds
+            );
+        }
+    }
+    if hw < 4 {
+        eprintln!(
+            "note: {hw} hardware thread(s) — shard speedups near 1x are expected here; \
+             the byte-identity assertion is the load-bearing check"
+        );
+    }
+
+    let unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before 1970")
+        .as_secs();
+    let commit = git_commit();
+    let path = if smoke {
+        dream_bench::results_dir().join("BENCH_campaigns_smoke.json")
+    } else {
+        workspace_root().join("BENCH_campaigns.json")
+    };
+    let campaigns: Vec<String> = timings
+        .iter()
+        .map(|t| {
+            let runs: Vec<String> = t
+                .runs
+                .iter()
+                .map(|r| {
+                    let rows: Vec<String> =
+                        r.per_shard_rows.iter().map(|n| n.to_string()).collect();
+                    let secs: Vec<String> =
+                        r.per_shard_s.iter().map(|s| format!("{s:.3}")).collect();
+                    format!(
+                        "          {{\"shards\": {}, \"seconds\": {:.3}, \"speedup_vs_serial\": {:.3}, \
+                         \"per_shard_rows\": [{}], \"per_shard_s\": [{}], \
+                         \"lanes\": {}, \"lane_eviction_rate\": {:.4}, \"lane_bailout_rate\": {:.4}, \
+                         \"clean_pass_replays\": {}}}",
+                        r.shards,
+                        r.seconds,
+                        t.serial_s / r.seconds,
+                        rows.join(", "),
+                        secs.join(", "),
+                        r.telemetry.lanes,
+                        r.telemetry.eviction_rate(),
+                        r.telemetry.bailout_rate(),
+                        r.telemetry.clean_replays,
+                    )
+                })
+                .collect();
+            format!(
+                "        {{\"name\": \"{}\", \"rows\": {}, \"serial_s\": {:.3}, \"runs\": [\n{}\n        ]}}",
+                t.name,
+                t.rows,
+                t.serial_s,
+                runs.join(",\n")
+            )
+        })
+        .collect();
+    let entry = format!(
+        "    {{\n      \"unix_time\": {unix},\n      \"date_utc\": \"{}\",\n      \
+         \"git_commit\": \"{commit}\",\n      \"mode\": \"sharded\",\n      \
+         \"hardware_parallelism\": {hw},\n      \"window\": {window},\n      \
+         \"shard_campaigns\": [\n{}\n      ]\n    }}",
+        iso8601_utc(unix),
+        campaigns.join(",\n")
+    );
+    let json = append_trajectory(&path, &entry);
+    std::fs::write(&path, json).expect("write campaign baseline JSON");
+    eprintln!("appended sharded trajectory entry to {}", path.display());
+}
+
 fn main() {
     let args = Args::from_env();
     let smoke = args.switch("smoke");
@@ -260,6 +496,14 @@ fn main() {
     let window = args.number("window", if smoke { 512 } else { 1024 });
     let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!("perf_baseline: smoke={smoke} threads={threads} window={window} hw_parallelism={hw}");
+
+    if let Some(k) = args.value("shards") {
+        let max: usize = k
+            .parse()
+            .unwrap_or_else(|_| panic!("--shards expects a number, got {k:?}"));
+        shard_baseline(&args, smoke, window, hw, max);
+        return;
+    }
 
     if threads > hw {
         eprintln!(

@@ -8,8 +8,9 @@
 //!           [--seed N] [--tolerance DB] [--emt none|parity|dream|ecc]
 //!           [--fault-model iid|burst[:LEN]|column[:WEIGHT]|bank-voltage[:AMP]]
 //! dream spec <scenario|spec.json> [--smoke] [overrides…]
-//! dream serve [--addr HOST:PORT] [--store DIR] [--workers N] [--threads N]
+//! dream serve [--addr HOST:PORT] [--store DIR] [--workers N|HOST:PORT,…] [--threads N]
 //!            [--queue N] [--timeout-ms N] [--deadline-ms N] [--retry-after SECS]
+//!            [--shards K] [--worker]
 //! dream fetch <scenario|spec.json> [--addr HOST:PORT] [--out FILE]
 //!            [--retries N] [--smoke] [overrides…]
 //! dream drain [--addr HOST:PORT] [--exit]
@@ -49,7 +50,7 @@ use std::path::PathBuf;
 
 use dream_sim::report::{CsvSink, JsonlSink, TableSink};
 use dream_sim::scenario::{
-    emt_from_token, registry, CampaignRunner, FaultModelSpec, Scenario, ScenarioOutcome,
+    emt_from_token, registry, CampaignRunner, FaultModelSpec, Scenario, ScenarioOutcome, ShardPlan,
     SinkFormat, SinkSpec,
 };
 
@@ -221,15 +222,41 @@ fn drain(args: &Args) {
 
 /// Boots the campaign service: a content-addressed artifact store plus a
 /// worker pool, serving the HTTP API of [`dream_serve`].
+///
+/// With `--shards K` (K > 1) the instance is a sharding coordinator:
+/// each campaign is partitioned with [`ShardPlan`] and fanned out —
+/// `--workers HOST:PORT,…` addresses already-running shard workers,
+/// otherwise K local worker processes are spawned from this executable.
+/// `--worker` runs the instance as a shard worker (direct execution,
+/// never re-sharding).
 fn serve(args: &Args) {
     let addr = args.value("addr").unwrap_or("127.0.0.1:7163").to_string();
     let store_dir = args
         .value("store")
         .map(PathBuf::from)
         .unwrap_or_else(|| crate::results_dir().join("store"));
-    let workers = args.number("workers", 2);
-    let threads = crate::apply_threads(args);
     let defaults = dream_serve::ServeConfig::default();
+    // `--workers` is overloaded: a plain number sizes the campaign worker
+    // pool; anything with a `:` is a comma list of shard-worker addresses
+    // for a coordinator.
+    let (workers, worker_addrs) = match args.value("workers") {
+        Some(v) if v.contains(':') => (
+            defaults.workers,
+            v.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect::<Vec<_>>(),
+        ),
+        Some(v) => (
+            v.parse().unwrap_or_else(|_| {
+                panic!("--workers expects a number or host:port list, got {v:?}")
+            }),
+            Vec::new(),
+        ),
+        None => (defaults.workers, Vec::new()),
+    };
+    let shards = args.number("shards", defaults.shards).max(1);
+    let threads = crate::apply_threads(args);
     let queue_depth = args.number("queue", defaults.queue_depth);
     let socket_timeout = std::time::Duration::from_millis(
         args.number("timeout-ms", defaults.read_timeout.as_millis() as usize) as u64,
@@ -251,11 +278,19 @@ fn serve(args: &Args) {
         write_timeout: socket_timeout,
         request_deadline,
         retry_after,
+        shards,
+        worker_addrs,
+        worker: args.switch("worker"),
+        worker_exe: std::env::current_exe().ok(),
     };
     let server =
         dream_serve::Server::bind(config).unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    // Machine-readable line on stdout: a coordinator spawning local shard
+    // workers discovers each child's port (`--addr 127.0.0.1:0`) from it.
+    println!("dream serve: listening on {}", server.local_addr());
+    let _ = io::stdout().flush();
     eprintln!(
-        "dream serve listening on http://{} (store {}, {workers} workers × {threads} threads, queue {queue_depth})",
+        "dream serve listening on http://{} (store {}, {workers} workers × {threads} threads, queue {queue_depth}, shards {shards})",
         server.local_addr(),
         store_dir.display()
     );
@@ -422,16 +457,31 @@ pub fn run(target: &str, args: &Args) -> ScenarioOutcome {
 }
 
 /// Builds the campaign runner every `dream run` goes through; `--progress`
-/// attaches a stderr reporter.
+/// attaches a stderr reporter that redraws one `\r` status line with
+/// rows streamed, total rows, and percent complete (families whose row
+/// total is data-dependent fall back to a line per batch).
 fn runner_for(sc: &Scenario, progress: bool) -> CampaignRunner {
     let mut runner = CampaignRunner::new(sc.clone());
     if progress {
         let name = sc.name.clone();
-        runner = runner.on_progress(move |p| {
-            eprintln!(
+        // A trivial (K=1) shard plan knows the campaign's exact row count
+        // up front for every grid-structured family.
+        let total_rows = ShardPlan::new(sc, 1).ok().and_then(|p| p.total_rows());
+        runner = runner.on_progress(move |p| match total_rows {
+            Some(total) if total > 0 => {
+                let pct = 100.0 * p.rows as f64 / total as f64;
+                eprint!(
+                    "\r[{name}] {}/{total} rows ({pct:.0}%) — {} trials",
+                    p.rows, p.trials_total
+                );
+                if p.rows >= total {
+                    eprintln!();
+                }
+            }
+            _ => eprintln!(
                 "[{name}] batch {}: {} rows streamed ({} trials total)",
                 p.batches, p.rows, p.trials_total
-            );
+            ),
         });
     }
     runner

@@ -97,13 +97,30 @@ pub fn fetch_campaign(
     out: &mut dyn Write,
     policy: &RetryPolicy,
 ) -> io::Result<FetchOutcome> {
+    fetch_rows(addr, "/campaigns", spec_json, out, policy)
+}
+
+/// [`fetch_campaign`] against an arbitrary row-streaming target — the
+/// coordinator uses `"/shards"` to pull shard sub-artifacts from workers
+/// over exactly the same retry/resume machinery.
+///
+/// # Errors
+///
+/// As for [`fetch_campaign`].
+pub fn fetch_rows(
+    addr: &str,
+    target: &str,
+    spec_json: &str,
+    out: &mut dyn Write,
+    policy: &RetryPolicy,
+) -> io::Result<FetchOutcome> {
     let mut outcome = FetchOutcome::default();
     let mut rows_done = 0usize;
     let mut delay = policy.base_delay;
     let mut last_error = String::new();
     while outcome.attempts < policy.max_attempts {
         outcome.attempts += 1;
-        match try_stream(addr, spec_json, rows_done, out, policy) {
+        match try_stream(addr, target, spec_json, rows_done, out, policy) {
             Ok(Attempt::Complete { rows, cache }) => {
                 outcome.rows = rows;
                 outcome.resumed_rows = rows_done.min(rows);
@@ -182,6 +199,7 @@ fn jitter(base: Duration, attempt: u32) -> Duration {
 /// reaching the caller as a hard error.
 fn try_stream(
     addr: &str,
+    target: &str,
     spec_json: &str,
     rows_done: usize,
     out: &mut dyn Write,
@@ -196,7 +214,7 @@ fn try_stream(
     let mut writer = stream.try_clone()?;
     write!(
         writer,
-        "POST /campaigns HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "POST {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         spec_json.len()
     )?;
     writer.write_all(spec_json.as_bytes())?;

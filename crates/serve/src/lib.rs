@@ -21,11 +21,19 @@
 //!   with byte budgets and deadlines on every read;
 //! * [`store`] — the on-disk artifact store, canonical spec hashing,
 //!   checksum verification, and quarantine;
-//! * [`server`] — the worker pool, campaign registry, admission control,
-//!   drain/shutdown, and route handlers;
+//! * [`server`] — the evented connection layer (handler pool + follower
+//!   poller), worker pool, campaign registry, admission control,
+//!   drain/shutdown, shard coordinator/worker modes, and route handlers;
 //! * [`client`] — the retrying fetch client (backoff + jitter,
 //!   `Retry-After` honoring, skip-rows resume of interrupted streams);
 //! * [`chaos`] — a fault-injecting TCP proxy for the e2e chaos suite.
+//!
+//! A coordinator (`ServeConfig::shards > 1`) partitions each campaign
+//! with `dream_sim::scenario::ShardPlan`, fans the shard specs out to
+//! worker processes over this same HTTP layer (`POST /shards`), and
+//! reassembles the per-shard sub-artifacts — each content-addressed and
+//! individually cached — into the parent artifact byte-identically to a
+//! serial run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +46,6 @@ pub mod server;
 pub mod store;
 
 pub use chaos::{ChaosProxy, Fault};
-pub use client::{fetch_campaign, FetchOutcome, RetryPolicy};
+pub use client::{fetch_campaign, fetch_rows, FetchOutcome, RetryPolicy};
 pub use server::{ServeConfig, Server};
 pub use store::{campaign_id, canonical_spec_json, spec_hash, Integrity, Store};

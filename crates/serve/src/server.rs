@@ -1,13 +1,17 @@
-//! The campaign service: a thread-per-connection HTTP front end over a
-//! worker pool and the content-addressed [`Store`].
+//! The campaign service: an evented HTTP front end over a worker pool,
+//! an optional shard-fan-out coordinator, and the content-addressed
+//! [`Store`].
 //!
 //! ```text
 //! POST /campaigns[?sink=jsonl]  submit a spec; stream its JSONL rows
+//! POST /shards                  worker-mode submit: always executes the
+//!                               spec directly (never re-shards it)
 //! GET  /campaigns/{id}          status JSON
 //! GET  /campaigns/{id}/rows     stream the row artifact
 //! GET  /presets                 the scenario registry as JSON
-//! GET  /stats                   service counters
-//! GET  /healthz                 liveness: version, workers, queue depth
+//! GET  /stats                   service + batch-telemetry counters
+//! GET  /healthz                 liveness: version, workers, queue and
+//!                               shard/worker topology state
 //! POST /admin/drain             stop admitting, cancel in-flight runs
 //! POST /admin/shutdown          drain, then exit the accept loop
 //! ```
@@ -24,6 +28,34 @@
 //! Every response streams straight from the artifact file, so a cache
 //! hit, a join, and a fresh run all produce byte-identical bodies.
 //!
+//! # Sharded execution
+//!
+//! With [`ServeConfig::shards`] > 1 a coordinator partitions each
+//! submitted campaign with [`ShardPlan`] and fans the derived shard specs
+//! out over worker processes — spawned locally from
+//! [`ServeConfig::worker_exe`] or addressed via
+//! [`ServeConfig::worker_addrs`] — by POSTing them to each worker's
+//! `/shards` endpoint through the retrying [`crate::client`]. Every shard
+//! is its own content-addressed sub-artifact in the coordinator's store,
+//! so a dead worker costs exactly one shard re-fetch (the worker side
+//! replays from *its* store without re-running trials). Shard rows are
+//! reassembled into the parent artifact strictly in plan order, which
+//! makes the reassembled bytes — and therefore the parent's store id and
+//! `X-Dream-Cache` semantics — identical to an unsharded run.
+//!
+//! # The evented connection layer
+//!
+//! Accepted connections are parsed and dispatched by a small fixed
+//! handler pool; anything that *streams* (a campaign body, a `/rows`
+//! follow) is handed to a poller thread as a non-blocking socket. The
+//! poller owns every follower at once — a readiness ladder of one rung:
+//! it wakes on engine progress notifications (with [`FOLLOW_POLL`] as a
+//! backstop), frames fresh artifact bytes into per-connection buffers,
+//! and retries `WouldBlock` writes on the next tick — so hundreds of
+//! followers cost hundreds of buffers, not hundreds of threads. A
+//! follower whose TCP window stays shut past
+//! [`ServeConfig::write_timeout`] is shed.
+//!
 //! # Surviving hostile clients and full queues
 //!
 //! Connections carry socket read/write timeouts and a per-request
@@ -37,12 +69,14 @@
 //! `Retry-After` the CLI's retry layer honors. `POST /admin/drain` stops
 //! admissions (`503` + `Retry-After`), fires every in-flight campaign's
 //! [`CancelToken`], and leaves the interrupted artifacts resumable on
-//! disk; `POST /admin/shutdown` drains and then exits [`Server::run`].
+//! disk; `POST /admin/shutdown` drains and then exits [`Server::run`],
+//! which also reaps any locally spawned worker processes.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, Read, Seek, SeekFrom};
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
@@ -50,10 +84,13 @@ use std::time::{Duration, Instant};
 
 use dream_sim::report::JsonlSink;
 use dream_sim::scenario::{
-    registry, CampaignRunner, CancelToken, EngineError, Scenario, SinkFormat, SinkSpec,
+    registry, CampaignRunner, CancelToken, EngineError, Scenario, Shard, ShardPlan, SinkFormat,
+    SinkSpec,
 };
+use dream_sim::telemetry::{self, BatchTelemetry};
 
-use crate::http::{write_response, ChunkedBody, ReadLimits, Request};
+use crate::client::{fetch_rows, RetryPolicy};
+use crate::http::{write_response, ReadLimits, Request};
 use crate::store::{campaign_id, spec_hash, Integrity, Store};
 
 /// How long row-stream followers sleep between artifact polls when no
@@ -62,6 +99,16 @@ const FOLLOW_POLL: Duration = Duration::from_millis(25);
 
 /// How long a drain waits for workers to go idle before answering anyway.
 const DRAIN_GRACE: Duration = Duration::from_secs(30);
+
+/// Request-parsing handler threads. Handlers only parse, dispatch, and
+/// answer short responses — streaming bodies live on the poller — so a
+/// small fixed pool suffices at any follower count.
+const HANDLER_THREADS: usize = 8;
+
+/// Upper bound on artifact bytes framed into one follower's buffer per
+/// poller pass, so one fast producer cannot balloon a slow consumer's
+/// pending buffer.
+const FILL_CAP: usize = 256 * 1024;
 
 /// Configuration of one [`Server`].
 #[derive(Clone, Debug)]
@@ -80,14 +127,26 @@ pub struct ServeConfig {
     /// Socket read timeout — the longest a handler blocks waiting for
     /// the peer to send anything at all.
     pub read_timeout: Duration,
-    /// Socket write timeout — the longest a handler blocks on a peer
-    /// that stopped consuming.
+    /// Socket write timeout — the longest a follower may stall
+    /// (`WouldBlock`) before the poller sheds it.
     pub write_timeout: Duration,
     /// Wall-clock budget for reading one whole request (the slow-loris
     /// guard; a trickling client is cut off at this point).
     pub request_deadline: Duration,
     /// Advisory `Retry-After` (whole seconds) on `429`/`503` responses.
     pub retry_after: Duration,
+    /// Shards to partition each campaign into (1 = serial, no fan-out).
+    pub shards: usize,
+    /// Addresses of already-running shard workers (`host:port`). When
+    /// empty and `shards > 1`, the coordinator spawns local worker
+    /// processes from [`ServeConfig::worker_exe`] instead.
+    pub worker_addrs: Vec<String>,
+    /// Run as a shard worker: every submission executes directly, never
+    /// fanning out again.
+    pub worker: bool,
+    /// Binary to spawn local shard workers from (the CLI passes its own
+    /// executable). `None` disables local spawning.
+    pub worker_exe: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +161,10 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(15),
             retry_after: Duration::from_secs(1),
+            shards: 1,
+            worker_addrs: Vec::new(),
+            worker: false,
+            worker_exe: None,
         }
     }
 }
@@ -138,6 +201,9 @@ struct CampaignInfo {
 struct Job {
     id: String,
     spec: Scenario,
+    /// Submitted via `POST /shards` (or to a worker-mode server): execute
+    /// directly, never re-shard.
+    direct: bool,
 }
 
 /// Service counters surfaced at `GET /stats`.
@@ -147,13 +213,81 @@ struct Stats {
     cache_hits: AtomicU64,
     /// Flattened trials actually executed by workers — replays from the
     /// store leave this untouched, which is how the e2e tests prove a
-    /// cache hit re-ran nothing.
+    /// cache hit re-ran nothing. A sharding coordinator also leaves it
+    /// untouched: its trials execute on the shard workers.
     trials_executed: AtomicU64,
     /// Submissions shed with `429` (queue full) or `503` (draining).
     shed: AtomicU64,
     /// Requests answered with a 4xx protocol error (malformed, oversized,
     /// too slow).
     bad_requests: AtomicU64,
+}
+
+/// Batch-telemetry totals accumulated from [`telemetry::take`] after
+/// every locally executed campaign, surfaced at `GET /stats`.
+#[derive(Debug, Default)]
+struct TelemetryTotals {
+    lanes: AtomicU64,
+    evicted: AtomicU64,
+    bailed: AtomicU64,
+    clean_replays: AtomicU64,
+    traces_recorded: AtomicU64,
+}
+
+impl TelemetryTotals {
+    fn absorb(&self, t: BatchTelemetry) {
+        self.lanes.fetch_add(t.lanes, Ordering::Relaxed);
+        self.evicted.fetch_add(t.evicted, Ordering::Relaxed);
+        self.bailed.fetch_add(t.bailed, Ordering::Relaxed);
+        self.clean_replays
+            .fetch_add(t.clean_replays, Ordering::Relaxed);
+        self.traces_recorded
+            .fetch_add(t.traces_recorded, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> BatchTelemetry {
+        BatchTelemetry {
+            lanes: self.lanes.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            bailed: self.bailed.load(Ordering::Relaxed),
+            clean_replays: self.clean_replays.load(Ordering::Relaxed),
+            traces_recorded: self.traces_recorded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shard lifecycle counters (coordinator side), surfaced at `/healthz`.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    queued: AtomicU64,
+    running: AtomicU64,
+    done: AtomicU64,
+}
+
+/// One remote shard worker the coordinator can dispatch to.
+#[derive(Debug)]
+struct WorkerSlot {
+    addr: String,
+    /// Cleared when every retry against this worker failed; set again on
+    /// the next success. Surfaced at `/healthz`.
+    alive: AtomicBool,
+}
+
+/// One streaming response owned by the poller: a non-blocking socket, the
+/// artifact it follows, and the chunk-framed bytes not yet written.
+struct Follower {
+    stream: TcpStream,
+    id: String,
+    /// Artifact bytes already framed (file offset).
+    offset: u64,
+    /// Chunk-framed bytes awaiting the socket.
+    pending: Vec<u8>,
+    /// Prefix of `pending` already written.
+    sent: usize,
+    /// The terminating chunk is framed; close once `pending` drains.
+    finished: bool,
+    /// First `WouldBlock` of the current stall, for the shed timeout.
+    stalled_since: Option<Instant>,
 }
 
 struct State {
@@ -167,13 +301,15 @@ struct State {
     retry_after_secs: u64,
     bound_addr: SocketAddr,
     campaigns: Mutex<HashMap<String, CampaignInfo>>,
-    /// Notified on every worker progress event and status change;
-    /// row-stream followers wait on it (with [`FOLLOW_POLL`] as backstop).
+    /// Notified on every worker progress event and status change; the
+    /// follower poller waits on it (with [`FOLLOW_POLL`] as backstop).
     progress: Condvar,
     /// Paired with [`State::progress`]; holds no data — the campaign map
     /// has its own lock so followers never serialize against submitters.
     progress_lock: Mutex<()>,
     jobs: mpsc::Sender<Job>,
+    /// Hand-off of freshly admitted streaming connections to the poller.
+    followers: mpsc::Sender<Follower>,
     /// Campaigns enqueued but not yet picked up by a worker.
     queued: AtomicU64,
     /// Campaigns currently executing.
@@ -187,6 +323,16 @@ struct State {
     /// them all.
     active: Mutex<HashMap<String, CancelToken>>,
     stats: Stats,
+    batch_telemetry: TelemetryTotals,
+    /// Shards each campaign is partitioned into (1 = no fan-out).
+    shards: usize,
+    /// The shard workers this coordinator dispatches to (empty on plain
+    /// and worker-mode servers).
+    remote: Vec<WorkerSlot>,
+    shard_counters: ShardCounters,
+    /// Locally spawned worker processes, reaped when [`Server::run`]
+    /// exits after a shutdown.
+    children: Mutex<Vec<Child>>,
 }
 
 impl State {
@@ -231,8 +377,9 @@ impl State {
 }
 
 /// The campaign service. [`Server::bind`] opens the listener and store
-/// and spawns the worker pool; [`Server::run`] accepts connections until
-/// a shutdown is requested.
+/// and spawns the worker pool, handler pool, follower poller, and (for a
+/// sharding coordinator) local worker processes; [`Server::run`] accepts
+/// connections until a shutdown is requested.
 pub struct Server {
     listener: TcpListener,
     state: Arc<State>,
@@ -242,11 +389,15 @@ impl Server {
     /// Binds the listener, opens the store — preloading completed
     /// artifacts so replays survive restarts, and quarantining any whose
     /// completion marker fails verification ([`Store::verify`]) instead
-    /// of serving bad bytes — and spawns `workers` campaign workers.
+    /// of serving bad bytes — and spawns `workers` campaign workers plus
+    /// the follower poller. A coordinator (`shards > 1`) also resolves
+    /// its shard-worker topology: explicit [`ServeConfig::worker_addrs`]
+    /// win; otherwise one local worker process per shard is spawned from
+    /// [`ServeConfig::worker_exe`].
     ///
     /// # Errors
     ///
-    /// Propagates bind and store-open failures.
+    /// Propagates bind, store-open, and worker-spawn failures.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let bound_addr = listener.local_addr()?;
@@ -280,7 +431,39 @@ impl Server {
             }
         }
 
+        let shards = if config.worker {
+            1
+        } else {
+            config.shards.max(1)
+        };
+        let mut children = Vec::new();
+        let remote: Vec<WorkerSlot> = if shards > 1 {
+            let addrs = if !config.worker_addrs.is_empty() {
+                config.worker_addrs.clone()
+            } else if let Some(exe) = &config.worker_exe {
+                spawn_local_workers(exe, &config, shards, &mut children)?
+            } else {
+                Vec::new()
+            };
+            addrs
+                .into_iter()
+                .map(|addr| WorkerSlot {
+                    addr,
+                    alive: AtomicBool::new(true),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if shards > 1 && remote.is_empty() {
+            eprintln!(
+                "dream serve: --shards {shards} requested but no shard workers available; \
+                 running campaigns unsharded"
+            );
+        }
+
         let (jobs, job_rx) = mpsc::channel::<Job>();
+        let (followers, follower_rx) = mpsc::channel::<Follower>();
         let state = Arc::new(State {
             store,
             threads: config.threads.max(1),
@@ -298,12 +481,18 @@ impl Server {
             progress: Condvar::new(),
             progress_lock: Mutex::new(()),
             jobs,
+            followers,
             queued: AtomicU64::new(0),
             running: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             active: Mutex::new(HashMap::new()),
             stats: Stats::default(),
+            batch_telemetry: TelemetryTotals::default(),
+            shards,
+            remote,
+            shard_counters: ShardCounters::default(),
+            children: Mutex::new(children),
         });
 
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -311,6 +500,10 @@ impl Server {
             let state = Arc::clone(&state);
             let job_rx = Arc::clone(&job_rx);
             thread::spawn(move || worker_loop(&state, &job_rx));
+        }
+        {
+            let state = Arc::clone(&state);
+            thread::spawn(move || poller_loop(&state, &follower_rx));
         }
 
         Ok(Server { listener, state })
@@ -321,24 +514,35 @@ impl Server {
         self.state.bound_addr
     }
 
-    /// Accepts connections, one handler thread per connection, until
-    /// `POST /admin/shutdown` completes a drain.
+    /// Accepts connections into the handler pool until
+    /// `POST /admin/shutdown` completes a drain, then reaps any locally
+    /// spawned shard workers.
     ///
     /// # Errors
     ///
     /// Propagates accept failures.
     pub fn run(self) -> io::Result<()> {
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        for _ in 0..HANDLER_THREADS {
+            let state = Arc::clone(&self.state);
+            let conn_rx = Arc::clone(&conn_rx);
+            thread::spawn(move || handler_loop(&state, &conn_rx));
+        }
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let stream = stream?;
-            let state = Arc::clone(&self.state);
-            thread::spawn(move || {
-                // Connection-level failures (client hung up mid-stream)
-                // only end that connection.
-                let _ = handle_connection(&state, stream);
-            });
+            if conn_tx.send(stream).is_err() {
+                break;
+            }
+        }
+        // Reap locally spawned shard workers — their stores keep every
+        // completed shard, so nothing is lost.
+        for mut child in self.state.children.lock().expect("children lock").drain(..) {
+            let _ = child.kill();
+            let _ = child.wait();
         }
         Ok(())
     }
@@ -351,6 +555,76 @@ impl Server {
             let _ = self.run();
         });
         addr
+    }
+}
+
+/// Spawns one local shard-worker process per shard and returns their
+/// bound addresses, discovered from the `listening on HOST:PORT` line
+/// each worker prints on stdout.
+fn spawn_local_workers(
+    exe: &PathBuf,
+    config: &ServeConfig,
+    shards: usize,
+    children: &mut Vec<Child>,
+) -> io::Result<Vec<String>> {
+    let mut addrs = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let store = config.store_dir.join("workers").join(format!("w{i}"));
+        let mut child = Command::new(exe)
+            .arg("serve")
+            .arg("--worker")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--store")
+            .arg(&store)
+            .arg("--threads")
+            .arg(config.threads.max(1).to_string())
+            .arg("--workers")
+            .arg(config.workers.max(1).to_string())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let addr = loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    format!("shard worker {i} exited before announcing its address"),
+                ));
+            }
+            if let Some(addr) = line
+                .split("listening on ")
+                .nth(1)
+                .and_then(|rest| rest.split_whitespace().next())
+            {
+                break addr.to_string();
+            }
+        };
+        // Keep the pipe drained so a chatty worker can never block on a
+        // full stdout buffer.
+        thread::spawn(move || {
+            let mut sink = io::sink();
+            let _ = io::copy(&mut reader, &mut sink);
+        });
+        children.push(child);
+        addrs.push(addr);
+    }
+    Ok(addrs)
+}
+
+fn handler_loop(state: &Arc<State>, conns: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        let stream = match conns.lock().expect("connection queue lock").recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // accept loop exited
+        };
+        // Connection-level failures (client hung up mid-request) only end
+        // that connection.
+        let _ = handle_connection(state, stream);
     }
 }
 
@@ -391,11 +665,20 @@ fn worker_loop(state: &Arc<State>, jobs: &Arc<Mutex<mpsc::Receiver<Job>>>) {
     }
 }
 
-/// Runs (or resumes) one campaign, appending missing rows to its artifact
-/// and writing the completion marker last. A fired `token` (drain) leaves
-/// the artifact as a resumable prefix: rows already appended stay, no
-/// marker is written.
+/// Runs (or resumes) one campaign. A coordinator with a non-trivial
+/// [`ShardPlan`] fans out to its shard workers; everything else executes
+/// the engine directly, appending missing rows to the artifact and
+/// writing the completion marker last. A fired `token` (drain) leaves the
+/// artifact as a resumable prefix: rows already appended stay, no marker
+/// is written.
 fn execute_campaign(state: &Arc<State>, job: &Job, token: &CancelToken) -> Result<(), EngineError> {
+    if !job.direct && state.shards > 1 && !state.remote.is_empty() {
+        let plan = ShardPlan::new(&job.spec, state.shards)?;
+        if !plan.is_trivial() {
+            return execute_sharded(state, job, token, &plan);
+        }
+    }
+
     let existing = state.store.truncate_ragged_tail(&job.id)?;
     let mut sink = JsonlSink::append(&state.store.rows_path(&job.id))?;
 
@@ -411,12 +694,189 @@ fn execute_campaign(state: &Arc<State>, job: &Job, token: &CancelToken) -> Resul
         .skip_rows(existing)
         .cancel_token(token.clone())
         .on_progress(move |_| notifier.notify())
-        .run(&mut sink)?;
+        .run(&mut sink);
+    state.batch_telemetry.absorb(telemetry::take());
+    let outcome = outcome?;
 
     state
         .store
         .mark_complete(&job.id, &job.spec, outcome.rows.len())?;
     Ok(())
+}
+
+/// Coordinator path: fetch every shard's sub-artifact concurrently (each
+/// cached under its own [`campaign_id`], so only missing shards touch a
+/// worker), then append them to the parent artifact strictly in plan
+/// order. The reassembled bytes are identical to a serial run — that is
+/// [`ShardPlan`]'s contract — so replay/join/resume semantics of the
+/// parent id are untouched.
+fn execute_sharded(
+    state: &Arc<State>,
+    job: &Job,
+    token: &CancelToken,
+    plan: &ShardPlan,
+) -> Result<(), EngineError> {
+    let existing = state.store.truncate_ragged_tail(&job.id)?;
+    state.stats.campaigns_run.fetch_add(1, Ordering::Relaxed);
+    state
+        .shard_counters
+        .queued
+        .fetch_add(plan.len() as u64, Ordering::Relaxed);
+
+    let total = plan.len();
+    let mut appended = existing;
+    let reassembled: Result<(), EngineError> = thread::scope(|scope| {
+        let handles: Vec<_> = plan
+            .shards()
+            .iter()
+            .map(|shard| {
+                let sid = campaign_id(&shard.spec);
+                scope.spawn(move || {
+                    let rows = fetch_shard(state, &sid, shard);
+                    (sid, rows)
+                })
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let (sid, fetched) = handle.join().expect("shard fetch thread");
+            let rows = fetched.map_err(EngineError::Io)?;
+            let shard = &plan.shards()[i];
+            if let Some(expected) = shard.rows {
+                if rows != expected {
+                    return Err(EngineError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("shard {sid} returned {rows} rows, plan expected {expected}"),
+                    )));
+                }
+            }
+            append_shard(state, &job.id, &sid, shard, rows, &mut appended)?;
+            state.shard_counters.done.fetch_add(1, Ordering::Relaxed);
+            state.notify();
+            eprintln!(
+                "dream serve: campaign {} shard {}/{total} reassembled ({appended} rows)",
+                job.id,
+                i + 1,
+            );
+            if token.is_cancelled() {
+                return Err(EngineError::Cancelled);
+            }
+        }
+        Ok(())
+    });
+    reassembled?;
+
+    state.store.mark_complete(&job.id, &job.spec, appended)?;
+    Ok(())
+}
+
+/// The per-shard retry budget: each worker gets a short exponential
+/// ladder before the coordinator fails over to the next one.
+fn shard_policy(state: &State) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        base_delay: Duration::from_millis(100),
+        max_delay: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(30),
+        connect_timeout: state.read_timeout,
+    }
+}
+
+/// Ensures shard `sid` is a complete sub-artifact in the coordinator's
+/// store, fetching it from a worker when missing, and returns its row
+/// count. Workers are tried round-robin starting at the shard's index;
+/// each failed worker is marked dead for `/healthz` and the next one
+/// takes over — a dead worker costs exactly this shard's re-fetch.
+fn fetch_shard(state: &Arc<State>, sid: &str, shard: &Shard) -> io::Result<usize> {
+    state.shard_counters.queued.fetch_sub(1, Ordering::Relaxed);
+    state.shard_counters.running.fetch_add(1, Ordering::Relaxed);
+    let result = fetch_shard_inner(state, sid, shard);
+    state.shard_counters.running.fetch_sub(1, Ordering::Relaxed);
+    result
+}
+
+fn fetch_shard_inner(state: &Arc<State>, sid: &str, shard: &Shard) -> io::Result<usize> {
+    if state.store.is_complete(sid) {
+        return state.store.existing_row_count(sid);
+    }
+    state.store.begin(sid, &shard.spec)?;
+    let spec_json = shard.spec.to_json();
+    let policy = shard_policy(state);
+    let mut last_error = io::Error::new(io::ErrorKind::NotConnected, "no shard workers");
+    for attempt in 0..state.remote.len() {
+        let slot = &state.remote[(shard.index + attempt) % state.remote.len()];
+        // Restart the sub-artifact from zero: the client writes only
+        // complete rows, and the worker replays cached rows without
+        // re-running trials, so this costs a re-stream at most.
+        let out = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(state.store.rows_path(sid))?;
+        let mut out = io::BufWriter::new(out);
+        match fetch_rows(&slot.addr, "/shards", &spec_json, &mut out, &policy) {
+            Ok(outcome) => {
+                out.flush()?;
+                slot.alive.store(true, Ordering::Relaxed);
+                state.store.mark_complete(sid, &shard.spec, outcome.rows)?;
+                return Ok(outcome.rows);
+            }
+            Err(e) => {
+                slot.alive.store(false, Ordering::Relaxed);
+                eprintln!(
+                    "dream serve: shard {sid} failed on worker {}: {e}; failing over",
+                    slot.addr
+                );
+                last_error = e;
+            }
+        }
+    }
+    Err(last_error)
+}
+
+/// Appends shard `sid`'s rows to the parent artifact, skipping whatever
+/// prefix an earlier (interrupted) reassembly already persisted — the
+/// skip-rows resume landing mid-shard.
+fn append_shard(
+    state: &Arc<State>,
+    parent: &str,
+    sid: &str,
+    shard: &Shard,
+    rows: usize,
+    appended: &mut usize,
+) -> io::Result<()> {
+    let already = appended.saturating_sub(shard.row_offset);
+    if already < rows {
+        let data = std::fs::read(state.store.rows_path(sid))?;
+        let skip = row_byte_offset(&data, already);
+        let mut out = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(state.store.rows_path(parent))?;
+        out.write_all(&data[skip..])?;
+        out.flush()?;
+    }
+    // Monotonic: a fully covered shard must not pull the watermark back
+    // below rows the interrupted reassembly already persisted from the
+    // *next* shard.
+    *appended = (*appended).max(shard.row_offset + rows);
+    Ok(())
+}
+
+/// Byte offset where row `rows` starts in a JSONL buffer.
+fn row_byte_offset(data: &[u8], rows: usize) -> usize {
+    if rows == 0 {
+        return 0;
+    }
+    let mut seen = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            seen += 1;
+            if seen == rows {
+                return i + 1;
+            }
+        }
+    }
+    data.len()
 }
 
 fn handle_connection(state: &Arc<State>, stream: TcpStream) -> io::Result<()> {
@@ -440,7 +900,8 @@ fn handle_connection(state: &Arc<State>, stream: TcpStream) -> io::Result<()> {
         }
     };
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/campaigns") => post_campaign(state, &mut stream, &request),
+        ("POST", "/campaigns") => post_campaign(state, stream, &request, false),
+        ("POST", "/shards") => post_campaign(state, stream, &request, true),
         ("POST", "/admin/drain") => post_drain(state, &mut stream, false),
         ("POST", "/admin/shutdown") => post_drain(state, &mut stream, true),
         ("GET", "/presets") => get_presets(&mut stream),
@@ -449,7 +910,10 @@ fn handle_connection(state: &Arc<State>, stream: TcpStream) -> io::Result<()> {
         ("GET", path) => {
             if let Some(rest) = path.strip_prefix("/campaigns/") {
                 match rest.strip_suffix("/rows") {
-                    Some(id) => get_rows(state, &mut stream, id),
+                    Some(id) => {
+                        let id = id.to_string();
+                        get_rows(state, stream, &id)
+                    }
                     None => get_status(state, &mut stream, rest),
                 }
             } else {
@@ -540,19 +1004,31 @@ fn get_presets(stream: &mut TcpStream) -> io::Result<()> {
 }
 
 fn get_stats(state: &Arc<State>, stream: &mut TcpStream) -> io::Result<()> {
+    let t = state.batch_telemetry.snapshot();
     let body = format!(
-        "{{\"campaigns_run\": {}, \"cache_hits\": {}, \"trials_executed\": {}, \"shed\": {}, \"bad_requests\": {}}}\n",
+        "{{\"campaigns_run\": {}, \"cache_hits\": {}, \"trials_executed\": {}, \"shed\": {}, \"bad_requests\": {}, \
+         \"lanes\": {}, \"evicted\": {}, \"bailed\": {}, \"clean_replays\": {}, \"traces_recorded\": {}, \
+         \"eviction_rate\": {:.4}, \"bailout_rate\": {:.4}, \"shards_done\": {}}}\n",
         state.stats.campaigns_run.load(Ordering::Relaxed),
         state.stats.cache_hits.load(Ordering::Relaxed),
         state.stats.trials_executed.load(Ordering::Relaxed),
         state.stats.shed.load(Ordering::Relaxed),
         state.stats.bad_requests.load(Ordering::Relaxed),
+        t.lanes,
+        t.evicted,
+        t.bailed,
+        t.clean_replays,
+        t.traces_recorded,
+        t.eviction_rate(),
+        t.bailout_rate(),
+        state.shard_counters.done.load(Ordering::Relaxed),
     );
     write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
 }
 
 /// Liveness + readiness: the CI smoke polls this before the first POST,
-/// and operators watch `queue_depth` to see backpressure building.
+/// operators watch `queue_depth` for backpressure, and a sharding
+/// coordinator reports its worker topology and shard lifecycle here.
 fn get_healthz(state: &Arc<State>, stream: &mut TcpStream) -> io::Result<()> {
     let status = if state.draining.load(Ordering::SeqCst) {
         "draining"
@@ -560,14 +1036,26 @@ fn get_healthz(state: &Arc<State>, stream: &mut TcpStream) -> io::Result<()> {
         "ok"
     };
     let campaigns = state.campaigns.lock().expect("campaign map lock").len();
+    let alive = state
+        .remote
+        .iter()
+        .filter(|slot| slot.alive.load(Ordering::Relaxed))
+        .count();
     let body = format!(
-        "{{\"status\": \"{status}\", \"version\": {}, \"workers\": {}, \"queue_depth\": {}, \"queue_capacity\": {}, \"running\": {}, \"campaigns\": {campaigns}, \"trials_executed\": {}}}\n",
+        "{{\"status\": \"{status}\", \"version\": {}, \"workers\": {}, \"queue_depth\": {}, \"queue_capacity\": {}, \"running\": {}, \"campaigns\": {campaigns}, \"trials_executed\": {}, \
+         \"shards_configured\": {}, \"shards_queued\": {}, \"shards_running\": {}, \"shards_done\": {}, \
+         \"shard_workers_configured\": {}, \"shard_workers_alive\": {alive}}}\n",
         json_string(env!("CARGO_PKG_VERSION")),
         state.workers,
         state.queued.load(Ordering::SeqCst),
         state.queue_capacity,
         state.running.load(Ordering::SeqCst),
         state.stats.trials_executed.load(Ordering::Relaxed),
+        state.shards,
+        state.shard_counters.queued.load(Ordering::Relaxed),
+        state.shard_counters.running.load(Ordering::Relaxed),
+        state.shard_counters.done.load(Ordering::Relaxed),
+        state.remote.len(),
     );
     write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
 }
@@ -642,24 +1130,31 @@ fn get_status(state: &Arc<State>, stream: &mut TcpStream, id: &str) -> io::Resul
     write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
 }
 
-fn get_rows(state: &Arc<State>, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+fn get_rows(state: &Arc<State>, stream: TcpStream, id: &str) -> io::Result<()> {
     if state.status_of(id).is_none() && !state.store.rows_path(id).exists() {
-        return not_found(stream);
+        let mut stream = stream;
+        return not_found(&mut stream);
     }
     stream_rows(state, stream, id, "follow")
 }
 
-fn post_campaign(state: &Arc<State>, stream: &mut TcpStream, request: &Request) -> io::Result<()> {
+fn post_campaign(
+    state: &Arc<State>,
+    stream: TcpStream,
+    request: &Request,
+    direct: bool,
+) -> io::Result<()> {
+    let mut stream = stream;
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return error_response(stream, 400, "Bad Request", "spec body is not UTF-8"),
+        Err(_) => return error_response(&mut stream, 400, "Bad Request", "spec body is not UTF-8"),
     };
     let sc = match Scenario::from_json(text) {
         Ok(sc) => sc,
-        Err(e) => return error_response(stream, 400, "Bad Request", &e.to_string()),
+        Err(e) => return error_response(&mut stream, 400, "Bad Request", &e.to_string()),
     };
     if let Err(e) = sc.validate() {
-        return error_response(stream, 400, "Bad Request", &e.to_string());
+        return error_response(&mut stream, 400, "Bad Request", &e.to_string());
     }
     // Sink negotiation shares the CLI's `--sink` grammar; the service
     // streams jsonl and owns artifact placement, so only a bare `jsonl`
@@ -667,11 +1162,11 @@ fn post_campaign(state: &Arc<State>, stream: &mut TcpStream, request: &Request) 
     if let Some(token) = request.query_param("sink") {
         let negotiated = match SinkSpec::parse(token) {
             Ok(spec) => spec,
-            Err(e) => return error_response(stream, 400, "Bad Request", &e.to_string()),
+            Err(e) => return error_response(&mut stream, 400, "Bad Request", &e.to_string()),
         };
         if negotiated.format != SinkFormat::Jsonl || negotiated.out.is_some() {
             return error_response(
-                stream,
+                &mut stream,
                 400,
                 "Bad Request",
                 "the campaign service streams jsonl rows and owns artifact placement; use sink=jsonl",
@@ -681,7 +1176,7 @@ fn post_campaign(state: &Arc<State>, stream: &mut TcpStream, request: &Request) 
     if state.draining.load(Ordering::SeqCst) {
         return shed_response(
             state,
-            stream,
+            &mut stream,
             503,
             "Service Unavailable",
             "service is draining; retry against another instance or after restart",
@@ -733,6 +1228,7 @@ fn post_campaign(state: &Arc<State>, stream: &mut TcpStream, request: &Request) 
                         .send(Job {
                             id: id.clone(),
                             spec: sc,
+                            direct,
                         })
                         .expect("worker pool outlives the listener");
                     Admission::Stream("miss")
@@ -743,7 +1239,7 @@ fn post_campaign(state: &Arc<State>, stream: &mut TcpStream, request: &Request) 
     match admission {
         Admission::Full => shed_response(
             state,
-            stream,
+            &mut stream,
             429,
             "Too Many Requests",
             "campaign queue is full; backpressure — retry after the interval",
@@ -757,55 +1253,149 @@ fn post_campaign(state: &Arc<State>, stream: &mut TcpStream, request: &Request) 
     }
 }
 
-/// Streams the row artifact of `id` as a chunked `application/x-ndjson`
-/// body, following the file as the worker appends until the campaign
-/// completes (or fails or is cancelled, in which case the stream ends at
-/// the last persisted row and the status endpoint carries the detail).
-fn stream_rows(
-    state: &Arc<State>,
-    stream: &mut TcpStream,
-    id: &str,
-    cache: &str,
-) -> io::Result<()> {
-    let mut body = ChunkedBody::start(
-        stream,
-        "application/x-ndjson",
-        &[("X-Campaign-Id", id), ("X-Dream-Cache", cache)],
-    )?;
-    let path = state.store.rows_path(id);
-    let mut offset: u64 = 0;
+/// Opens a chunked `application/x-ndjson` response for the row artifact
+/// of `id` and hands the connection to the follower poller, which streams
+/// the file as workers append until the campaign completes (or fails or
+/// is cancelled, in which case the stream ends at the last persisted row
+/// and the status endpoint carries the detail).
+///
+/// The handler thread only writes the (tiny) response head; everything
+/// after that is the poller's non-blocking business, so a follower never
+/// pins a thread.
+fn stream_rows(state: &Arc<State>, stream: TcpStream, id: &str, cache: &str) -> io::Result<()> {
+    let mut stream = stream;
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\nX-Campaign-Id: {id}\r\nX-Dream-Cache: {cache}\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    stream.set_nonblocking(true)?;
+    state
+        .followers
+        .send(Follower {
+            stream,
+            id: id.to_string(),
+            offset: 0,
+            pending: Vec::new(),
+            sent: 0,
+            finished: false,
+            stalled_since: None,
+        })
+        .expect("poller outlives the listener");
+    // Make sure the poller ships whatever is already on disk promptly.
+    state.notify();
+    Ok(())
+}
+
+/// The follower poller: owns every streaming connection as a non-blocking
+/// socket, woken by engine progress notifications (with [`FOLLOW_POLL`]
+/// as backstop). Each pass frames fresh artifact bytes into per-follower
+/// buffers and pumps them; `WouldBlock` retries next pass, and a stall
+/// past the write timeout sheds the follower.
+fn poller_loop(state: &Arc<State>, incoming: &mpsc::Receiver<Follower>) {
+    let mut followers: Vec<Follower> = Vec::new();
     loop {
+        {
+            let guard = state.progress_lock.lock().expect("progress lock");
+            let _ = state
+                .progress
+                .wait_timeout(guard, FOLLOW_POLL)
+                .expect("progress lock");
+        }
+        loop {
+            match incoming.try_recv() {
+                Ok(follower) => followers.push(follower),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    if followers.is_empty() {
+                        return;
+                    }
+                    break;
+                }
+            }
+        }
+        followers.retain_mut(|follower| pump_follower(state, follower));
+    }
+}
+
+/// Advances one follower as far as the artifact and the socket allow.
+/// Returns `false` when the connection is finished, dead, or shed.
+fn pump_follower(state: &Arc<State>, f: &mut Follower) -> bool {
+    loop {
+        // Drain the framed bytes first.
+        while f.sent < f.pending.len() {
+            match f.stream.write(&f.pending[f.sent..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    f.sent += n;
+                    f.stalled_since = None;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let since = *f.stalled_since.get_or_insert_with(Instant::now);
+                    // Shed a consumer whose TCP window stayed shut past
+                    // the write timeout — the slow-follower guard.
+                    return since.elapsed() <= state.write_timeout;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        f.pending.clear();
+        f.sent = 0;
+        if f.finished {
+            let _ = f.stream.flush();
+            return false;
+        }
+
         // Status first, bytes second: when the status already says
         // "done", every row was on disk before we read (the worker marks
-        // completion after its sink finished), so the final read below
-        // cannot miss a tail.
-        let status = state.status_of(id);
+        // completion after its sink finished), so the read below cannot
+        // miss a tail.
+        let status = state.status_of(&f.id);
         let done = !matches!(status, Some(Status::Queued) | Some(Status::Running));
 
-        match std::fs::File::open(&path) {
+        let mut framed = false;
+        match std::fs::File::open(state.store.rows_path(&f.id)) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
+            Err(_) => return false,
             Ok(mut file) => {
-                file.seek(SeekFrom::Start(offset))?;
+                if file.seek(SeekFrom::Start(f.offset)).is_err() {
+                    return false;
+                }
                 let mut fresh = Vec::new();
-                file.read_to_end(&mut fresh)?;
+                if file.take(FILL_CAP as u64).read_to_end(&mut fresh).is_err() {
+                    return false;
+                }
                 // Only ship whole rows: a concurrent append can land
                 // between the worker's write syscalls.
                 let boundary = fresh.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
                 if boundary > 0 {
-                    body.chunk(&fresh[..boundary])?;
-                    offset += boundary as u64;
+                    frame_chunk(&mut f.pending, &fresh[..boundary]);
+                    f.offset += boundary as u64;
+                    framed = true;
                 }
             }
         }
-
-        if done {
-            return body.finish();
+        if !framed {
+            if done {
+                f.pending.extend_from_slice(b"0\r\n\r\n");
+                f.finished = true;
+                continue;
+            }
+            // Idle: nothing new on disk — wait for the next notification.
+            return true;
         }
-        let guard = state.progress_lock.lock().expect("progress lock");
-        let _ = state
-            .progress
-            .wait_timeout(guard, FOLLOW_POLL)
-            .expect("progress lock");
+        // Freshly framed bytes: loop back and pump them out.
     }
+}
+
+/// Frames `data` as one HTTP chunk into `out` (the buffered counterpart
+/// of [`crate::http::ChunkedBody::chunk`]).
+fn frame_chunk(out: &mut Vec<u8>, data: &[u8]) {
+    if data.is_empty() {
+        return;
+    }
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
 }

@@ -64,6 +64,7 @@ impl Fig2Config {
             ber_slopes: Vec::new(),
             seed: registry::FIG2_SEED,
             sink: SinkSpec::default(),
+            point_offset: 0,
         }
     }
 }

@@ -81,6 +81,7 @@ impl Fig4Config {
             ber_slopes: Vec::new(),
             seed: self.seed,
             sink: SinkSpec::default(),
+            point_offset: 0,
         }
     }
 }

@@ -993,7 +993,7 @@ fn voltage_points(
         let fault_model = sc.fault.model.resolve(&model, voltage);
         let results = draw_point(
             sc,
-            vi,
+            sc.point_offset + vi,
             &DrawCtx {
                 fault_model: &fault_model,
                 ber_model: &model,
@@ -1111,7 +1111,7 @@ fn run_noise(
         let (_, records, references, clean) = suite.as_ref().expect("just populated");
         let results = draw_point(
             sc,
-            si,
+            sc.point_offset + si,
             &DrawCtx {
                 fault_model: &fault_model,
                 ber_model: &model,

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod json;
 pub mod registry;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 
 #[allow(deprecated)]
@@ -55,6 +56,7 @@ pub use engine::{
     ScenarioOutcome,
 };
 pub use runner::{CampaignRunner, Progress};
+pub use shard::{Shard, ShardPlan};
 pub use spec::{
     app_from_token, app_token, emt_from_token, emt_token, FaultModelSpec, FaultSpec, FlatTrial,
     Grid, Kind, Scenario, SinkFormat, SinkSpec, SpecError,

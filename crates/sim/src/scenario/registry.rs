@@ -62,6 +62,7 @@ fn base(name: &str, title: &str, kind: Kind, grid: Grid) -> Scenario {
         ber_slopes: Vec::new(),
         seed: 0,
         sink: SinkSpec::default(),
+        point_offset: 0,
     }
 }
 

@@ -444,6 +444,12 @@ pub struct Scenario {
     pub seed: u64,
     /// Default sink options.
     pub sink: SinkSpec,
+    /// Global index of this spec's first grid point within the parent
+    /// campaign it was sharded from (0 for unsharded specs). Grid-range
+    /// shards of draw families carry their parent-relative offset here so
+    /// per-point seeds — `fault_seed(seed, point, run)` — match what the
+    /// serial run would have drawn at the same absolute point.
+    pub point_offset: usize,
 }
 
 /// A spec-level failure: the document (or CLI flag) describing a campaign
@@ -850,7 +856,7 @@ impl Scenario {
             Grid::NoiseScale(n) => n.iter().map(|&x| Json::Num(x)).collect(),
             Grid::MemoryWords(w) => w.iter().map(|&x| Json::Num(x as f64)).collect(),
         };
-        Json::Obj(vec![
+        let mut fields = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("title".into(), Json::Str(self.title.clone())),
             ("kind".into(), Json::Str(self.kind.token().into())),
@@ -926,7 +932,14 @@ impl Scenario {
                     ("append".into(), Json::Bool(self.sink.append)),
                 ]),
             ),
-        ])
+        ];
+        // Emitted only when nonzero so unsharded specs — every document
+        // written before sharding existed — keep byte-identical JSON and
+        // therefore byte-identical store hashes.
+        if self.point_offset != 0 {
+            fields.push(("point_offset".into(), Json::Num(self.point_offset as f64)));
+        }
+        Json::Obj(fields)
     }
 
     /// Parses and validates a spec document.
@@ -1224,6 +1237,12 @@ impl Scenario {
                     .ok_or_else(|| SpecError::field("seed", "an unsigned 64-bit integer"))?,
             },
             sink,
+            point_offset: match doc.get("point_offset") {
+                None => base.as_ref().map_or(0, |b| b.point_offset),
+                Some(v) => v
+                    .as_usize()
+                    .ok_or_else(|| SpecError::field("point_offset", "a non-negative integer"))?,
+            },
         };
         scenario.validate()?;
         Ok(scenario)
